@@ -1,0 +1,278 @@
+package eend
+
+import (
+	"testing"
+	"time"
+
+	"eend/internal/core"
+	"eend/internal/experiments"
+	"eend/internal/geom"
+	"eend/internal/mac"
+	"eend/internal/network"
+	"eend/internal/phy"
+	"eend/internal/power"
+	"eend/internal/radio"
+	"eend/internal/sim"
+	"eend/internal/traffic"
+)
+
+// Every table and figure of the paper has a bench that regenerates it at
+// Quick scale (cmd/eendfig -scale full produces the paper-sized versions).
+// The per-figure benches measure end-to-end regeneration cost; the micro
+// benches at the bottom cover the simulator's hot paths.
+
+func quickRunner() experiments.Runner { return experiments.Runner{Scale: experiments.Quick} }
+
+func BenchmarkTable1Cards(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if f := quickRunner().Table1(); f.Text == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig7Mopt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if f := quickRunner().Fig7(); len(f.Series) != 6 {
+			b.Fatal("incomplete figure")
+		}
+	}
+}
+
+func BenchmarkFig8DeliverySmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig8, _ := quickRunner().SmallNetworks()
+		if len(fig8.Series) != 8 {
+			b.Fatal("incomplete figure")
+		}
+	}
+}
+
+func BenchmarkFig9GoodputSmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, fig9 := quickRunner().SmallNetworks()
+		if len(fig9.Series) != 8 {
+			b.Fatal("incomplete figure")
+		}
+	}
+}
+
+func BenchmarkFig10TransmitEnergy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if f := quickRunner().Fig10(); len(f.Series) != 4 {
+			b.Fatal("incomplete figure")
+		}
+	}
+}
+
+func BenchmarkFig11DeliveryLarge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig11, _ := quickRunner().LargeNetworks()
+		if len(fig11.Series) != 7 {
+			b.Fatal("incomplete figure")
+		}
+	}
+}
+
+func BenchmarkFig12GoodputLarge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, fig12 := quickRunner().LargeNetworks()
+		if len(fig12.Series) != 7 {
+			b.Fatal("incomplete figure")
+		}
+	}
+}
+
+func BenchmarkTable2Density(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if f := quickRunner().Table2(); len(f.Series) != 4 {
+			b.Fatal("incomplete table")
+		}
+	}
+}
+
+func BenchmarkFig13GridPerfectLow(b *testing.B) {
+	benchGrid(b, 13)
+}
+
+func BenchmarkFig14GridODPMLow(b *testing.B) {
+	benchGrid(b, 14)
+}
+
+func BenchmarkFig15GridPerfectHigh(b *testing.B) {
+	benchGrid(b, 15)
+}
+
+func BenchmarkFig16GridODPMHigh(b *testing.B) {
+	benchGrid(b, 16)
+}
+
+func benchGrid(b *testing.B, fig int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if f := quickRunner().GridFigure(fig); len(f.Series) != 6 {
+			b.Fatalf("incomplete fig%d: %v", fig, f.Notes)
+		}
+	}
+}
+
+// --- ablation benches: the design choices DESIGN.md calls out ---
+
+// benchStackScenario runs one mid-sized scenario with the given stack.
+func benchStackScenario(b *testing.B, st network.Stack) network.Results {
+	b.Helper()
+	sc := network.Scenario{
+		Seed:  9,
+		Field: geom.Field{Width: 500, Height: 500},
+		Nodes: 30,
+		Card:  radio.Cabletron,
+		Stack: st,
+		Flows: []traffic.Flow{
+			{ID: 1, Src: 0, Dst: 29, Rate: 4096, PacketBytes: 128, StartMin: 10 * time.Second, StartMax: 12 * time.Second},
+			{ID: 2, Src: 3, Dst: 27, Rate: 4096, PacketBytes: 128, StartMin: 10 * time.Second, StartMax: 12 * time.Second},
+		},
+		Duration: 60 * time.Second,
+	}
+	res, err := network.Run(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkAblationPowerControl isolates the cost/benefit of TPC on the
+// data path (PC vs max-power data frames).
+func BenchmarkAblationPowerControl(b *testing.B) {
+	for _, pc := range []bool{false, true} {
+		name := "off"
+		if pc {
+			name = "on"
+		}
+		b.Run("pc="+name, func(b *testing.B) {
+			var amp float64
+			for i := 0; i < b.N; i++ {
+				res := benchStackScenario(b, network.Stack{
+					Routing: network.ProtoDSR, PM: network.PMODPM, PowerControl: pc,
+				})
+				amp = res.TxAmpEnergy
+			}
+			b.ReportMetric(amp, "radiated-J")
+		})
+	}
+}
+
+// BenchmarkAblationAdvertisedWindow isolates the Span-style PSM improvement
+// for a broadcast-heavy proactive stack.
+func BenchmarkAblationAdvertisedWindow(b *testing.B) {
+	for _, adv := range []bool{false, true} {
+		name := "off"
+		if adv {
+			name = "on"
+		}
+		b.Run("span="+name, func(b *testing.B) {
+			var idle float64
+			for i := 0; i < b.N; i++ {
+				res := benchStackScenario(b, network.Stack{
+					Routing: network.ProtoDSDVH, PM: network.PMODPM, AdvertisedWindow: adv,
+				})
+				idle = res.Energy.Idle
+			}
+			b.ReportMetric(idle, "idle-J")
+		})
+	}
+}
+
+// BenchmarkAblationODPMKeepAlive compares the paper's (5 s, 10 s)
+// keep-alive pair against the aggressive (0.6 s, 1.2 s) variant.
+func BenchmarkAblationODPMKeepAlive(b *testing.B) {
+	cfgs := map[string]network.Stack{
+		"5s-10s": {Routing: network.ProtoDSR, PM: network.PMODPM},
+		"0.6s-1.2s": {Routing: network.ProtoDSR, PM: network.PMODPM,
+			ODPM: power.ODPMConfig{
+				DataTimeout:  600 * time.Millisecond,
+				RouteTimeout: 1200 * time.Millisecond,
+			}},
+	}
+	for name, st := range cfgs {
+		b.Run(name, func(b *testing.B) {
+			var goodput float64
+			for i := 0; i < b.N; i++ {
+				goodput = benchStackScenario(b, st).EnergyGoodput
+			}
+			b.ReportMetric(goodput, "bit/J")
+		})
+	}
+}
+
+// --- micro benches: simulator hot paths ---
+
+func BenchmarkSimEventLoop(b *testing.B) {
+	s := sim.New(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		s.Schedule(time.Microsecond, tick)
+	}
+	s.Schedule(0, tick)
+	b.ResetTimer()
+	s.Run(time.Duration(b.N) * time.Microsecond)
+	if n < b.N {
+		b.Fatalf("fired %d events, want >= %d", n, b.N)
+	}
+}
+
+func BenchmarkMACUnicastExchange(b *testing.B) {
+	s := sim.New(1)
+	med := phy.NewMedium(s, phy.Config{RangeAt: radio.Cabletron.RangeAt})
+	coord := mac.NewCoordinator(s, 0, 0)
+	delivered := 0
+	a := mac.New(s, med, coord, 0, geom.Point{X: 0, Y: 0}, mac.Config{Card: radio.Cabletron}, nil)
+	mac.New(s, med, coord, 1, geom.Point{X: 100, Y: 0}, mac.Config{Card: radio.Cabletron},
+		func(int, *mac.Packet) { delivered++ })
+	coord.Start()
+	b.ResetTimer()
+	var send func()
+	send = func() {
+		a.SendUnicast(1, &mac.Packet{Kind: mac.PacketData, Bytes: 128}, 0, func(bool) {
+			if delivered < b.N {
+				send()
+			} else {
+				s.Stop()
+			}
+		})
+	}
+	s.Schedule(0, send)
+	s.Run(time.Duration(b.N) * 10 * time.Millisecond)
+	if delivered < b.N {
+		b.Fatalf("delivered %d, want %d", delivered, b.N)
+	}
+}
+
+func BenchmarkDijkstra(b *testing.B) {
+	g := core.NewGraph(400)
+	for i := 0; i < 400; i++ {
+		for j := 1; j <= 4; j++ {
+			if i+j < 400 {
+				g.AddEdge(i, i+j, float64(j))
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path, _ := g.ShortestPath(0, 399, nil, nil)
+		if path == nil {
+			b.Fatal("no path")
+		}
+	}
+}
+
+func BenchmarkSteinerForest(b *testing.B) {
+	g, demands := core.SFGadget(20, 2, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.SteinerForest(demands, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Command eendfig regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	eendfig [-fig all|table1|fig7|fig8|...|fig16] [-scale quick|full] [-csv dir] [-v]
+//
+// At -scale full the random-field experiments use the paper's parameters
+// (up to 200 nodes, 600-900 s, 5-10 seeds) and can take an hour; -scale
+// quick (default) runs a CI-sized version of every experiment in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"eend/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "eendfig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("eendfig", flag.ContinueOnError)
+	fig := fs.String("fig", "all",
+		"experiment id, 'all' (paper experiments) or 'ablations' (ids: "+
+			fmt.Sprint(experiments.IDs())+" + "+fmt.Sprint(experiments.AblationIDs())+")")
+	scaleStr := fs.String("scale", "quick", "experiment scale: quick or full (paper parameters)")
+	csvDir := fs.String("csv", "", "directory to write per-figure CSV files (optional)")
+	verbose := fs.Bool("v", false, "print per-run progress")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scale, err := experiments.ParseScale(*scaleStr)
+	if err != nil {
+		return err
+	}
+	runner := experiments.Runner{Scale: scale}
+	if *verbose {
+		runner.Progress = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	emit := func(f *experiments.Figure) error {
+		fmt.Println(f.Render())
+		if *csvDir != "" {
+			if csv := f.CSV(); csv != "" {
+				path := filepath.Join(*csvDir, f.ID+".csv")
+				if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			}
+		}
+		return nil
+	}
+
+	switch *fig {
+	case "all":
+		// All() shares sweeps between figure pairs plotting the same runs.
+		for _, f := range runner.All() {
+			if err := emit(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "ablations":
+		for _, id := range experiments.AblationIDs() {
+			f, err := runner.RunAblation(id)
+			if err != nil {
+				return err
+			}
+			if err := emit(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	isAblation := false
+	for _, a := range experiments.AblationIDs() {
+		if a == *fig {
+			isAblation = true
+		}
+	}
+	var f *experiments.Figure
+	if isAblation {
+		f, err = runner.RunAblation(*fig)
+	} else {
+		f, err = runner.Run(*fig)
+	}
+	if err != nil {
+		return err
+	}
+	return emit(f)
+}

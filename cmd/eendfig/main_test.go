@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunTable1(t *testing.T) {
+	if err := run([]string{"-fig", "table1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig7WithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-fig", "fig7", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig7.csv")); err != nil {
+		t.Fatalf("fig7.csv not written: %v", err)
+	}
+}
+
+func TestRunRejectsBadScale(t *testing.T) {
+	if err := run([]string{"-scale", "bogus"}); err == nil {
+		t.Fatal("bad scale should fail")
+	}
+}
+
+func TestRunRejectsBadFigure(t *testing.T) {
+	if err := run([]string{"-fig", "fig99"}); err == nil {
+		t.Fatal("bad figure id should fail")
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestRunSmallScenario(t *testing.T) {
+	err := run([]string{
+		"-nodes", "10", "-field", "300", "-proto", "dsr", "-pm", "active",
+		"-flows", "2", "-rate", "2", "-dur", "30s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGridScenario(t *testing.T) {
+	err := run([]string{
+		"-grid", "4", "-field", "300", "-proto", "titan", "-pm", "odpm", "-pc",
+		"-card", "hypothetical", "-flows", "2", "-rate", "2", "-dur", "40s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownProtocol(t *testing.T) {
+	if err := run([]string{"-proto", "ospf"}); err == nil {
+		t.Fatal("unknown protocol should fail")
+	}
+}
+
+func TestRunRejectsUnknownCard(t *testing.T) {
+	if err := run([]string{"-card", "walkietalkie"}); err == nil {
+		t.Fatal("unknown card should fail")
+	}
+}
+
+func TestRunRejectsUnknownPM(t *testing.T) {
+	if err := run([]string{"-pm", "nightmode"}); err == nil {
+		t.Fatal("unknown power management should fail")
+	}
+}

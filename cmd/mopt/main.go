@@ -1,0 +1,48 @@
+// Command mopt prints the analytical study of Section 5.1: the radio
+// parameters of Table 1 and the characteristic hop count curves of Fig. 7,
+// plus the verdict on whether relaying can ever save energy for each card.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eend/internal/core"
+	"eend/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mopt", flag.ContinueOnError)
+	table1Only := fs.Bool("table1", false, "print only the radio parameter table")
+	rb := fs.Float64("rb", 0.25, "bandwidth utilization R/B for the verdict column")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	runner := experiments.Runner{Scale: experiments.Quick}
+	fmt.Println(runner.Table1().Render())
+	if *table1Only {
+		return nil
+	}
+	fmt.Println(runner.Fig7().Render())
+
+	fmt.Printf("Verdict at R/B = %.2f:\n", *rb)
+	for _, fc := range core.Fig7Cards() {
+		hops := core.CharacteristicHopCount(fc.Card, fc.D, *rb)
+		verdict := "direct transmission only"
+		if hops >= 2 {
+			verdict = fmt.Sprintf("relaying pays off (%d hops optimal)", hops)
+		}
+		fmt.Printf("  %-24s D=%3.0fm  m_opt=%.3f  -> %s\n",
+			fc.Card.Name, fc.D, core.Mopt(fc.Card, fc.D, *rb), verdict)
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunDefault(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTable1Only(t *testing.T) {
+	if err := run([]string{"-table1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCustomRB(t *testing.T) {
+	if err := run([]string{"-rb", "0.5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("unknown flag should fail")
+	}
+}

@@ -1,0 +1,30 @@
+// Package eend is a reproduction of "Heuristic Approaches to
+// Energy-Efficient Network Design Problem" (Sengul & Kravets, ICDCS 2007):
+// a deterministic discrete-event wireless network simulator (802.11-style
+// MAC with power-save mode, ODPM/TITAN power management, six routing
+// protocols), the formal node-weighted design problem with its Steiner
+// gadget analyses, the analytical characteristic-hop-count study, and a
+// harness that regenerates every table and figure of the paper's
+// evaluation.
+//
+// Layout:
+//
+//	internal/sim          discrete-event kernel
+//	internal/geom         placement geometry
+//	internal/radio        card models (Table 1) + energy meter (Eqs. 1-4)
+//	internal/phy          medium: propagation, collisions, carrier sense
+//	internal/mac          802.11 DCF + PSM (beacons, ATIM windows), TPC
+//	internal/power        ODPM keep-alives, always-active
+//	internal/routing      DSR, MTPR(+), DSRH, DSDV(H), TITAN
+//	internal/traffic      CBR flows and delivery accounting
+//	internal/network      scenario assembly and metrics
+//	internal/core         the design problem: Enetwork, Steiner/MPC, m_opt
+//	internal/metrics      means and 95% confidence intervals
+//	internal/experiments  one runner per paper table/figure
+//	cmd/eendfig           regenerate all tables and figures
+//	cmd/eendsim           run a single scenario
+//	cmd/mopt              the Section 5.1 analytical study
+//
+// The benchmarks in bench_test.go regenerate each experiment at Quick
+// scale; run cmd/eendfig -scale full for the paper-sized versions.
+package eend

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+
+	"eend/internal/radio"
+)
+
+// This file implements the analytical study of Section 5.1: the total route
+// energy Er of Eq. 14 and the characteristic hop count m_opt of Eq. 15,
+// which determine whether relaying between two nodes in mutual transmission
+// range can ever save energy for a given wireless card.
+
+// Mopt returns the (real-valued) optimal hop count of Eq. 15 for two nodes
+// D meters apart at bandwidth utilization rb = R/B in (0, 0.5]:
+//
+//	m_opt = D * ((n-1)*alpha2 / (Pbase + Prx + (1-2rb)/rb * Pidle))^(1/n)
+func Mopt(card radio.Card, d, rb float64) float64 {
+	if rb <= 0 || d <= 0 {
+		return 0
+	}
+	n := card.PathLossExp
+	idleFactor := (1 - 2*rb) / rb
+	if idleFactor < 0 {
+		idleFactor = 0 // rb > 0.5 over-books the half-duplex channel
+	}
+	denom := card.Base + card.Recv + idleFactor*card.Idle
+	if denom <= 0 {
+		return math.Inf(1)
+	}
+	return d * math.Pow((n-1)*card.Alpha/denom, 1/n)
+}
+
+// CharacteristicHopCount applies the paper's rounding rule to Mopt: the
+// integral hop count is ceil(m_opt) when m_opt < 1 (at least one hop) and
+// floor(m_opt) otherwise. Relaying pays off only when the result is >= 2.
+func CharacteristicHopCount(card radio.Card, d, rb float64) int {
+	m := Mopt(card, d, rb)
+	if m < 1 {
+		return int(math.Ceil(m))
+	}
+	return int(math.Floor(m))
+}
+
+// RelayingSavesEnergy reports whether the characteristic hop count justifies
+// relays between two nodes in mutual transmission range (Section 5.1).
+func RelayingSavesEnergy(card radio.Card, d, rb float64) bool {
+	return CharacteristicHopCount(card, d, rb) >= 2
+}
+
+// CharacteristicDistance returns the optimal hop distance d* = D / m_opt
+// (the "characteristic distance" of the lifetime literature the paper
+// builds on, [6,12]): the per-hop span that minimizes end-to-end energy.
+// Unlike those works, the paper's m_opt formulation accounts for idle
+// energy and for the transmission range cap; a characteristic distance
+// larger than the card's range means only direct transmission is feasible.
+func CharacteristicDistance(card radio.Card, rb float64) float64 {
+	// d* is independent of D: Mopt is linear in D, so D/Mopt(D) is D-free.
+	const ref = 1.0
+	m := Mopt(card, ref, rb)
+	if m <= 0 {
+		return math.Inf(1)
+	}
+	return ref / m
+}
+
+// RouteEnergy evaluates Eq. 14: the total energy of a route of m equal hops
+// spanning distance d, carrying rate R over bandwidth B for duration t,
+// with all on-route nodes in active mode:
+//
+//	Er = rb*t*(sum Ptx(d/m) + m*Prx) + (m+1-2m*rb)*t*Pidle
+func RouteEnergy(card radio.Card, d float64, m int, rb, t float64) float64 {
+	if m < 1 {
+		return math.Inf(1)
+	}
+	hop := d / float64(m)
+	ptx := card.Base + card.Alpha*math.Pow(hop, card.PathLossExp)
+	comm := rb * t * (float64(m)*ptx + float64(m)*card.Recv)
+	idleTime := (float64(m+1) - 2*float64(m)*rb) * t
+	if idleTime < 0 {
+		idleTime = 0
+	}
+	return comm + idleTime*card.Idle
+}
+
+// MoptPoint is one sample of a Fig. 7 curve.
+type MoptPoint struct {
+	RB   float64
+	Mopt float64
+}
+
+// MoptCurve samples Mopt for rb in [from, to] with the given step,
+// reproducing one line of Fig. 7.
+func MoptCurve(card radio.Card, d, from, to, step float64) []MoptPoint {
+	var pts []MoptPoint
+	for rb := from; rb <= to+1e-12; rb += step {
+		pts = append(pts, MoptPoint{RB: rb, Mopt: Mopt(card, d, rb)})
+	}
+	return pts
+}
+
+// Fig7Card pairs a card with the span distance the paper plots it at.
+type Fig7Card struct {
+	Card radio.Card
+	D    float64
+}
+
+// Fig7Cards returns the card/distance combinations of Fig. 7.
+func Fig7Cards() []Fig7Card {
+	return []Fig7Card{
+		{radio.Aironet350, 140},
+		{radio.Cabletron, 250},
+		{radio.Mica2, 68},
+		{radio.LEACH4, 100},
+		{radio.LEACH2, 75},
+		{radio.HypotheticalCabletron, 250},
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"eend/internal/radio"
+)
+
+func TestMoptRealCardsNeverJustifyRelays(t *testing.T) {
+	// Fig. 7 / Section 5.1: for every real card, m_opt < 2 across all
+	// utilizations, so relaying between nodes in range never saves energy.
+	real := []Fig7Card{
+		{radio.Aironet350, 140},
+		{radio.Cabletron, 250},
+		{radio.Mica2, 68},
+		{radio.LEACH4, 100},
+		{radio.LEACH2, 75},
+	}
+	for _, fc := range real {
+		for rb := 0.05; rb <= 0.5; rb += 0.05 {
+			if m := Mopt(fc.Card, fc.D, rb); m >= 2 {
+				t.Errorf("%s: m_opt(rb=%.2f) = %.2f, paper says < 2", fc.Card.Name, rb, m)
+			}
+			if RelayingSavesEnergy(fc.Card, fc.D, rb) {
+				t.Errorf("%s: relaying should not pay off at rb=%.2f", fc.Card.Name, rb)
+			}
+		}
+	}
+}
+
+func TestMoptHypotheticalCabletronReaches2(t *testing.T) {
+	// The hypothetical card was constructed so that m_opt >= 2 at
+	// R/B = 0.25 (Section 5.1).
+	m := Mopt(radio.HypotheticalCabletron, 250, 0.25)
+	if m < 2 {
+		t.Fatalf("hypothetical card m_opt(0.25) = %.3f, want >= 2", m)
+	}
+	if !RelayingSavesEnergy(radio.HypotheticalCabletron, 250, 0.25) {
+		t.Fatal("relaying should pay off for the hypothetical card at rb=0.25")
+	}
+}
+
+func TestMoptIncreasesWithUtilization(t *testing.T) {
+	// Higher R/B means less idle time per relay, so more relays can be
+	// justified: m_opt must be nondecreasing in rb (Fig. 7's upward trend).
+	prev := 0.0
+	for rb := 0.05; rb <= 0.5; rb += 0.01 {
+		m := Mopt(radio.HypotheticalCabletron, 250, rb)
+		if m < prev-1e-12 {
+			t.Fatalf("m_opt decreased at rb=%.2f: %v -> %v", rb, prev, m)
+		}
+		prev = m
+	}
+}
+
+func TestMoptEdgeCases(t *testing.T) {
+	if Mopt(radio.Cabletron, 250, 0) != 0 {
+		t.Error("rb=0 should give 0")
+	}
+	if Mopt(radio.Cabletron, 0, 0.25) != 0 {
+		t.Error("d=0 should give 0")
+	}
+	// rb > 0.5: idle factor clamps at zero rather than going negative.
+	m1 := Mopt(radio.Cabletron, 250, 0.5)
+	m2 := Mopt(radio.Cabletron, 250, 0.9)
+	if math.Abs(m1-m2) > 1e-12 {
+		t.Errorf("idle factor should clamp beyond rb=0.5: %v vs %v", m1, m2)
+	}
+}
+
+func TestCharacteristicHopCountRounding(t *testing.T) {
+	// m_opt < 1 rounds up (at least one hop); m_opt >= 1 rounds down.
+	for _, fc := range Fig7Cards() {
+		for rb := 0.1; rb <= 0.5; rb += 0.1 {
+			m := Mopt(fc.Card, fc.D, rb)
+			h := CharacteristicHopCount(fc.Card, fc.D, rb)
+			if m < 1 && h != int(math.Ceil(m)) {
+				t.Errorf("%s rb=%.1f: hops=%d for m=%.3f", fc.Card.Name, rb, h, m)
+			}
+			if m >= 1 && h != int(math.Floor(m)) {
+				t.Errorf("%s rb=%.1f: hops=%d for m=%.3f", fc.Card.Name, rb, h, m)
+			}
+		}
+	}
+}
+
+func TestRouteEnergyMinimizedNearMopt(t *testing.T) {
+	// Er (Eq. 14) should be minimized at m = characteristic hop count
+	// among integral hop counts (convexity of Eq. 14).
+	card := radio.HypotheticalCabletron
+	d, rb, tt := 250.0, 0.25, 100.0
+	want := CharacteristicHopCount(card, d, rb)
+	bestM, bestE := 0, math.Inf(1)
+	for m := 1; m <= 10; m++ {
+		if e := RouteEnergy(card, d, m, rb, tt); e < bestE {
+			bestM, bestE = m, e
+		}
+	}
+	if bestM != want {
+		t.Fatalf("numeric argmin = %d hops, analytic = %d", bestM, want)
+	}
+}
+
+func TestRouteEnergyDirectBeatsRelaysForRealCard(t *testing.T) {
+	// For a real Cabletron, one direct hop must beat any relay count.
+	card := radio.Cabletron
+	direct := RouteEnergy(card, 250, 1, 0.25, 100)
+	for m := 2; m <= 6; m++ {
+		if e := RouteEnergy(card, 250, m, 0.25, 100); e <= direct {
+			t.Fatalf("m=%d relays energy %.2f <= direct %.2f for a real card", m, e, direct)
+		}
+	}
+}
+
+func TestCharacteristicDistance(t *testing.T) {
+	// d* = D / m_opt and is independent of D.
+	for _, card := range []radio.Card{radio.Cabletron, radio.HypotheticalCabletron} {
+		rb := 0.25
+		dstar := CharacteristicDistance(card, rb)
+		for _, d := range []float64{100, 250, 1000} {
+			if got := d / Mopt(card, d, rb); math.Abs(got-dstar) > 1e-9*dstar {
+				t.Fatalf("%s: D/Mopt(D=%v) = %v, want %v", card.Name, d, got, dstar)
+			}
+		}
+	}
+	// For real Cabletron at rb=0.25 the characteristic distance exceeds
+	// the 250 m range: only direct transmission is feasible (Section 5.1).
+	if d := CharacteristicDistance(radio.Cabletron, 0.25); d <= radio.Cabletron.Range {
+		t.Fatalf("Cabletron d* = %v, want beyond its %v m range", d, radio.Cabletron.Range)
+	}
+	// The hypothetical card's characteristic distance is within range.
+	if d := CharacteristicDistance(radio.HypotheticalCabletron, 0.25); d > radio.HypotheticalCabletron.Range {
+		t.Fatalf("Hypothetical d* = %v, want within range", d)
+	}
+	if !math.IsInf(CharacteristicDistance(radio.Cabletron, 0), 1) {
+		t.Fatal("rb=0 should give infinite characteristic distance")
+	}
+}
+
+func TestRouteEnergyInvalidHopCount(t *testing.T) {
+	if !math.IsInf(RouteEnergy(radio.Cabletron, 100, 0, 0.25, 1), 1) {
+		t.Error("m=0 should be infinite")
+	}
+}
+
+func TestMoptCurveShape(t *testing.T) {
+	pts := MoptCurve(radio.Cabletron, 250, 0.1, 0.5, 0.05)
+	if len(pts) != 9 {
+		t.Fatalf("curve has %d points, want 9", len(pts))
+	}
+	if pts[0].RB != 0.1 || math.Abs(pts[len(pts)-1].RB-0.5) > 1e-9 {
+		t.Fatalf("curve range wrong: %v..%v", pts[0].RB, pts[len(pts)-1].RB)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Mopt+1e-12 < pts[i-1].Mopt {
+			t.Fatal("curve must be nondecreasing")
+		}
+	}
+}
+
+func TestFig7CardsComplete(t *testing.T) {
+	cards := Fig7Cards()
+	if len(cards) != 6 {
+		t.Fatalf("Fig. 7 plots 6 curves, got %d", len(cards))
+	}
+	seen := make(map[string]bool)
+	for _, fc := range cards {
+		seen[fc.Card.Name] = true
+		if fc.D <= 0 {
+			t.Errorf("%s: non-positive distance", fc.Card.Name)
+		}
+	}
+	for _, name := range []string{"Aironet 350", "Cabletron", "Hypothetical Cabletron", "Mica2"} {
+		if !seen[name] {
+			t.Errorf("missing card %q", name)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestExactSolveTinyLine(t *testing.T) {
+	// 0 -(1)- 1 -(1)- 2 with heavy node 1 vs direct 0 -(10)- 2.
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 10)
+	g.SetNodeWeight(1, 5)
+	demands := []Demand{{Src: 0, Dst: 2}}
+
+	// Cheap idling: relay route wins (2 + 5 < 10).
+	d, cost, err := g.ExactSolve(demands, EvalConfig{TIdle: 1, TData: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Routes[0]) != 3 || math.Abs(cost-7) > 1e-12 {
+		t.Fatalf("route=%v cost=%v, want relay route at 7", d.Routes[0], cost)
+	}
+
+	// Expensive idling: direct route wins (10 < 2 + 50).
+	d, cost, err = g.ExactSolve(demands, EvalConfig{TIdle: 10, TData: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Routes[0]) != 2 || math.Abs(cost-10) > 1e-12 {
+		t.Fatalf("route=%v cost=%v, want direct route at 10", d.Routes[0], cost)
+	}
+}
+
+func TestExactSolveSharesRelay(t *testing.T) {
+	// The SF gadget: the optimum is SF2 (share the center) once idling
+	// matters at all.
+	k := 3
+	g, demands := SFGadget(k, 2, 1)
+	cfg := EvalConfig{TIdle: 10, TData: 1}
+	_, cost, err := g.ExactSolve(demands, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ESF2(k, 10, 1, 2, 1)
+	if math.Abs(cost-want) > 1e-9 {
+		t.Fatalf("exact cost = %v, want SF2's %v", cost, want)
+	}
+}
+
+func TestExactSolveRejectsBigInstances(t *testing.T) {
+	g := NewGraph(30)
+	for i := 0; i+1 < 30; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	if _, _, err := g.ExactSolve([]Demand{{Src: 0, Dst: 29}}, EvalConfig{TIdle: 1, TData: 1}); err == nil {
+		t.Fatal("instances beyond the relay cap must be rejected")
+	}
+}
+
+func TestExactSolveDisconnected(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 1)
+	if _, _, err := g.ExactSolve([]Demand{{Src: 0, Dst: 2}}, EvalConfig{TIdle: 1, TData: 1}); err == nil {
+		t.Fatal("disconnected demand must error")
+	}
+}
+
+// TestHeuristicsNeverBeatExact is the key validation property: on random
+// small instances, every heuristic is feasible and its Enetwork is at least
+// the exact optimum.
+func TestHeuristicsNeverBeatExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	for trial := 0; trial < 40; trial++ {
+		n := 6 + rng.IntN(5) // 6..10 nodes
+		g := NewGraph(n)
+		for v := 0; v < n; v++ {
+			g.SetNodeWeight(v, 0.5+rng.Float64()*4)
+		}
+		// Random connected-ish graph: a ring plus chords.
+		for v := 0; v < n; v++ {
+			g.AddEdge(v, (v+1)%n, 0.5+rng.Float64()*3)
+		}
+		for c := 0; c < n/2; c++ {
+			u, v := rng.IntN(n), rng.IntN(n)
+			if u != v {
+				g.AddEdge(u, v, 0.5+rng.Float64()*3)
+			}
+		}
+		demands := []Demand{
+			{Src: 0, Dst: n / 2, Rate: 1 + rng.Float64()*3},
+			{Src: 1, Dst: n - 1, Rate: 1 + rng.Float64()*3},
+		}
+		cfg := EvalConfig{TIdle: rng.Float64() * 20, TData: 0.2 + rng.Float64()}
+
+		_, optimal, err := g.ExactSolve(demands, cfg)
+		if err != nil {
+			t.Fatalf("trial %d: exact: %v", trial, err)
+		}
+		for _, a := range []Approach{CommFirst, Joint, IdleFirst} {
+			d, err := g.Solve(demands, a)
+			if err != nil {
+				t.Fatalf("trial %d: %v: %v", trial, a, err)
+			}
+			if !d.Feasible(demands) {
+				t.Fatalf("trial %d: %v produced infeasible design", trial, a)
+			}
+			got := g.Enetwork(demands, d, cfg)
+			if got < optimal-1e-9 {
+				t.Fatalf("trial %d: %v beat the exact optimum: %v < %v", trial, a, got, optimal)
+			}
+		}
+	}
+}
+
+// TestExactMatchesJointOnEasyCases: when idle cost is zero, the optimum is
+// just per-demand shortest paths, which CommFirst also finds.
+func TestExactMatchesCommFirstWithoutIdleCost(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	for trial := 0; trial < 20; trial++ {
+		n := 7
+		g := NewGraph(n)
+		for v := 0; v < n; v++ {
+			g.AddEdge(v, (v+1)%n, 0.5+rng.Float64()*3)
+		}
+		g.AddEdge(0, 3, 0.5+rng.Float64()*3)
+		g.AddEdge(2, 5, 0.5+rng.Float64()*3)
+		demands := []Demand{{Src: 0, Dst: 4}}
+		cfg := EvalConfig{TIdle: 0, TData: 1}
+
+		_, optimal, err := g.ExactSolve(demands, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := g.Solve(demands, CommFirst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := g.Enetwork(demands, d, cfg)
+		if math.Abs(got-optimal) > 1e-9 {
+			t.Fatalf("trial %d: comm-first %v != optimal %v with zero idle cost", trial, got, optimal)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+// This file reproduces the worked examples of Section 3 (Figs. 1-6): the
+// Steiner-tree and Steiner-forest gadgets showing that minimum-weight
+// configurations with identical node cost can differ arbitrarily in
+// Enetwork. Edge weights model one packet's communication energy
+// (alpha+1)*z (transmit alpha*z plus receive z); node weights model idle
+// power z.
+
+// STGadget builds the single-sink network of Fig. 1.
+//
+// Node ids: 0 is the sink, 1..k are the sources, k+1 is relay i (reached
+// through the source chain), k+2 is relay j (adjacent to every source).
+// Every edge has weight (alpha+1)*z and every node weight z.
+func STGadget(k int, alpha, z float64) (*Graph, []Demand) {
+	if k < 1 {
+		panic("core: STGadget requires k >= 1")
+	}
+	const sink = 0
+	i, j := k+1, k+2
+	g := NewGraph(k + 3)
+	w := (alpha + 1) * z
+	for v := 0; v < g.Len(); v++ {
+		g.SetNodeWeight(v, z)
+	}
+	// Chain between consecutive sources: k -- k-1 -- ... -- 1.
+	for s := 2; s <= k; s++ {
+		g.AddEdge(s, s-1, w)
+	}
+	// Source 1 -- relay i -- sink.
+	g.AddEdge(1, i, w)
+	g.AddEdge(i, sink, w)
+	// Every source -- relay j -- sink.
+	for s := 1; s <= k; s++ {
+		g.AddEdge(s, j, w)
+	}
+	g.AddEdge(j, sink, w)
+
+	demands := make([]Demand, k)
+	for s := 1; s <= k; s++ {
+		demands[s-1] = Demand{Src: s, Dst: sink}
+	}
+	return g, demands
+}
+
+// ST1Design routes every source down the chain and through relay i
+// (Fig. 2): source l -> l-1 -> ... -> 1 -> i -> sink.
+func ST1Design(k int) *Design {
+	const sink = 0
+	i := k + 1
+	d := &Design{Routes: make([][]int, k)}
+	for s := 1; s <= k; s++ {
+		route := make([]int, 0, s+2)
+		for v := s; v >= 1; v-- {
+			route = append(route, v)
+		}
+		route = append(route, i, sink)
+		d.Routes[s-1] = route
+	}
+	return d
+}
+
+// ST2Design routes every source through relay j (Fig. 3).
+func ST2Design(k int) *Design {
+	const sink = 0
+	j := k + 2
+	d := &Design{Routes: make([][]int, k)}
+	for s := 1; s <= k; s++ {
+		d.Routes[s-1] = []int{s, j, sink}
+	}
+	return d
+}
+
+// EST1 is the closed-form Enetwork of ST1 (Eq. 6):
+// tidle*z + k*(k+3)/2 * tdata*(alpha+1)*z.
+func EST1(k int, tidle, tdata, alpha, z float64) float64 {
+	return tidle*z + float64(k)*float64(k+3)/2*tdata*(alpha+1)*z
+}
+
+// EST2 is the closed-form Enetwork of ST2 (Eq. 7):
+// tidle*z + 2k * tdata*(alpha+1)*z.
+func EST2(k int, tidle, tdata, alpha, z float64) float64 {
+	return tidle*z + 2*float64(k)*tdata*(alpha+1)*z
+}
+
+// SFGadget builds the multi-commodity network of Fig. 4: k (Si, Di) pairs, a
+// center node S0 adjacent to all endpoints, and one dedicated relay Ri per
+// pair.
+//
+// Node ids: 0 is S0; pair p (0-based) has Sp = 1+2p, Dp = 2+2p and relay
+// Rp = 1+2k+p. Every edge has weight (alpha+1)*z, every node weight z.
+func SFGadget(k int, alpha, z float64) (*Graph, []Demand) {
+	if k < 1 {
+		panic("core: SFGadget requires k >= 1")
+	}
+	const center = 0
+	g := NewGraph(1 + 3*k)
+	w := (alpha + 1) * z
+	for v := 0; v < g.Len(); v++ {
+		g.SetNodeWeight(v, z)
+	}
+	demands := make([]Demand, k)
+	for p := 0; p < k; p++ {
+		s, d, r := 1+2*p, 2+2*p, 1+2*k+p
+		g.AddEdge(s, r, w)
+		g.AddEdge(r, d, w)
+		g.AddEdge(s, center, w)
+		g.AddEdge(center, d, w)
+		demands[p] = Demand{Src: s, Dst: d}
+	}
+	return g, demands
+}
+
+// SF1Design routes each pair through its dedicated relay (Fig. 5): k relays.
+func SF1Design(k int) *Design {
+	d := &Design{Routes: make([][]int, k)}
+	for p := 0; p < k; p++ {
+		d.Routes[p] = []int{1 + 2*p, 1 + 2*k + p, 2 + 2*p}
+	}
+	return d
+}
+
+// SF2Design routes every pair through the shared center S0 (Fig. 6): one
+// relay.
+func SF2Design(k int) *Design {
+	d := &Design{Routes: make([][]int, k)}
+	for p := 0; p < k; p++ {
+		d.Routes[p] = []int{1 + 2*p, 0, 2 + 2*p}
+	}
+	return d
+}
+
+// ESF1 is the closed-form Enetwork of SF1 (Eq. 8):
+// k*tidle*z + 2k*tdata*(alpha+1)*z.
+func ESF1(k int, tidle, tdata, alpha, z float64) float64 {
+	return float64(k)*tidle*z + 2*float64(k)*tdata*(alpha+1)*z
+}
+
+// ESF2 is the closed-form Enetwork of SF2 (Eq. 9):
+// tidle*z + 2k*tdata*(alpha+1)*z.
+func ESF2(k int, tidle, tdata, alpha, z float64) float64 {
+	return tidle*z + 2*float64(k)*tdata*(alpha+1)*z
+}
+
+// SFIdleRatio is the constant ratio 3k/(2k+1) the paper derives when source
+// and destination idling is charged as well (Section 3).
+func SFIdleRatio(k int) float64 {
+	return 3 * float64(k) / (2*float64(k) + 1)
+}

@@ -1,0 +1,266 @@
+// Package core implements the paper's primary formal contribution: the
+// energy-efficient network design problem (Section 3). It provides the
+// node- and edge-weighted graph model, the Enetwork objective (Eq. 5),
+// shortest-path and Steiner-style construction algorithms (including the
+// MPC algorithm of [24] the paper critiques), the worked Steiner gadgets of
+// Figs. 1-6 with their closed-form energies (Eqs. 6-9), the three heuristic
+// approaches as static graph algorithms, and the analytical characteristic
+// hop count study of Section 5.1 (Eq. 15, Fig. 7).
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Graph is an undirected graph with node weights c(v) (idle power of keeping
+// v awake) and edge weights w(e) (energy per unit of data across e).
+type Graph struct {
+	n          int
+	nodeWeight []float64
+	adj        [][]halfEdge
+}
+
+type halfEdge struct {
+	to int
+	w  float64
+}
+
+// NewGraph creates a graph with n nodes, zero node weights and no edges.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{
+		n:          n,
+		nodeWeight: make([]float64, n),
+		adj:        make([][]halfEdge, n),
+	}
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return g.n }
+
+// SetNodeWeight sets c(v).
+func (g *Graph) SetNodeWeight(v int, c float64) {
+	g.check(v)
+	g.nodeWeight[v] = c
+}
+
+// NodeWeight returns c(v).
+func (g *Graph) NodeWeight(v int) float64 {
+	g.check(v)
+	return g.nodeWeight[v]
+}
+
+// AddEdge adds the undirected edge {u,v} with weight w. Parallel edges are
+// permitted but pointless; self-loops are rejected.
+func (g *Graph) AddEdge(u, v int, w float64) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		panic(fmt.Sprintf("core: self-loop on node %d", u))
+	}
+	g.adj[u] = append(g.adj[u], halfEdge{to: v, w: w})
+	g.adj[v] = append(g.adj[v], halfEdge{to: u, w: w})
+}
+
+// EdgeWeight returns the weight of edge {u,v} and whether it exists (the
+// minimum if parallel edges were added).
+func (g *Graph) EdgeWeight(u, v int) (float64, bool) {
+	g.check(u)
+	g.check(v)
+	best, ok := math.Inf(1), false
+	for _, e := range g.adj[u] {
+		if e.to == v && e.w < best {
+			best, ok = e.w, true
+		}
+	}
+	return best, ok
+}
+
+// Neighbors returns the adjacency of v as (neighbor, weight) pairs.
+func (g *Graph) Neighbors(v int) []struct {
+	To int
+	W  float64
+} {
+	g.check(v)
+	out := make([]struct {
+		To int
+		W  float64
+	}, len(g.adj[v]))
+	for i, e := range g.adj[v] {
+		out[i].To, out[i].W = e.to, e.w
+	}
+	return out
+}
+
+func (g *Graph) check(v int) {
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("core: node %d out of range [0,%d)", v, g.n))
+	}
+}
+
+// Demand is one traffic demand (si, di, ri) of the design problem.
+type Demand struct {
+	Src, Dst int
+	Rate     float64
+}
+
+// EdgeCostFunc maps an edge (u,v,w) to a routing cost.
+type EdgeCostFunc func(u, v int, w float64) float64
+
+// NodeCostFunc maps entering node v to an additional routing cost.
+type NodeCostFunc func(v int) float64
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// Dijkstra computes least-cost distances and parents from src. edgeCost
+// defaults to the edge weight; nodeCost (charged on entering a node other
+// than src) defaults to zero. Costs must be non-negative.
+func (g *Graph) Dijkstra(src int, edgeCost EdgeCostFunc, nodeCost NodeCostFunc) (dist []float64, parent []int) {
+	g.check(src)
+	if edgeCost == nil {
+		edgeCost = func(_, _ int, w float64) float64 { return w }
+	}
+	if nodeCost == nil {
+		nodeCost = func(int) float64 { return 0 }
+	}
+	dist = make([]float64, g.n)
+	parent = make([]int, g.n)
+	done := make([]bool, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = -1
+	}
+	dist[src] = 0
+	q := &pq{{node: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, e := range g.adj[u] {
+			c := edgeCost(u, e.to, e.w) + nodeCost(e.to)
+			if c < 0 {
+				panic("core: negative cost in Dijkstra")
+			}
+			if nd := dist[u] + c; nd < dist[e.to] {
+				dist[e.to] = nd
+				parent[e.to] = u
+				heap.Push(q, pqItem{node: e.to, dist: nd})
+			}
+		}
+	}
+	return dist, parent
+}
+
+// ShortestPath returns the least-cost path src..dst and its cost, or nil if
+// unreachable.
+func (g *Graph) ShortestPath(src, dst int, edgeCost EdgeCostFunc, nodeCost NodeCostFunc) ([]int, float64) {
+	dist, parent := g.Dijkstra(src, edgeCost, nodeCost)
+	g.check(dst)
+	if math.IsInf(dist[dst], 1) {
+		return nil, math.Inf(1)
+	}
+	var path []int
+	for v := dst; v != -1; v = parent[v] {
+		path = append(path, v)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, dist[dst]
+}
+
+// Design is a solution to the design problem: one route per demand.
+type Design struct {
+	Routes [][]int // Routes[i] serves Demand i (nil: unserved)
+}
+
+// Active returns the set of nodes appearing on any route.
+func (d *Design) Active() map[int]bool {
+	act := make(map[int]bool)
+	for _, r := range d.Routes {
+		for _, v := range r {
+			act[v] = true
+		}
+	}
+	return act
+}
+
+// Feasible reports whether every demand has a route connecting its
+// endpoints.
+func (d *Design) Feasible(demands []Demand) bool {
+	if len(d.Routes) != len(demands) {
+		return false
+	}
+	for i, r := range d.Routes {
+		if len(r) < 1 || r[0] != demands[i].Src || r[len(r)-1] != demands[i].Dst {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalConfig parameterizes the Enetwork evaluation of Eq. 5.
+type EvalConfig struct {
+	TIdle float64 // idle duration charged to each active relay
+	TData float64 // link activity time per packet
+	// PacketsPerDemand is the packet count each demand sends (the gadget
+	// analyses use 1).
+	PacketsPerDemand float64
+}
+
+// Enetwork evaluates Eq. 5 for a design: sum of idling cost tidle*c(u) over
+// active nodes (sources and destinations are free, as in Section 3) plus
+// tdata*w(e) per packet crossing each edge.
+func (g *Graph) Enetwork(demands []Demand, d *Design, cfg EvalConfig) float64 {
+	if cfg.PacketsPerDemand == 0 {
+		cfg.PacketsPerDemand = 1
+	}
+	endpoints := make(map[int]bool, 2*len(demands))
+	for _, dm := range demands {
+		endpoints[dm.Src] = true
+		endpoints[dm.Dst] = true
+	}
+	var total float64
+	for v := range d.Active() {
+		if endpoints[v] {
+			continue // c(si) = c(di) = 0
+		}
+		total += cfg.TIdle * g.nodeWeight[v]
+	}
+	for i, r := range d.Routes {
+		if r == nil {
+			continue
+		}
+		pkts := cfg.PacketsPerDemand
+		if demands[i].Rate > 0 {
+			pkts *= demands[i].Rate
+		}
+		for j := 0; j+1 < len(r); j++ {
+			w, ok := g.EdgeWeight(r[j], r[j+1])
+			if !ok {
+				panic(fmt.Sprintf("core: route %d uses missing edge (%d,%d)", i, r[j], r[j+1]))
+			}
+			total += pkts * cfg.TData * w
+		}
+	}
+	return total
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tree is a connection subtree produced by the Steiner-style algorithms.
+type Tree struct {
+	Root   int
+	Parent []int // -1 for the root and for nodes outside the tree
+	InTree []bool
+	Cost   float64
+}
+
+// PathTo returns the tree path from v to the root, or nil if v is outside.
+func (t *Tree) PathTo(v int) []int {
+	if v < 0 || v >= len(t.InTree) || !t.InTree[v] {
+		return nil
+	}
+	var path []int
+	for u := v; u != -1; u = t.Parent[u] {
+		path = append(path, u)
+	}
+	return path
+}
+
+// Nodes returns all tree members.
+func (t *Tree) Nodes() []int {
+	var out []int
+	for v, in := range t.InTree {
+		if in {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SteinerTree connects all terminals to root with the Takahashi-Matsuyama
+// path heuristic (a 2-approximation for edge-weighted Steiner trees): grow
+// the tree by repeatedly attaching the terminal with the cheapest shortest
+// path to the current tree. edgeCost/nodeCost generalize the metric;
+// nodeCost is charged for nodes newly added to the tree, which yields the
+// node-weighted variants the paper discusses.
+func (g *Graph) SteinerTree(root int, terminals []int, edgeCost EdgeCostFunc, nodeCost NodeCostFunc) (*Tree, error) {
+	g.check(root)
+	t := &Tree{
+		Root:   root,
+		Parent: make([]int, g.n),
+		InTree: make([]bool, g.n),
+	}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+	}
+	t.InTree[root] = true
+
+	remaining := make(map[int]bool, len(terminals))
+	for _, v := range terminals {
+		g.check(v)
+		if v != root {
+			remaining[v] = true
+		}
+	}
+
+	// Tree-aware costs: moving inside the tree is free, so a Dijkstra from
+	// the root yields shortest paths from the whole tree.
+	treeEdge := func(u, v int, w float64) float64 {
+		if t.InTree[u] && t.InTree[v] {
+			return 0
+		}
+		if edgeCost != nil {
+			return edgeCost(u, v, w)
+		}
+		return w
+	}
+	treeNode := func(v int) float64 {
+		if t.InTree[v] || nodeCost == nil {
+			return 0
+		}
+		return nodeCost(v)
+	}
+
+	for len(remaining) > 0 {
+		dist, parent := g.Dijkstra(root, treeEdge, treeNode)
+		best, bestDist := -1, math.Inf(1)
+		for v := range remaining {
+			if dist[v] < bestDist {
+				best, bestDist = v, dist[v]
+			}
+		}
+		if best == -1 || math.IsInf(bestDist, 1) {
+			return nil, fmt.Errorf("core: terminal unreachable from root %d", root)
+		}
+		t.Cost += bestDist
+		// Attach the path, stopping where it meets the tree.
+		for v := best; v != -1 && !t.InTree[v]; v = parent[v] {
+			t.InTree[v] = true
+			t.Parent[v] = parent[v]
+		}
+		delete(remaining, best)
+	}
+	return t, nil
+}
+
+// MPC implements the Minimum Power Configuration algorithm of [24] for the
+// single-sink case: route every source to the sink over a Steiner tree
+// built with the combined metric w(e)*rate + c(v), folding node weights into
+// edge weights under the paper's assumption w(e)*sum(ri) <= alpha*c(u).
+// The paper's Section 3 shows why the resulting configuration can deviate
+// badly in Enetwork terms; the gadgets in gadgets.go reproduce that.
+func (g *Graph) MPC(sink int, sources []int, totalRate float64) (*Tree, error) {
+	if totalRate <= 0 {
+		totalRate = 1
+	}
+	return g.SteinerTree(sink, sources,
+		func(_, _ int, w float64) float64 { return w * totalRate },
+		func(v int) float64 { return g.nodeWeight[v] },
+	)
+}
+
+// SteinerForest serves multi-commodity demands: each demand is routed with
+// a cost that treats nodes already activated by earlier routes as free,
+// greedily encouraging relay sharing (the behaviour that separates SF1 from
+// SF2 in Figs. 5-6).
+func (g *Graph) SteinerForest(demands []Demand, edgeCost EdgeCostFunc) (*Design, error) {
+	active := make([]bool, g.n)
+	bias := g.degreeBias()
+	d := &Design{Routes: make([][]int, len(demands))}
+	for i, dm := range demands {
+		g.check(dm.Src)
+		g.check(dm.Dst)
+		nodeCost := func(v int) float64 {
+			if active[v] || v == dm.Src || v == dm.Dst {
+				return 0
+			}
+			return g.nodeWeight[v] * bias(v)
+		}
+		path, cost := g.ShortestPath(dm.Src, dm.Dst, edgeCost, nodeCost)
+		if path == nil {
+			return nil, fmt.Errorf("core: demand %d (%d->%d) unroutable", i, dm.Src, dm.Dst)
+		}
+		if math.IsInf(cost, 1) {
+			return nil, fmt.Errorf("core: demand %d has infinite cost", i)
+		}
+		for _, v := range path {
+			active[v] = true
+		}
+		d.Routes[i] = path
+	}
+	return d, nil
+}

@@ -1,0 +1,221 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 5). Each experiment has a Runner method returning a
+// Figure: the same series the paper plots, as mean ± 95% CI over seeded
+// runs. Experiments run at two scales: Quick (CI-sized: smaller fields,
+// fewer seeds, shorter horizons) and Full (the paper's parameters).
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"eend/internal/metrics"
+	"eend/internal/network"
+	"eend/internal/power"
+	"eend/internal/traffic"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+// Scales.
+const (
+	// Quick shrinks node counts, durations and seed counts so the whole
+	// suite runs in seconds (used by go test and the benchmarks).
+	Quick Scale = iota + 1
+	// Full uses the paper's parameters (Section 5.2).
+	Full
+)
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// ParseScale converts a CLI string to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "quick", "":
+		return Quick, nil
+	case "full", "paper":
+		return Full, nil
+	default:
+		return 0, fmt.Errorf("experiments: unknown scale %q (want quick|full)", s)
+	}
+}
+
+// Figure is a reproduced table or figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	Series []*metrics.Series
+	Text   string   // preformatted content for non-series tables (Table 1)
+	Notes  []string // caveats and paper-vs-measured remarks
+}
+
+// Render formats the figure as an aligned text table.
+func (f *Figure) Render() string {
+	out := fmt.Sprintf("== %s: %s ==\n", f.ID, f.Title)
+	if f.Text != "" {
+		out += f.Text
+	} else {
+		out += metrics.Table(f.XLabel, f.Series)
+	}
+	for _, n := range f.Notes {
+		out += "note: " + n + "\n"
+	}
+	return out
+}
+
+// CSV renders the figure's series as CSV (empty for text-only tables).
+func (f *Figure) CSV() string {
+	if len(f.Series) == 0 {
+		return ""
+	}
+	return metrics.CSV(f.XLabel, f.Series)
+}
+
+// Runner executes experiments at a given scale.
+type Runner struct {
+	Scale Scale
+	// Workers bounds the number of scenarios simulated concurrently;
+	// 0 means GOMAXPROCS. Each run owns its simulator, so results are
+	// independent of the worker count.
+	Workers int
+	// Progress, if non-nil, receives human-readable status lines. It may be
+	// called from multiple goroutines.
+	Progress func(format string, args ...any)
+}
+
+func (r Runner) logf(format string, args ...any) {
+	if r.Progress != nil {
+		r.Progress(format, args...)
+	}
+}
+
+// IDs lists every reproducible experiment in paper order.
+func IDs() []string {
+	return []string{
+		"table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"table2", "fig13", "fig14", "fig15", "fig16",
+	}
+}
+
+// All regenerates every paper experiment, sharing sweeps between figure
+// pairs that plot the same runs (8/9 and 11/12), in paper order.
+func (r Runner) All() []*Figure {
+	fig8, fig9 := r.SmallNetworks()
+	fig11, fig12 := r.LargeNetworks()
+	return []*Figure{
+		r.Table1(), r.Fig7(), fig8, fig9, r.Fig10(), fig11, fig12,
+		r.Table2(), r.GridFigure(13), r.GridFigure(14), r.GridFigure(15), r.GridFigure(16),
+	}
+}
+
+// Run dispatches an experiment by ID.
+func (r Runner) Run(id string) (*Figure, error) {
+	switch id {
+	case "table1":
+		return r.Table1(), nil
+	case "fig7":
+		return r.Fig7(), nil
+	case "fig8":
+		f, _ := r.SmallNetworks()
+		return f, nil
+	case "fig9":
+		_, f := r.SmallNetworks()
+		return f, nil
+	case "fig10":
+		return r.Fig10(), nil
+	case "fig11":
+		f, _ := r.LargeNetworks()
+		return f, nil
+	case "fig12":
+		_, f := r.LargeNetworks()
+		return f, nil
+	case "table2":
+		return r.Table2(), nil
+	case "fig13":
+		return r.GridFigure(13), nil
+	case "fig14":
+		return r.GridFigure(14), nil
+	case "fig15":
+		return r.GridFigure(15), nil
+	case "fig16":
+		return r.GridFigure(16), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown id %q (want one of %v)", id, IDs())
+	}
+}
+
+// line pairs a display label with a protocol stack.
+type line struct {
+	label string
+	stack network.Stack
+}
+
+// The paper's protocol stacks.
+func stackTITANPC() network.Stack {
+	return network.Stack{Label: "TITAN-PC", Routing: network.ProtoTITAN, PM: network.PMODPM, PowerControl: true}
+}
+
+func stackDSRODPMPC() network.Stack {
+	return network.Stack{Label: "DSR-ODPM-PC", Routing: network.ProtoDSR, PM: network.PMODPM, PowerControl: true}
+}
+
+func stackDSRODPM() network.Stack {
+	return network.Stack{Label: "DSR-ODPM", Routing: network.ProtoDSR, PM: network.PMODPM}
+}
+
+func stackDSRActive() network.Stack {
+	return network.Stack{Label: "DSR-Active", Routing: network.ProtoDSR, PM: network.PMAlwaysActive}
+}
+
+func stackDSRHNoRate() network.Stack {
+	return network.Stack{Label: "DSRH-ODPM(norate)", Routing: network.ProtoDSRHNoRate, PM: network.PMODPM}
+}
+
+func stackDSRHRate() network.Stack {
+	return network.Stack{Label: "DSRH-ODPM(rate)", Routing: network.ProtoDSRHRate, PM: network.PMODPM}
+}
+
+func stackDSDVHPSM() network.Stack {
+	return network.Stack{Label: "DSDVH-ODPM(5,10)-PSM", Routing: network.ProtoDSDVH, PM: network.PMODPM}
+}
+
+func stackDSDVHSpan() network.Stack {
+	return network.Stack{
+		Label:   "DSDVH-ODPM(0.6,1.2)-Span",
+		Routing: network.ProtoDSDVH,
+		PM:      network.PMODPM,
+		ODPM: power.ODPMConfig{
+			DataTimeout:  600 * time.Millisecond,
+			RouteTimeout: 1200 * time.Millisecond,
+		},
+		AdvertisedWindow: true,
+	}
+}
+
+// randomFlows draws n CBR flows with distinct random endpoints among nodes
+// [0, limit), starting in the paper's 20-25 s window.
+func randomFlows(n, limit int, rateKbps float64, seed uint64) []traffic.Flow {
+	rng := newEndpointRNG(seed)
+	flows := make([]traffic.Flow, n)
+	for i := range flows {
+		src := rng.IntN(limit)
+		dst := rng.IntN(limit)
+		for dst == src {
+			dst = rng.IntN(limit)
+		}
+		flows[i] = traffic.Flow{
+			ID: i + 1, Src: src, Dst: dst,
+			Rate: rateKbps * 1000, PacketBytes: 128,
+			StartMin: 20 * time.Second, StartMax: 25 * time.Second,
+		}
+	}
+	return flows
+}

@@ -1,0 +1,343 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"time"
+
+	"eend/internal/geom"
+	"eend/internal/metrics"
+	"eend/internal/network"
+	"eend/internal/radio"
+)
+
+// newEndpointRNG returns the RNG used to draw flow endpoints, decoupled
+// from the scenario seed so that endpoint choice is stable per run index.
+func newEndpointRNG(seed uint64) *rand.Rand {
+	return network.EndpointRNG(seed)
+}
+
+// kbit is the paper's packet-rate unit: 128 B packets are 1024 bits, so
+// "2 Kbit/s" means exactly 2 packets per second.
+const kbit = 1024.0
+
+// netParams sizes the random-field experiments.
+type netParams struct {
+	field geom.Field
+	nodes int
+	flows int
+	dur   time.Duration
+	seeds int
+	rates []float64 // Kbit/s
+}
+
+func smallParams(s Scale) netParams {
+	if s == Full {
+		return netParams{
+			field: geom.Field{Width: 500, Height: 500},
+			nodes: 50, flows: 10, dur: 900 * time.Second, seeds: 5,
+			rates: []float64{2, 3, 4, 5, 6},
+		}
+	}
+	return netParams{
+		field: geom.Field{Width: 420, Height: 420},
+		nodes: 25, flows: 4, dur: 90 * time.Second, seeds: 2,
+		rates: []float64{2, 6},
+	}
+}
+
+func largeParams(s Scale) netParams {
+	if s == Full {
+		return netParams{
+			field: geom.Field{Width: 1300, Height: 1300},
+			nodes: 200, flows: 20, dur: 600 * time.Second, seeds: 10,
+			rates: []float64{2, 3, 4, 5, 6},
+		}
+	}
+	return netParams{
+		field: geom.Field{Width: 800, Height: 800},
+		nodes: 60, flows: 8, dur: 90 * time.Second, seeds: 2,
+		rates: []float64{2, 4},
+	}
+}
+
+// fieldScenario builds one random-field run.
+func fieldScenario(p netParams, st network.Stack, rateKbps float64, seed uint64) network.Scenario {
+	return network.Scenario{
+		Seed:     seed,
+		Field:    p.field,
+		Nodes:    p.nodes,
+		Card:     radio.Cabletron,
+		Stack:    st,
+		Flows:    randomFlows(p.flows, p.nodes, rateKbps*kbit/1000, seed),
+		Duration: p.dur,
+	}
+}
+
+// runJob is one scenario execution within a sweep.
+type runJob struct {
+	label string
+	x     float64
+	sc    network.Scenario
+}
+
+// runAll executes the jobs on a bounded worker pool and returns results in
+// job order. Each scenario owns its simulator, so concurrency does not
+// affect the outcome.
+func (r Runner) runAll(name string, jobs []runJob) ([]network.Results, error) {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]network.Results, len(jobs))
+	errs := make([]error, len(jobs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				j := jobs[i]
+				res, err := network.Run(j.sc)
+				if err != nil {
+					errs[i] = fmt.Errorf("%s %s x=%g seed=%d: %w", name, j.label, j.x, j.sc.Seed, err)
+					continue
+				}
+				results[i] = res
+				r.logf("%s %-26s x=%g seed=%d: delivery=%.2f goodput=%.0f bit/J",
+					name, j.label, j.x, j.sc.Seed, res.DeliveryRatio, res.EnergyGoodput)
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// sweep runs stacks x rates x seeds and feeds each run's results to emit in
+// deterministic order.
+func (r Runner) sweep(name string, p netParams, lines []line, emit func(label string, rate float64, res network.Results)) error {
+	var jobs []runJob
+	for _, ln := range lines {
+		for _, rate := range p.rates {
+			for s := 0; s < p.seeds; s++ {
+				seed := uint64(s + 1)
+				jobs = append(jobs, runJob{
+					label: ln.label, x: rate,
+					sc: fieldScenario(p, ln.stack, rate, seed),
+				})
+			}
+		}
+	}
+	results, err := r.runAll(name, jobs)
+	if err != nil {
+		return err
+	}
+	for i, j := range jobs {
+		emit(j.label, j.x, results[i])
+	}
+	return nil
+}
+
+// smallLines are the eight stacks of Figs. 8-9.
+func smallLines() []line {
+	return []line{
+		{"TITAN-PC", stackTITANPC()},
+		{"DSR-ODPM-PC", stackDSRODPMPC()},
+		{"DSDVH-ODPM(5,10)-PSM", stackDSDVHPSM()},
+		{"DSDVH-ODPM(0.6,1.2)-Span", stackDSDVHSpan()},
+		{"DSRH-ODPM(norate)", stackDSRHNoRate()},
+		{"DSRH-ODPM(rate)", stackDSRHRate()},
+		{"DSR-ODPM", stackDSRODPM()},
+		{"DSR-Active", stackDSRActive()},
+	}
+}
+
+// largeLines are the seven stacks of Figs. 11-12.
+func largeLines() []line {
+	return []line{
+		{"TITAN-PC", stackTITANPC()},
+		{"DSR-ODPM-PC", stackDSRODPMPC()},
+		{"DSDVH-ODPM", stackDSDVHPSM()},
+		{"DSRH-ODPM(norate)", stackDSRHNoRate()},
+		{"DSRH-ODPM(rate)", stackDSRHRate()},
+		{"DSR-ODPM", stackDSRODPM()},
+		{"DSR-Active", stackDSRActive()},
+	}
+}
+
+// SmallNetworks reproduces Figs. 8 (delivery ratio) and 9 (energy goodput):
+// 50 nodes in 500x500 m2, 10 CBR flows, 2-6 Kbit/s, Cabletron cards.
+func (r Runner) SmallNetworks() (fig8, fig9 *Figure) {
+	p := smallParams(r.Scale)
+	lines := smallLines()
+	del := make(map[string]*metrics.Series, len(lines))
+	gp := make(map[string]*metrics.Series, len(lines))
+	var delS, gpS []*metrics.Series
+	for _, ln := range lines {
+		del[ln.label] = metrics.NewSeries(ln.label)
+		gp[ln.label] = metrics.NewSeries(ln.label)
+		delS = append(delS, del[ln.label])
+		gpS = append(gpS, gp[ln.label])
+	}
+	err := r.sweep("fig8/9", p, lines, func(label string, rate float64, res network.Results) {
+		del[label].Observe(rate, res.DeliveryRatio)
+		gp[label].Observe(rate, res.EnergyGoodput)
+	})
+	notes := []string{
+		fmt.Sprintf("scale=%s: %d nodes, %.0fx%.0f m2, %d flows, %v, %d seeds",
+			r.Scale, p.nodes, p.field.Width, p.field.Height, p.flows, p.dur, p.seeds),
+	}
+	if err != nil {
+		notes = append(notes, "ERROR: "+err.Error())
+	}
+	fig8 = &Figure{ID: "fig8", Title: "Delivery ratio, small networks (500x500 m2)",
+		XLabel: "rate (Kbit/s)", Series: delS, Notes: notes}
+	fig9 = &Figure{ID: "fig9", Title: "Energy goodput (bit/J), small networks (500x500 m2)",
+		XLabel: "rate (Kbit/s)", Series: gpS, Notes: notes}
+	return fig8, fig9
+}
+
+// LargeNetworks reproduces Figs. 11 (delivery ratio) and 12 (energy
+// goodput): 200 nodes in 1300x1300 m2, 20 CBR flows.
+func (r Runner) LargeNetworks() (fig11, fig12 *Figure) {
+	p := largeParams(r.Scale)
+	lines := largeLines()
+	del := make(map[string]*metrics.Series, len(lines))
+	gp := make(map[string]*metrics.Series, len(lines))
+	var delS, gpS []*metrics.Series
+	for _, ln := range lines {
+		del[ln.label] = metrics.NewSeries(ln.label)
+		gp[ln.label] = metrics.NewSeries(ln.label)
+		delS = append(delS, del[ln.label])
+		gpS = append(gpS, gp[ln.label])
+	}
+	err := r.sweep("fig11/12", p, lines, func(label string, rate float64, res network.Results) {
+		del[label].Observe(rate, res.DeliveryRatio)
+		gp[label].Observe(rate, res.EnergyGoodput)
+	})
+	notes := []string{
+		fmt.Sprintf("scale=%s: %d nodes, %.0fx%.0f m2, %d flows, %v, %d seeds",
+			r.Scale, p.nodes, p.field.Width, p.field.Height, p.flows, p.dur, p.seeds),
+	}
+	if err != nil {
+		notes = append(notes, "ERROR: "+err.Error())
+	}
+	fig11 = &Figure{ID: "fig11", Title: "Delivery ratio, large networks (1300x1300 m2)",
+		XLabel: "rate (Kbit/s)", Series: delS, Notes: notes}
+	fig12 = &Figure{ID: "fig12", Title: "Energy goodput (bit/J), large networks (1300x1300 m2)",
+		XLabel: "rate (Kbit/s)", Series: gpS, Notes: notes}
+	return fig11, fig12
+}
+
+// Fig10 reproduces the transmit-energy comparison: TITAN-PC vs DSR-ODPM in
+// both field sizes.
+func (r Runner) Fig10() *Figure {
+	lines := []line{
+		{"TITAN-PC", stackTITANPC()},
+		{"DSR-ODPM", stackDSRODPM()},
+	}
+	small := smallParams(r.Scale)
+	large := largeParams(r.Scale)
+	var out []*metrics.Series
+	notes := []string{
+		"transmit energy = radiated (amplifier) joules, the Pt component TPC reduces;",
+		"the paper's Fig. 10 magnitudes (<= 80 J over 900 s) match this accounting",
+	}
+	for _, cfg := range []struct {
+		suffix string
+		p      netParams
+	}{
+		{fmt.Sprintf("(%.0fx%.0f)", small.field.Width, small.field.Height), small},
+		{fmt.Sprintf("(%.0fx%.0f)", large.field.Width, large.field.Height), large},
+	} {
+		series := make(map[string]*metrics.Series, len(lines))
+		for _, ln := range lines {
+			s := metrics.NewSeries(ln.label + " " + cfg.suffix)
+			series[ln.label] = s
+			out = append(out, s)
+		}
+		if err := r.sweep("fig10", cfg.p, lines, func(label string, rate float64, res network.Results) {
+			series[label].Observe(rate, res.TxAmpEnergy)
+		}); err != nil {
+			notes = append(notes, "ERROR: "+err.Error())
+		}
+	}
+	return &Figure{ID: "fig10", Title: "Transmit energy (J), TITAN-PC vs DSR-ODPM",
+		XLabel: "rate (Kbit/s)", Series: out, Notes: notes}
+}
+
+// Table2 reproduces the density study: DSR-ODPM-PC vs TITAN-PC at 4 Kbit/s
+// with increasing node counts in the large field, flow endpoints unchanged.
+func (r Runner) Table2() *Figure {
+	p := largeParams(r.Scale)
+	densities := []int{300, 400}
+	flowLimit := 200
+	if r.Scale == Quick {
+		densities = []int{80, 110}
+		flowLimit = 60
+	}
+	lines := []line{
+		{"DSR-ODPM-PC", stackDSRODPMPC()},
+		{"TITAN-PC", stackTITANPC()},
+	}
+	var (
+		out  []*metrics.Series
+		jobs []runJob
+		dels = make(map[string]*metrics.Series, len(lines))
+		gps  = make(map[string]*metrics.Series, len(lines))
+	)
+	for _, ln := range lines {
+		dels[ln.label] = metrics.NewSeries(ln.label + " delivery")
+		gps[ln.label] = metrics.NewSeries(ln.label + " goodput(bit/J)")
+		out = append(out, dels[ln.label], gps[ln.label])
+		for _, n := range densities {
+			for s := 0; s < p.seeds; s++ {
+				seed := uint64(s + 1)
+				jobs = append(jobs, runJob{label: ln.label, x: float64(n), sc: network.Scenario{
+					Seed:  seed,
+					Field: p.field,
+					Nodes: n,
+					Card:  radio.Cabletron,
+					Stack: ln.stack,
+					// Endpoints among the first flowLimit nodes: uniform
+					// placement draws those positions identically at every
+					// density, matching the paper's "without changing the
+					// positions of source and destination nodes".
+					Flows:    randomFlows(p.flows, flowLimit, 4*kbit/1000, seed),
+					Duration: p.dur,
+				}})
+			}
+		}
+	}
+	results, err := r.runAll("table2", jobs)
+	if err != nil {
+		return &Figure{ID: "table2", Notes: []string{"ERROR: " + err.Error()}}
+	}
+	for i, j := range jobs {
+		dels[j.label].Observe(j.x, results[i].DeliveryRatio)
+		gps[j.label].Observe(j.x, results[i].EnergyGoodput)
+	}
+	return &Figure{
+		ID:     "table2",
+		Title:  "Performance with node density (4 Kbit/s per flow)",
+		XLabel: "# of nodes",
+		Series: out,
+		Notes: []string{fmt.Sprintf("scale=%s: field %.0fx%.0f, %d flows, %v, %d seeds",
+			r.Scale, p.field.Width, p.field.Height, p.flows, p.dur, p.seeds)},
+	}
+}

@@ -1,0 +1,65 @@
+// Package geom provides the 2-D geometry used to place wireless nodes:
+// points, Euclidean distances, and the two placement strategies the paper
+// uses (uniform random in a square field; a regular grid).
+package geom
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Point is a position in meters.
+type Point struct {
+	X, Y float64
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.1f,%.1f)", p.X, p.Y) }
+
+// Dist returns the Euclidean distance in meters between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Field is an axis-aligned square deployment area with the origin at (0,0).
+type Field struct {
+	Width, Height float64 // meters
+}
+
+// Contains reports whether p lies inside the field (inclusive).
+func (f Field) Contains(p Point) bool {
+	return p.X >= 0 && p.X <= f.Width && p.Y >= 0 && p.Y <= f.Height
+}
+
+// UniformPlacement returns n points placed uniformly at random in the field,
+// drawing from rng.
+func UniformPlacement(f Field, n int, rng *rand.Rand) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * f.Width, Y: rng.Float64() * f.Height}
+	}
+	return pts
+}
+
+// GridPlacement returns a rows×cols grid of points spread evenly across the
+// field, matching the paper's 7×7 grid in a 300×300 m² area: nodes sit at the
+// centers of equal cells, so neighbor spacing is Width/cols horizontally and
+// Height/rows vertically.
+func GridPlacement(f Field, rows, cols int) []Point {
+	if rows <= 0 || cols <= 0 {
+		return nil
+	}
+	pts := make([]Point, 0, rows*cols)
+	dx := f.Width / float64(cols)
+	dy := f.Height / float64(rows)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			pts = append(pts, Point{
+				X: (float64(c) + 0.5) * dx,
+				Y: (float64(r) + 0.5) * dy,
+			})
+		}
+	}
+	return pts
+}

@@ -1,0 +1,149 @@
+package geom
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1}, Point{1, 1}, 0},
+		{Point{-1, 0}, Point{1, 0}, 2},
+		{Point{0, 0}, Point{0, 7.5}, 7.5},
+	}
+	for _, c := range cases {
+		if got := c.p.Dist(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Dist(%v,%v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Point{ax, ay}, Point{bx, by}
+		d1, d2 := a.Dist(b), b.Dist(a)
+		if math.IsNaN(d1) || math.IsInf(d1, 0) {
+			return math.IsNaN(d2) || math.IsInf(d2, 0)
+		}
+		return d1 == d2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 1000; i++ {
+		a := Point{rng.Float64() * 100, rng.Float64() * 100}
+		b := Point{rng.Float64() * 100, rng.Float64() * 100}
+		c := Point{rng.Float64() * 100, rng.Float64() * 100}
+		if a.Dist(c) > a.Dist(b)+b.Dist(c)+1e-9 {
+			t.Fatalf("triangle inequality violated: %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestUniformPlacementInField(t *testing.T) {
+	f := Field{Width: 500, Height: 500}
+	rng := rand.New(rand.NewPCG(3, 4))
+	pts := UniformPlacement(f, 200, rng)
+	if len(pts) != 200 {
+		t.Fatalf("len = %d, want 200", len(pts))
+	}
+	for _, p := range pts {
+		if !f.Contains(p) {
+			t.Fatalf("point %v outside field", p)
+		}
+	}
+}
+
+func TestUniformPlacementDeterministic(t *testing.T) {
+	f := Field{Width: 100, Height: 100}
+	a := UniformPlacement(f, 50, rand.New(rand.NewPCG(9, 9)))
+	b := UniformPlacement(f, 50, rand.New(rand.NewPCG(9, 9)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("placement not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestUniformPlacementSpread(t *testing.T) {
+	// Sanity: with 400 points the four quadrants should each get some.
+	f := Field{Width: 100, Height: 100}
+	pts := UniformPlacement(f, 400, rand.New(rand.NewPCG(5, 6)))
+	var q [4]int
+	for _, p := range pts {
+		i := 0
+		if p.X > 50 {
+			i++
+		}
+		if p.Y > 50 {
+			i += 2
+		}
+		q[i]++
+	}
+	for i, n := range q {
+		if n < 50 {
+			t.Errorf("quadrant %d has only %d of 400 points", i, n)
+		}
+	}
+}
+
+func TestGridPlacement(t *testing.T) {
+	f := Field{Width: 300, Height: 300}
+	pts := GridPlacement(f, 7, 7)
+	if len(pts) != 49 {
+		t.Fatalf("len = %d, want 49", len(pts))
+	}
+	// Neighbor spacing should be ~42.86 m for the paper's 7x7/300m grid.
+	want := 300.0 / 7.0
+	if d := pts[0].Dist(pts[1]); math.Abs(d-want) > 1e-9 {
+		t.Errorf("horizontal spacing = %v, want %v", d, want)
+	}
+	if d := pts[0].Dist(pts[7]); math.Abs(d-want) > 1e-9 {
+		t.Errorf("vertical spacing = %v, want %v", d, want)
+	}
+	for _, p := range pts {
+		if !f.Contains(p) {
+			t.Fatalf("grid point %v outside field", p)
+		}
+	}
+}
+
+func TestGridPlacementDegenerate(t *testing.T) {
+	if GridPlacement(Field{100, 100}, 0, 5) != nil {
+		t.Error("rows=0 should give nil")
+	}
+	if GridPlacement(Field{100, 100}, 5, 0) != nil {
+		t.Error("cols=0 should give nil")
+	}
+	if got := GridPlacement(Field{100, 100}, 1, 1); len(got) != 1 || got[0] != (Point{50, 50}) {
+		t.Errorf("1x1 grid = %v, want center", got)
+	}
+}
+
+func TestFieldContains(t *testing.T) {
+	f := Field{Width: 10, Height: 20}
+	for _, c := range []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0, 0}, true},
+		{Point{10, 20}, true},
+		{Point{5, 5}, true},
+		{Point{-0.1, 5}, false},
+		{Point{5, 20.1}, false},
+	} {
+		if got := f.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package mac
+
+import (
+	"time"
+
+	"eend/internal/sim"
+)
+
+// Coordinator drives the synchronized PSM beacon schedule shared by all
+// nodes: at every beacon-interval boundary the ATIM window opens and all
+// power-saving nodes wake; when the window closes, unannounced power-saving
+// nodes go back to sleep. Beacon frames themselves are modelled as timing
+// only (documented simplification).
+type Coordinator struct {
+	sim    *sim.Simulator
+	bi     time.Duration
+	atim   time.Duration
+	macs   []*MAC
+	byID   map[int]*MAC
+	window bool
+	iv     uint64   // current beacon interval index, starts at 1
+	start  sim.Time // start time of the current interval
+}
+
+// NewCoordinator creates the beacon scheduler. Call Start before running the
+// simulation.
+func NewCoordinator(s *sim.Simulator, beaconInterval, atimWindow time.Duration) *Coordinator {
+	if beaconInterval <= 0 {
+		beaconInterval = DefaultBeaconInterval
+	}
+	if atimWindow <= 0 || atimWindow >= beaconInterval {
+		atimWindow = DefaultATIMWindow
+	}
+	return &Coordinator{
+		sim:  s,
+		bi:   beaconInterval,
+		atim: atimWindow,
+		byID: make(map[int]*MAC),
+	}
+}
+
+// register attaches a MAC (called from mac.New).
+func (c *Coordinator) register(m *MAC) {
+	c.macs = append(c.macs, m)
+	c.byID[m.id] = m
+}
+
+// mac returns the MAC of a node id, or nil.
+func (c *Coordinator) mac(id int) *MAC { return c.byID[id] }
+
+// Start schedules the repeating beacon. The first beacon fires immediately.
+func (c *Coordinator) Start() {
+	c.sim.Schedule(0, c.onBeacon)
+}
+
+func (c *Coordinator) onBeacon() {
+	c.iv++
+	c.start = c.sim.Now()
+	c.window = true
+	for _, m := range c.macs {
+		m.onBeacon()
+	}
+	c.sim.Schedule(c.atim, c.onWindowEnd)
+	c.sim.Schedule(c.bi, c.onBeacon)
+}
+
+func (c *Coordinator) onWindowEnd() {
+	c.window = false
+	for _, m := range c.macs {
+		m.onWindowEnd()
+	}
+}
+
+// inWindow reports whether the ATIM window is currently open.
+func (c *Coordinator) inWindow(sim.Time) bool { return c.window }
+
+// interval returns the current beacon interval index (1-based; 0 before the
+// first beacon).
+func (c *Coordinator) interval() uint64 { return c.iv }
+
+// nextBeacon returns the start time of the next beacon interval.
+func (c *Coordinator) nextBeacon() sim.Time {
+	if c.iv == 0 {
+		return 0
+	}
+	return c.start + c.bi
+}
+
+// BeaconInterval returns the beacon period.
+func (c *Coordinator) BeaconInterval() time.Duration { return c.bi }
+
+// ATIMWindow returns the announcement window length.
+func (c *Coordinator) ATIMWindow() time.Duration { return c.atim }
+
+// PowerModeOf returns the power-management mode of a node, used by routing
+// layers that track neighbor state (the paper's protocols learn this from
+// routing updates; reading it directly is a documented shortcut).
+func (c *Coordinator) PowerModeOf(id int) PowerMode {
+	m := c.byID[id]
+	if m == nil {
+		return AM
+	}
+	return m.mode
+}

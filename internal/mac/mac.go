@@ -1,0 +1,401 @@
+// Package mac implements a simplified IEEE 802.11 DCF MAC with power-save
+// mode (PSM), sufficient to reproduce the dynamics the paper's evaluation
+// depends on:
+//
+//   - CSMA/CA with binary-exponential backoff and a NAV set by overheard
+//     RTS/CTS, RTS/CTS/DATA/ACK unicast exchanges with a retry limit, and
+//     unacknowledged broadcasts;
+//   - IEEE PSM with synchronized beacon intervals (0.3 s) and ATIM windows
+//     (0.02 s): power-saving nodes sleep outside the ATIM window unless
+//     traffic was announced to them, in which case they stay awake for the
+//     whole beacon interval (the behaviour that makes broadcast-heavy
+//     protocols expensive), with an optional Span-style advertised-traffic
+//     window that lets nodes sleep again once announced broadcasts arrive;
+//   - transmission power control (TPC): the CTS reports the power the data
+//     frame actually needs, so senders learn per-neighbor minimum powers;
+//   - full energy accounting through radio.Radio, control frames at maximum
+//     power per the paper's Eq. 2.
+//
+// Simplifications (documented in DESIGN.md): beacons are timing events, not
+// frames; a sender learns a power-save neighbor's wake state from its own
+// successful ATIM handshake in the current interval; peer power-management
+// mode is read directly rather than gossiped.
+package mac
+
+import (
+	"fmt"
+	"time"
+
+	"eend/internal/geom"
+	"eend/internal/phy"
+	"eend/internal/radio"
+	"eend/internal/sim"
+)
+
+// PowerMode is the power-management policy state of a node.
+type PowerMode int
+
+// Power-management modes (paper Section 2.2).
+const (
+	AM  PowerMode = iota + 1 // active mode: radio idles between frames
+	PSM                      // power-save mode: radio sleeps outside ATIM windows
+)
+
+// String implements fmt.Stringer.
+func (m PowerMode) String() string {
+	switch m {
+	case AM:
+		return "AM"
+	case PSM:
+		return "PSM"
+	default:
+		return fmt.Sprintf("PowerMode(%d)", int(m))
+	}
+}
+
+// PacketKind classifies network-layer packets for energy accounting:
+// routing-control packets are billed as control energy and transmitted at
+// maximum power (paper Eq. 2).
+type PacketKind int
+
+// Packet kinds.
+const (
+	PacketData PacketKind = iota + 1
+	PacketControl
+)
+
+// Packet is a network-layer datagram handed to the MAC.
+type Packet struct {
+	Kind    PacketKind
+	Bytes   int // network-layer size in bytes
+	Payload any
+}
+
+// Config holds MAC parameters. Zero values select the defaults below.
+type Config struct {
+	Card radio.Card
+
+	SlotTime time.Duration // backoff slot
+	SIFS     time.Duration
+	DIFS     time.Duration
+	CWMin    int // initial contention window (slots)
+	CWMax    int
+	Retry    int // max transmission attempts for unicast frames
+
+	QueueCap int // outgoing queue capacity (packets)
+
+	BeaconInterval time.Duration // PSM beacon period
+	ATIMWindow     time.Duration // announcement window at each beacon
+	// AdvertisedWindow enables the Span-style improvement (Section 5.2.1):
+	// nodes may sleep once all broadcasts announced to them have arrived.
+	AdvertisedWindow bool
+}
+
+// Defaults (802.11 DSSS timing; PSM parameters from the paper).
+const (
+	DefaultSlotTime       = 20 * time.Microsecond
+	DefaultSIFS           = 10 * time.Microsecond
+	DefaultDIFS           = 50 * time.Microsecond
+	DefaultCWMin          = 31
+	DefaultCWMax          = 1023
+	DefaultRetry          = 7
+	DefaultQueueCap       = 64
+	DefaultBeaconInterval = 300 * time.Millisecond
+	DefaultATIMWindow     = 20 * time.Millisecond
+)
+
+func (c Config) withDefaults() Config {
+	if c.SlotTime <= 0 {
+		c.SlotTime = DefaultSlotTime
+	}
+	if c.SIFS <= 0 {
+		c.SIFS = DefaultSIFS
+	}
+	if c.DIFS <= 0 {
+		c.DIFS = DefaultDIFS
+	}
+	if c.CWMin <= 0 {
+		c.CWMin = DefaultCWMin
+	}
+	if c.CWMax <= 0 {
+		c.CWMax = DefaultCWMax
+	}
+	if c.Retry <= 0 {
+		c.Retry = DefaultRetry
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = DefaultQueueCap
+	}
+	if c.BeaconInterval <= 0 {
+		c.BeaconInterval = DefaultBeaconInterval
+	}
+	if c.ATIMWindow <= 0 {
+		c.ATIMWindow = DefaultATIMWindow
+	}
+	return c
+}
+
+// frame types on the air.
+type frameType int
+
+const (
+	frameRTS frameType = iota + 1
+	frameCTS
+	frameData
+	frameAck
+	frameATIM
+	frameATIMAck
+)
+
+func (t frameType) String() string {
+	switch t {
+	case frameRTS:
+		return "RTS"
+	case frameCTS:
+		return "CTS"
+	case frameData:
+		return "DATA"
+	case frameAck:
+		return "ACK"
+	case frameATIM:
+		return "ATIM"
+	case frameATIMAck:
+		return "ATIMACK"
+	default:
+		return fmt.Sprintf("frame(%d)", int(t))
+	}
+}
+
+// On-air frame sizes in bytes (802.11-like).
+const (
+	sizeRTS    = 20
+	sizeCTS    = 14
+	sizeAck    = 14
+	sizeATIM   = 28
+	sizeMACHdr = 28 // added to network-layer bytes for DATA frames
+)
+
+// frame is the MAC-level payload carried in a phy.Frame.
+type frame struct {
+	typ frameType
+	seq uint64 // per-sender sequence for duplicate filtering
+	pkt *Packet
+
+	// navUntil is the virtual time the exchange occupies the channel, set
+	// on RTS/CTS so bystanders defer (virtual carrier sense).
+	navUntil sim.Time
+
+	// ctsPower is the data transmit power the responder measured from the
+	// RTS (TPC feedback), set on CTS frames.
+	ctsPower float64
+}
+
+// Stats counts MAC-level activity.
+type Stats struct {
+	UnicastSent    uint64 // data frames successfully acknowledged
+	UnicastFailed  uint64 // jobs dropped after retry/announce exhaustion
+	BroadcastSent  uint64
+	QueueDrops     uint64 // packets rejected because the queue was full
+	Retries        uint64
+	ATIMSent       uint64
+	CollisionsSeen uint64 // corrupted receptions observed
+}
+
+// Delivery is the callback type for packets delivered to the network layer.
+type Delivery func(from int, pkt *Packet)
+
+// DoneFunc reports the fate of a queued unicast packet.
+type DoneFunc func(ok bool)
+
+// job is one queued network-layer packet.
+type job struct {
+	dst         int // phy.Broadcast for broadcasts
+	pkt         *Packet
+	power       float64 // data-frame power (TPC); control frames go at max
+	done        DoneFunc
+	attempts    int
+	cw          int
+	windowTries int    // ATIM windows missed (PSM destinations)
+	seq         uint64 // assigned on first transmission; retries reuse it so
+	// receivers can filter duplicates when an ACK is lost
+}
+
+// MAC is the per-node medium-access state machine.
+type MAC struct {
+	id    int
+	pos   geom.Point
+	sim   *sim.Simulator
+	med   *phy.Medium
+	radio *radio.Radio
+	cfg   Config
+	coord *Coordinator
+
+	deliver Delivery
+
+	mode      PowerMode
+	navUntil  sim.Time
+	queue     []*job
+	current   *job
+	pending   *sim.Timer // backoff / retry timer for current
+	respTimer *sim.Timer // scheduled CTS/ACK/ATIMACK response
+	await     frameType  // frame type current is waiting for (CTS/ACK/ATIMAck)
+	awaitTmr  *sim.Timer
+	seq       uint64
+	lastSeq   map[int]uint64 // duplicate filter per sender
+
+	// TPC table: minimum data power per neighbor learned from CTS.
+	tpc map[int]float64
+
+	// PSM state
+	awakeUntil     sim.Time       // hard hold: stay awake until this time
+	announcedTo    map[int]uint64 // dst -> beacon interval our ATIM succeeded in
+	announcedBy    map[int]bool   // srcs whose announced broadcast we await
+	bcastAnnounced uint64         // interval in which our broadcast ATIM went out
+	neighborIDs    []int          // lazily cached static neighbor list
+
+	stats Stats
+}
+
+var _ phy.Listener = (*MAC)(nil)
+
+// New creates a MAC bound to the medium and coordinator. The delivery
+// callback receives decoded data packets addressed to this node (or
+// broadcast).
+func New(s *sim.Simulator, med *phy.Medium, coord *Coordinator, id int, pos geom.Point, cfg Config, deliver Delivery) *MAC {
+	m := &MAC{
+		id:          id,
+		pos:         pos,
+		sim:         s,
+		med:         med,
+		radio:       radio.NewRadio(cfg.Card),
+		cfg:         cfg.withDefaults(),
+		coord:       coord,
+		deliver:     deliver,
+		mode:        AM,
+		lastSeq:     make(map[int]uint64),
+		tpc:         make(map[int]float64),
+		announcedTo: make(map[int]uint64),
+		announcedBy: make(map[int]bool),
+	}
+	med.Attach(m)
+	coord.register(m)
+	return m
+}
+
+// NodeID implements phy.Listener.
+func (m *MAC) NodeID() int { return m.id }
+
+// Pos implements phy.Listener.
+func (m *MAC) Pos() geom.Point { return m.pos }
+
+// CanReceive implements phy.Listener: awake and not transmitting.
+func (m *MAC) CanReceive() bool {
+	return !m.radio.Asleep() && !m.radio.Transmitting()
+}
+
+// Radio exposes the energy meter.
+func (m *MAC) Radio() *radio.Radio { return m.radio }
+
+// Stats returns a copy of the MAC counters.
+func (m *MAC) Stats() Stats { return m.stats }
+
+// PowerMode returns the node's power-management mode.
+func (m *MAC) PowerMode() PowerMode { return m.mode }
+
+// PeerPowerMode returns the power-management mode of another node. The
+// paper's protocols learn this from routing updates and the ATIM handshake;
+// reading it through the coordinator is a documented modelling shortcut.
+func (m *MAC) PeerPowerMode(id int) PowerMode { return m.coord.PowerModeOf(id) }
+
+// Card returns the radio card.
+func (m *MAC) Card() radio.Card { return m.cfg.Card }
+
+// MaxPower returns the card's maximum transmit power.
+func (m *MAC) MaxPower() float64 { return m.cfg.Card.MaxTxPower() }
+
+// TxPowerFor returns the learned minimum data power for dst, or max power if
+// unknown.
+func (m *MAC) TxPowerFor(dst int) float64 {
+	if p, ok := m.tpc[dst]; ok {
+		return p
+	}
+	return m.MaxPower()
+}
+
+// LinkTxPower returns the total transmit power needed to reach the given
+// neighbor, derived from geometry. Physically this is the measurement a node
+// makes from the RSS of any frame heard from that neighbor (frames are sent
+// at a known power), as in the paper's RTS-CTS based power control.
+func (m *MAC) LinkTxPower(neighbor int) float64 {
+	return m.cfg.Card.TxPower(m.med.Distance(m.id, neighbor))
+}
+
+// Neighbors returns node ids within maximum transmit range.
+func (m *MAC) Neighbors() []int {
+	return m.med.Neighbors(m.id, m.cfg.Card.Range)
+}
+
+// SetPowerMode switches between AM and PSM. Entering AM wakes the radio;
+// entering PSM lets the node sleep at the next opportunity.
+func (m *MAC) SetPowerMode(mode PowerMode) {
+	if mode != AM && mode != PSM {
+		panic(fmt.Sprintf("mac: invalid power mode %d", int(mode)))
+	}
+	if m.mode == mode {
+		return
+	}
+	m.mode = mode
+	if mode == AM {
+		m.wake()
+		m.kick()
+	} else {
+		m.maybeSleep()
+	}
+}
+
+// Awake reports whether the radio is currently awake.
+func (m *MAC) Awake() bool { return !m.radio.Asleep() }
+
+// wake brings the radio to idle mode.
+func (m *MAC) wake() {
+	m.radio.SetMode(m.sim.Now(), radio.ModeIdle)
+}
+
+// maybeSleep puts the radio to sleep if PSM policy allows it right now.
+func (m *MAC) maybeSleep() {
+	now := m.sim.Now()
+	if m.mode != PSM ||
+		m.coord.inWindow(now) ||
+		now < m.awakeUntil ||
+		len(m.announcedBy) > 0 ||
+		m.radio.Transmitting() ||
+		m.radio.Receiving() ||
+		m.current != nil ||
+		m.hasEligibleJob() {
+		return
+	}
+	m.radio.SetMode(now, radio.ModeSleep)
+}
+
+// anyPSMNeighbor reports whether any node in maximum transmit range is in
+// power-save mode; broadcasts must then be announced in the ATIM window.
+// The neighbor list is cached: topologies are static in this simulator.
+func (m *MAC) anyPSMNeighbor() bool {
+	if m.neighborIDs == nil {
+		m.neighborIDs = m.Neighbors()
+		if m.neighborIDs == nil {
+			m.neighborIDs = []int{}
+		}
+	}
+	for _, id := range m.neighborIDs {
+		if m.coord.PowerModeOf(id) == PSM {
+			return true
+		}
+	}
+	return false
+}
+
+// Energy returns the node's energy breakdown up to now.
+func (m *MAC) Energy() radio.Breakdown {
+	return m.radio.Snapshot(m.sim.Now())
+}

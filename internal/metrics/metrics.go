@@ -1,0 +1,191 @@
+// Package metrics provides the statistics the paper reports: per-point
+// means with 95% confidence intervals over independent simulation runs
+// (Student-t for the small run counts used, 5-10), and helpers to format
+// figure series as aligned text tables.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample accumulates observations of one measured quantity.
+type Sample struct {
+	xs []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the sample mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator).
+func (s *Sample) StdDev() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// tTable95 holds two-sided 95% Student-t critical values by degrees of
+// freedom (1-30); larger dof falls back to the normal 1.960.
+var tTable95 = []float64{
+	0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// tCrit95 returns the two-sided 95% critical value for dof degrees of
+// freedom.
+func tCrit95(dof int) float64 {
+	if dof <= 0 {
+		return 0
+	}
+	if dof < len(tTable95) {
+		return tTable95[dof]
+	}
+	return 1.960
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean.
+func (s *Sample) CI95() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	return tCrit95(n-1) * s.StdDev() / math.Sqrt(float64(n))
+}
+
+// String formats the sample as "mean ± ci".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.3f ± %.3f", s.Mean(), s.CI95())
+}
+
+// Series is one figure line: an ordered set of (x, Sample) points, e.g.
+// energy goodput vs traffic rate for one protocol stack.
+type Series struct {
+	Label  string
+	points map[float64]*Sample
+}
+
+// NewSeries creates an empty series.
+func NewSeries(label string) *Series {
+	return &Series{Label: label, points: make(map[float64]*Sample)}
+}
+
+// Observe appends an observation at x.
+func (s *Series) Observe(x, y float64) {
+	p, ok := s.points[x]
+	if !ok {
+		p = &Sample{}
+		s.points[x] = p
+	}
+	p.Add(y)
+}
+
+// Xs returns the sorted x coordinates.
+func (s *Series) Xs() []float64 {
+	xs := make([]float64, 0, len(s.points))
+	for x := range s.points {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// At returns the sample at x (nil if absent).
+func (s *Series) At(x float64) *Sample { return s.points[x] }
+
+// Table renders a set of series as an aligned text table with one row per x
+// value, mirroring how the paper's figures would be read off.
+func Table(xName string, series []*Series) string {
+	xset := make(map[float64]bool)
+	for _, s := range series {
+		for _, x := range s.Xs() {
+			xset[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xset))
+	for x := range xset {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", xName)
+	for _, s := range series {
+		fmt.Fprintf(&b, " %22s", s.Label)
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-14.4g", x)
+		for _, s := range series {
+			p := s.At(x)
+			if p == nil || p.N() == 0 {
+				fmt.Fprintf(&b, " %22s", "-")
+				continue
+			}
+			cell := fmt.Sprintf("%.3g ± %.2g", p.Mean(), p.CI95())
+			fmt.Fprintf(&b, " %22s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the series as comma-separated values (x, then mean and ci per
+// series) for external plotting.
+func CSV(xName string, series []*Series) string {
+	var b strings.Builder
+	b.WriteString(xName)
+	for _, s := range series {
+		fmt.Fprintf(&b, ",%s,%s_ci95", s.Label, s.Label)
+	}
+	b.WriteByte('\n')
+	xset := make(map[float64]bool)
+	for _, s := range series {
+		for _, x := range s.Xs() {
+			xset[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xset))
+	for x := range xset {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range series {
+			p := s.At(x)
+			if p == nil || p.N() == 0 {
+				b.WriteString(",,")
+				continue
+			}
+			fmt.Fprintf(&b, ",%g,%g", p.Mean(), p.CI95())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

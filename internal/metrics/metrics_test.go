@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleMeanStdDev(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if got := s.Mean(); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	want := math.Sqrt(32.0 / 7.0) // n-1 denominator
+	if got := s.StdDev(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("StdDev = %v, want %v", got, want)
+	}
+}
+
+func TestSampleEmptyAndSingle(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.StdDev() != 0 || s.CI95() != 0 {
+		t.Fatal("empty sample should be all zeros")
+	}
+	s.Add(3)
+	if s.Mean() != 3 || s.StdDev() != 0 || s.CI95() != 0 {
+		t.Fatal("single observation: mean 3, no spread")
+	}
+}
+
+func TestCI95KnownValue(t *testing.T) {
+	// n=5, sd=1: ci = t(4)*1/sqrt(5) = 2.776/sqrt(5).
+	var s Sample
+	for _, x := range []float64{-1.264911064067352, -0.632455532033676, 0, 0.632455532033676, 1.264911064067352} {
+		s.Add(x + 10) // variance 1 around mean 10
+	}
+	if math.Abs(s.StdDev()-1) > 1e-9 {
+		t.Fatalf("sd = %v, want 1", s.StdDev())
+	}
+	want := 2.776 / math.Sqrt(5)
+	if got := s.CI95(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CI95 = %v, want %v", got, want)
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	// Same spread, more observations -> smaller CI.
+	mk := func(n int) float64 {
+		var s Sample
+		for i := 0; i < n; i++ {
+			if i%2 == 0 {
+				s.Add(1)
+			} else {
+				s.Add(-1)
+			}
+		}
+		return s.CI95()
+	}
+	if !(mk(4) > mk(16) && mk(16) > mk(64)) {
+		t.Fatalf("CI should shrink with n: %v %v %v", mk(4), mk(16), mk(64))
+	}
+}
+
+func TestTCritFallsBackToNormal(t *testing.T) {
+	if got := tCrit95(1000); got != 1.960 {
+		t.Fatalf("tCrit95(1000) = %v", got)
+	}
+	if got := tCrit95(4); got != 2.776 {
+		t.Fatalf("tCrit95(4) = %v", got)
+	}
+	if got := tCrit95(0); got != 0 {
+		t.Fatalf("tCrit95(0) = %v", got)
+	}
+}
+
+func TestMeanBetweenMinMax(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		var s Sample
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // skip pathological inputs
+			}
+			s.Add(x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		m := s.Mean()
+		return m >= lo-1e-6*math.Abs(lo)-1e-9 && m <= hi+1e-6*math.Abs(hi)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesObserveAndXs(t *testing.T) {
+	s := NewSeries("TITAN-PC")
+	s.Observe(4, 100)
+	s.Observe(2, 50)
+	s.Observe(4, 110)
+	xs := s.Xs()
+	if len(xs) != 2 || xs[0] != 2 || xs[1] != 4 {
+		t.Fatalf("Xs = %v", xs)
+	}
+	if got := s.At(4).Mean(); got != 105 {
+		t.Fatalf("mean at 4 = %v", got)
+	}
+	if s.At(99) != nil {
+		t.Fatal("missing x should be nil")
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	a := NewSeries("A")
+	b := NewSeries("B")
+	a.Observe(1, 10)
+	a.Observe(2, 20)
+	b.Observe(2, 5)
+	out := Table("rate", []*Series{a, b})
+	if !strings.Contains(out, "rate") || !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Fatalf("missing headers:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + x=1 + x=2
+		t.Fatalf("want 3 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "-") {
+		t.Fatalf("B missing at x=1 should render '-':\n%s", out)
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	a := NewSeries("A")
+	a.Observe(1, 10)
+	a.Observe(1, 12)
+	out := CSV("rate", []*Series{a})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want header+1 row:\n%s", out)
+	}
+	if lines[0] != "rate,A,A_ci95" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1,11,") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestSampleString(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(3)
+	if got := s.String(); !strings.Contains(got, "2.000") || !strings.Contains(got, "±") {
+		t.Fatalf("String = %q", got)
+	}
+}

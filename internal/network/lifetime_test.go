@@ -1,0 +1,78 @@
+package network
+
+import (
+	"testing"
+	"time"
+
+	"eend/internal/radio"
+)
+
+func TestLifetimeDisabledByDefault(t *testing.T) {
+	sc := chainScenario(3, 150, radio.Cabletron, Stack{Routing: ProtoDSR, PM: PMAlwaysActive}, 30*time.Second)
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lifetime != nil {
+		t.Fatal("lifetime metrics should be nil without a battery budget")
+	}
+}
+
+func TestLifetimeFirstDepletion(t *testing.T) {
+	// Always-active Cabletron idles at 0.83 W: a 10 J budget depletes in
+	// ~12 s of idling.
+	sc := chainScenario(3, 150, radio.Cabletron, Stack{Routing: ProtoDSR, PM: PMAlwaysActive}, 60*time.Second)
+	sc.BatteryJ = 10
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt := res.Lifetime
+	if lt == nil {
+		t.Fatal("lifetime metrics missing")
+	}
+	if lt.Depleted != 3 {
+		t.Fatalf("Depleted = %d, want all 3 nodes over a 10 J budget", lt.Depleted)
+	}
+	if lt.FirstDepletion < 10*time.Second || lt.FirstDepletion > 15*time.Second {
+		t.Fatalf("FirstDepletion = %v, want ~12 s", lt.FirstDepletion)
+	}
+	if lt.FirstDepleted < 0 || lt.FirstDepleted > 2 {
+		t.Fatalf("FirstDepleted = %d", lt.FirstDepleted)
+	}
+}
+
+func TestLifetimeODPMOutlastsActive(t *testing.T) {
+	// The paper's premise extended to lifetime: power management stretches
+	// the first depletion far beyond always-active.
+	budget := 25.0
+	mk := func(pm PMKind) time.Duration {
+		sc := chainScenario(4, 150, radio.Cabletron, Stack{Routing: ProtoDSR, PM: pm}, 5*time.Minute)
+		sc.BatteryJ = budget
+		res, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Lifetime.FirstDepleted == -1 {
+			return sc.Duration // survived the whole run
+		}
+		return res.Lifetime.FirstDepletion
+	}
+	active := mk(PMAlwaysActive)
+	odpm := mk(PMODPM)
+	if odpm <= active {
+		t.Fatalf("ODPM first depletion %v should outlast always-active %v", odpm, active)
+	}
+}
+
+func TestLifetimeNoDepletionUnderBigBudget(t *testing.T) {
+	sc := chainScenario(3, 150, radio.Cabletron, Stack{Routing: ProtoDSR, PM: PMODPM}, 30*time.Second)
+	sc.BatteryJ = 1e9
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lifetime.Depleted != 0 || res.Lifetime.FirstDepleted != -1 {
+		t.Fatalf("unexpected depletion: %+v", res.Lifetime)
+	}
+}

@@ -1,0 +1,110 @@
+package network
+
+import (
+	"testing"
+	"time"
+
+	"eend/internal/geom"
+	"eend/internal/radio"
+	"eend/internal/traffic"
+)
+
+// TestOverloadInvariants drives the network far past capacity and checks
+// the accounting invariants: delivered <= sent, queue drops occur, and the
+// energy breakdown stays consistent.
+func TestOverloadInvariants(t *testing.T) {
+	sc := Scenario{
+		Seed:     11,
+		Field:    geom.Field{Width: 400, Height: 400},
+		Nodes:    20,
+		Card:     radio.Cabletron,
+		Stack:    Stack{Routing: ProtoDSR, PM: PMAlwaysActive},
+		Duration: 60 * time.Second,
+	}
+	rng := EndpointRNG(sc.Seed)
+	for i := 0; i < 10; i++ {
+		src, dst := rng.IntN(20), rng.IntN(20)
+		for dst == src {
+			dst = rng.IntN(20)
+		}
+		sc.Flows = append(sc.Flows, traffic.Flow{
+			ID: i + 1, Src: src, Dst: dst,
+			// 200 Kbit/s x 10 flows: far beyond the 2 Mbit/s channel once
+			// multihop forwarding and contention are accounted for.
+			Rate: 200 * 1024, PacketBytes: 128,
+			StartMin: 5 * time.Second, StartMax: 6 * time.Second,
+		})
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered > res.Sent {
+		t.Fatalf("delivered %d > sent %d", res.Delivered, res.Sent)
+	}
+	if res.DeliveryRatio > 1.0000001 {
+		t.Fatalf("delivery ratio %v > 1", res.DeliveryRatio)
+	}
+	if res.DeliveryRatio > 0.9 {
+		t.Fatalf("delivery ratio %.2f under 20x overload; expected heavy loss", res.DeliveryRatio)
+	}
+	if res.MAC.QueueDrops == 0 {
+		t.Fatal("overload must overflow interface queues")
+	}
+	if res.MAC.CollisionsSeen == 0 {
+		t.Fatal("overload must cause collisions")
+	}
+	e := res.Energy
+	for name, v := range map[string]float64{
+		"TxData": e.TxData, "TxControl": e.TxControl, "Rx": e.Rx,
+		"Idle": e.Idle, "Sleep": e.Sleep, "Switch": e.Switch, "TxAmp": e.TxAmp,
+	} {
+		if v < 0 {
+			t.Fatalf("negative energy bucket %s = %v", name, v)
+		}
+	}
+	if e.TxAmp > e.TxData+e.TxControl {
+		t.Fatalf("amplifier energy %v exceeds total transmit energy %v", e.TxAmp, e.TxData+e.TxControl)
+	}
+	// Total energy roughly bounded by nodes * duration * max draw.
+	maxDraw := radio.Cabletron.MaxTxPower() + radio.Cabletron.Recv
+	if e.Total() > float64(20)*60*maxDraw {
+		t.Fatalf("energy %v exceeds physical bound", e.Total())
+	}
+}
+
+// TestDeliveredNeverExceedsSentAcrossStacks guards the duplicate-delivery
+// regression (MAC retransmissions must not be delivered twice).
+func TestDeliveredNeverExceedsSentAcrossStacks(t *testing.T) {
+	protos := []ProtocolKind{ProtoDSR, ProtoMTPR, ProtoDSRHNoRate, ProtoDSDV, ProtoTITAN}
+	for _, p := range protos {
+		sc := Scenario{
+			Seed:     13,
+			Field:    geom.Field{Width: 600, Height: 600},
+			Nodes:    25,
+			Card:     radio.Cabletron,
+			Stack:    Stack{Routing: p, PM: PMODPM},
+			Duration: 90 * time.Second,
+		}
+		rng := EndpointRNG(sc.Seed)
+		for i := 0; i < 6; i++ {
+			src, dst := rng.IntN(25), rng.IntN(25)
+			for dst == src {
+				dst = rng.IntN(25)
+			}
+			sc.Flows = append(sc.Flows, traffic.Flow{
+				ID: i + 1, Src: src, Dst: dst,
+				Rate: 8 * 1024, PacketBytes: 128,
+				StartMin: 20 * time.Second, StartMax: 25 * time.Second,
+			})
+		}
+		res, err := Run(sc)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if res.Delivered > res.Sent {
+			t.Fatalf("%s: delivered %d > sent %d (duplicate deliveries)",
+				res.Stack, res.Delivered, res.Sent)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package network
+
+import (
+	"testing"
+	"time"
+
+	"eend/internal/geom"
+	"eend/internal/radio"
+)
+
+func TestPerNodeResults(t *testing.T) {
+	sc := chainScenario(5, 200, radio.Cabletron, Stack{Routing: ProtoDSR, PM: PMODPM}, 90*time.Second)
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerNode) != 5 {
+		t.Fatalf("PerNode len = %d, want 5", len(res.PerNode))
+	}
+	var sumEnergy float64
+	relays := 0
+	for i, n := range res.PerNode {
+		if n.ID != i {
+			t.Fatalf("PerNode[%d].ID = %d", i, n.ID)
+		}
+		sumEnergy += n.Energy.Total()
+		if n.Forwarded > 0 {
+			relays++
+		}
+	}
+	if relays != res.Relays {
+		t.Fatalf("per-node relay count %d != aggregate %d", relays, res.Relays)
+	}
+	if diff := sumEnergy - res.Energy.Total(); diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("per-node energies sum to %v, aggregate %v", sumEnergy, res.Energy.Total())
+	}
+	// Source and sink originated/consumed the traffic.
+	if res.PerNode[0].Sent == 0 {
+		t.Error("source node shows no sent packets")
+	}
+	if res.PerNode[4].Delivered == 0 {
+		t.Error("sink node shows no delivered packets")
+	}
+	// The middle nodes forwarded; the chain's relays spend more energy on
+	// communication than a non-relay bystander would.
+	if res.PerNode[1].Forwarded == 0 || res.PerNode[3].Forwarded == 0 {
+		t.Error("chain relays show no forwarding")
+	}
+}
+
+func TestPerNodeRelaysSleepLessThanBystanders(t *testing.T) {
+	// With ODPM, route nodes are held in AM (less sleep energy share) while
+	// a far-off bystander sleeps nearly the whole run.
+	sc := chainScenario(3, 150, radio.Cabletron, Stack{Routing: ProtoDSR, PM: PMODPM}, 2*time.Minute)
+	sc.Positions = append(sc.Positions, geom.Point{X: sc.Positions[0].X, Y: sc.Positions[0].Y + 240})
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay := res.PerNode[1]
+	bystander := res.PerNode[3]
+	if relay.Forwarded == 0 {
+		t.Fatal("node 1 should relay")
+	}
+	if bystander.Forwarded != 0 {
+		t.Fatal("bystander should not relay")
+	}
+	if bystander.Energy.Sleep <= relay.Energy.Sleep {
+		t.Fatalf("bystander sleep %.2f J should exceed relay sleep %.2f J",
+			bystander.Energy.Sleep, relay.Energy.Sleep)
+	}
+	if relay.Energy.Idle <= bystander.Energy.Idle {
+		t.Fatalf("relay idle %.2f J should exceed bystander idle %.2f J",
+			relay.Energy.Idle, bystander.Energy.Idle)
+	}
+}

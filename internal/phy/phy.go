@@ -1,0 +1,277 @@
+// Package phy models the shared wireless medium: deterministic disk
+// propagation derived from transmit power, frame airtime from channel
+// bandwidth, carrier sense, half-duplex constraints, and collisions
+// (any overlap of two in-range transmissions corrupts both receptions,
+// with no capture effect).
+//
+// Every awake, in-range listener overhears every frame and is charged
+// receive energy for its airtime by the MAC layer via the RxBegin/RxEnd
+// callbacks, matching the paper's energy model in which Prx is paid for all
+// receptions.
+package phy
+
+import (
+	"fmt"
+	"time"
+
+	"eend/internal/geom"
+	"eend/internal/sim"
+)
+
+// Frame is one transmission on the medium. Dst is a MAC address (NodeID) or
+// Broadcast; filtering happens at the MAC, the medium delivers to every
+// in-range listener (overhearing).
+type Frame struct {
+	Src     int
+	Dst     int // Broadcast or a node id
+	Bytes   int // on-air size including MAC framing
+	Power   float64
+	Payload any
+
+	Start, End sim.Time // filled by the medium
+}
+
+// Broadcast is the destination id for broadcast frames.
+const Broadcast = -1
+
+// Listener is a node attached to the medium (implemented by the MAC).
+type Listener interface {
+	// NodeID returns the node's unique id.
+	NodeID() int
+	// Pos returns the node's position.
+	Pos() geom.Point
+	// CanReceive reports whether the radio can lock onto a new frame now
+	// (awake and not transmitting).
+	CanReceive() bool
+	// RxBegin is called when a frame starts arriving.
+	RxBegin(f *Frame)
+	// RxEnd is called when the frame finishes; ok is false if it collided.
+	RxEnd(f *Frame, ok bool)
+}
+
+// Config holds channel parameters.
+type Config struct {
+	Bandwidth float64       // bit/s
+	Preamble  time.Duration // PHY preamble + PLCP header per frame
+	// RangeAt maps transmit power (W) to communication radius (m); usually
+	// Card.RangeAt. Carrier-sense radius is assumed equal (documented
+	// simplification).
+	RangeAt func(power float64) float64
+}
+
+// DefaultBandwidth is the 2 Mbit/s DSSS rate of the 802.11 cards the paper
+// models.
+const DefaultBandwidth = 2e6
+
+// DefaultPreamble is the 802.11 long preamble + PLCP header duration.
+const DefaultPreamble = 192 * time.Microsecond
+
+type reception struct {
+	frame     *Frame
+	corrupted bool
+}
+
+type transmission struct {
+	frame  *Frame
+	radius float64
+	pos    geom.Point
+}
+
+// Medium is the shared channel. It is driven entirely by the simulation
+// kernel and is not safe for concurrent use.
+type Medium struct {
+	sim       *sim.Simulator
+	cfg       Config
+	listeners []Listener
+	byID      map[int]Listener
+
+	active map[*Frame]*transmission      // ongoing transmissions
+	rx     map[int]map[*Frame]*reception // per-listener ongoing receptions
+
+	frames uint64
+}
+
+// NewMedium creates a medium with the given channel configuration.
+func NewMedium(s *sim.Simulator, cfg Config) *Medium {
+	if cfg.Bandwidth <= 0 {
+		cfg.Bandwidth = DefaultBandwidth
+	}
+	if cfg.Preamble <= 0 {
+		cfg.Preamble = DefaultPreamble
+	}
+	if cfg.RangeAt == nil {
+		panic("phy: Config.RangeAt is required")
+	}
+	return &Medium{
+		sim:    s,
+		cfg:    cfg,
+		byID:   make(map[int]Listener),
+		active: make(map[*Frame]*transmission),
+		rx:     make(map[int]map[*Frame]*reception),
+	}
+}
+
+// Attach registers a listener. Node ids must be unique.
+func (m *Medium) Attach(l Listener) {
+	id := l.NodeID()
+	if _, dup := m.byID[id]; dup {
+		panic(fmt.Sprintf("phy: duplicate node id %d", id))
+	}
+	m.byID[id] = l
+	m.listeners = append(m.listeners, l)
+	m.rx[id] = make(map[*Frame]*reception)
+}
+
+// Airtime returns the on-air duration of a frame of the given size.
+func (m *Medium) Airtime(bytes int) time.Duration {
+	bits := float64(bytes * 8)
+	return m.cfg.Preamble + time.Duration(bits/m.cfg.Bandwidth*float64(time.Second))
+}
+
+// Frames returns the number of frames transmitted so far.
+func (m *Medium) Frames() uint64 { return m.frames }
+
+// Busy reports whether node id senses the channel busy: some ongoing
+// transmission (other than its own) covers its position.
+func (m *Medium) Busy(id int) bool {
+	l, ok := m.byID[id]
+	if !ok {
+		panic(fmt.Sprintf("phy: unknown node %d", id))
+	}
+	p := l.Pos()
+	for _, t := range m.active {
+		if t.frame.Src == id {
+			continue
+		}
+		if t.pos.Dist(p) <= t.radius {
+			return true
+		}
+	}
+	return false
+}
+
+// BusyUntil returns the latest end time among ongoing transmissions sensed
+// by node id, or zero if the channel is clear.
+func (m *Medium) BusyUntil(id int) sim.Time {
+	l := m.byID[id]
+	p := l.Pos()
+	var until sim.Time
+	for _, t := range m.active {
+		if t.frame.Src == id {
+			continue
+		}
+		if t.pos.Dist(p) <= t.radius && t.frame.End > until {
+			until = t.frame.End
+		}
+	}
+	return until
+}
+
+// Transmit puts f on the air from its source node. The caller (MAC) is
+// responsible for the transmitter's energy accounting; the medium invokes
+// RxBegin/RxEnd on every in-range listener able to receive. Returns the
+// frame end time.
+func (m *Medium) Transmit(f *Frame) sim.Time {
+	src, ok := m.byID[f.Src]
+	if !ok {
+		panic(fmt.Sprintf("phy: transmit from unknown node %d", f.Src))
+	}
+	now := m.sim.Now()
+	f.Start = now
+	f.End = now + m.Airtime(f.Bytes)
+	m.frames++
+
+	radius := m.cfg.RangeAt(f.Power)
+	tx := &transmission{frame: f, radius: radius, pos: src.Pos()}
+	m.active[f] = tx
+
+	// The transmitter stops listening: corrupt its ongoing receptions.
+	for _, r := range m.rx[f.Src] {
+		r.corrupted = true
+	}
+
+	// Deliver to in-range listeners. A listener already mid-reception
+	// suffers a collision: both frames corrupt.
+	for _, l := range m.listeners {
+		if l.NodeID() == f.Src {
+			continue
+		}
+		if tx.pos.Dist(l.Pos()) > radius {
+			continue
+		}
+		if !l.CanReceive() {
+			continue
+		}
+		inbox := m.rx[l.NodeID()]
+		r := &reception{frame: f}
+		if len(inbox) > 0 {
+			r.corrupted = true
+			for _, other := range inbox {
+				other.corrupted = true
+			}
+		}
+		inbox[f] = r
+		l.RxBegin(f)
+	}
+
+	m.sim.ScheduleAt(f.End, func() { m.finish(f) })
+	return f.End
+}
+
+// finish removes the transmission and completes all its receptions.
+// Listeners are visited in attach order so that runs are deterministic.
+func (m *Medium) finish(f *Frame) {
+	delete(m.active, f)
+	for _, l := range m.listeners {
+		inbox := m.rx[l.NodeID()]
+		r, ok := inbox[f]
+		if !ok {
+			continue
+		}
+		delete(inbox, f)
+		l.RxEnd(f, !r.corrupted)
+	}
+}
+
+// Neighbors returns the ids of all nodes within the given radius of node id,
+// in id order. Routing layers use this as their (idealized) neighbor table;
+// the paper's protocols obtain the same information from MAC-level beacons.
+func (m *Medium) Neighbors(id int, radius float64) []int {
+	l, ok := m.byID[id]
+	if !ok {
+		panic(fmt.Sprintf("phy: unknown node %d", id))
+	}
+	p := l.Pos()
+	var out []int
+	for _, o := range m.listeners {
+		if o.NodeID() == id {
+			continue
+		}
+		if p.Dist(o.Pos()) <= radius {
+			out = append(out, o.NodeID())
+		}
+	}
+	return out
+}
+
+// Distance returns the distance between two attached nodes.
+func (m *Medium) Distance(a, b int) float64 {
+	la, ok := m.byID[a]
+	if !ok {
+		panic(fmt.Sprintf("phy: unknown node %d", a))
+	}
+	lb, ok := m.byID[b]
+	if !ok {
+		panic(fmt.Sprintf("phy: unknown node %d", b))
+	}
+	return la.Pos().Dist(lb.Pos())
+}
+
+// NodeIDs returns all attached node ids in attach order.
+func (m *Medium) NodeIDs() []int {
+	ids := make([]int, len(m.listeners))
+	for i, l := range m.listeners {
+		ids[i] = l.NodeID()
+	}
+	return ids
+}

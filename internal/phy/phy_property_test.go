@@ -1,0 +1,120 @@
+package phy
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"eend/internal/geom"
+	"eend/internal/radio"
+	"eend/internal/sim"
+)
+
+// balancedNode checks RxBegin/RxEnd pairing invariants.
+type balancedNode struct {
+	id      int
+	pos     geom.Point
+	open    map[*Frame]bool
+	began   int
+	ended   int
+	maxOpen int
+	t       *testing.T
+}
+
+func (n *balancedNode) NodeID() int      { return n.id }
+func (n *balancedNode) Pos() geom.Point  { return n.pos }
+func (n *balancedNode) CanReceive() bool { return true }
+
+func (n *balancedNode) RxBegin(f *Frame) {
+	if n.open[f] {
+		n.t.Errorf("node %d: duplicate RxBegin for frame", n.id)
+	}
+	n.open[f] = true
+	n.began++
+	if len(n.open) > n.maxOpen {
+		n.maxOpen = len(n.open)
+	}
+}
+
+func (n *balancedNode) RxEnd(f *Frame, ok bool) {
+	if !n.open[f] {
+		n.t.Errorf("node %d: RxEnd without RxBegin", n.id)
+	}
+	delete(n.open, f)
+	n.ended++
+}
+
+// TestPropertyRxBeginEndBalanced drives a random frame storm and asserts
+// that every reception that begins also ends exactly once, at every node,
+// regardless of collisions and overlaps.
+func TestPropertyRxBeginEndBalanced(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		s := sim.New(seed)
+		m := NewMedium(s, Config{RangeAt: radio.Cabletron.RangeAt})
+		rng := rand.New(rand.NewPCG(seed, 77))
+
+		const n = 15
+		nodes := make([]*balancedNode, n)
+		for i := 0; i < n; i++ {
+			nodes[i] = &balancedNode{
+				id:   i,
+				pos:  geom.Point{X: rng.Float64() * 600, Y: rng.Float64() * 600},
+				open: make(map[*Frame]bool),
+				t:    t,
+			}
+			m.Attach(nodes[i])
+		}
+
+		// 200 random transmissions at random times and powers.
+		for k := 0; k < 200; k++ {
+			src := rng.IntN(n)
+			at := time.Duration(rng.Int64N(int64(500 * time.Millisecond)))
+			power := radio.Cabletron.TxPower(50 + rng.Float64()*200)
+			bytes := 20 + rng.IntN(1000)
+			s.Schedule(at, func() {
+				m.Transmit(&Frame{Src: src, Dst: Broadcast, Bytes: bytes, Power: power})
+			})
+		}
+		s.Run(5 * time.Second)
+
+		for _, nd := range nodes {
+			if len(nd.open) != 0 {
+				t.Fatalf("seed %d node %d: %d receptions never ended", seed, nd.id, len(nd.open))
+			}
+			if nd.began != nd.ended {
+				t.Fatalf("seed %d node %d: began %d != ended %d", seed, nd.id, nd.began, nd.ended)
+			}
+		}
+		if m.Frames() != 200 {
+			t.Fatalf("seed %d: %d frames, want 200", seed, m.Frames())
+		}
+	}
+}
+
+// TestPropertyChannelClearsAfterStorm asserts the medium has no residual
+// state after all frames end.
+func TestPropertyChannelClearsAfterStorm(t *testing.T) {
+	s := sim.New(9)
+	m := NewMedium(s, Config{RangeAt: radio.Cabletron.RangeAt})
+	rng := rand.New(rand.NewPCG(9, 9))
+	for i := 0; i < 10; i++ {
+		m.Attach(&balancedNode{id: i, pos: geom.Point{X: rng.Float64() * 300, Y: rng.Float64() * 300},
+			open: make(map[*Frame]bool), t: t})
+	}
+	for k := 0; k < 50; k++ {
+		src := rng.IntN(10)
+		at := time.Duration(rng.Int64N(int64(50 * time.Millisecond)))
+		s.Schedule(at, func() {
+			m.Transmit(&Frame{Src: src, Dst: Broadcast, Bytes: 256, Power: radio.Cabletron.MaxTxPower()})
+		})
+	}
+	s.Run(time.Second)
+	for i := 0; i < 10; i++ {
+		if m.Busy(i) {
+			t.Fatalf("node %d still senses a busy channel after the storm", i)
+		}
+		if m.BusyUntil(i) != 0 {
+			t.Fatalf("node %d has residual BusyUntil", i)
+		}
+	}
+}

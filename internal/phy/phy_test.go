@@ -1,0 +1,302 @@
+package phy
+
+import (
+	"testing"
+	"time"
+
+	"eend/internal/geom"
+	"eend/internal/radio"
+	"eend/internal/sim"
+)
+
+// stubNode records medium callbacks.
+type stubNode struct {
+	id      int
+	pos     geom.Point
+	deaf    bool // CanReceive == false
+	began   []*Frame
+	ended   []*Frame
+	endedOK []bool
+}
+
+func (n *stubNode) NodeID() int      { return n.id }
+func (n *stubNode) Pos() geom.Point  { return n.pos }
+func (n *stubNode) CanReceive() bool { return !n.deaf }
+func (n *stubNode) RxBegin(f *Frame) { n.began = append(n.began, f) }
+func (n *stubNode) RxEnd(f *Frame, ok bool) {
+	n.ended = append(n.ended, f)
+	n.endedOK = append(n.endedOK, ok)
+}
+
+func newTestMedium(s *sim.Simulator) *Medium {
+	return NewMedium(s, Config{RangeAt: radio.Cabletron.RangeAt})
+}
+
+func TestAirtime(t *testing.T) {
+	s := sim.New(1)
+	m := newTestMedium(s)
+	// 128 B at 2 Mbit/s = 512 us + 192 us preamble.
+	got := m.Airtime(128)
+	want := 192*time.Microsecond + 512*time.Microsecond
+	if got != want {
+		t.Fatalf("Airtime(128) = %v, want %v", got, want)
+	}
+}
+
+func TestDeliveryWithinRange(t *testing.T) {
+	s := sim.New(1)
+	m := newTestMedium(s)
+	a := &stubNode{id: 0, pos: geom.Point{X: 0, Y: 0}}
+	b := &stubNode{id: 1, pos: geom.Point{X: 100, Y: 0}}
+	far := &stubNode{id: 2, pos: geom.Point{X: 1000, Y: 0}}
+	m.Attach(a)
+	m.Attach(b)
+	m.Attach(far)
+
+	f := &Frame{Src: 0, Dst: 1, Bytes: 100, Power: radio.Cabletron.MaxTxPower()}
+	m.Transmit(f)
+	s.Run(time.Second)
+
+	if len(b.began) != 1 || len(b.ended) != 1 || !b.endedOK[0] {
+		t.Fatalf("in-range node: began=%d ended=%d ok=%v", len(b.began), len(b.ended), b.endedOK)
+	}
+	if len(far.began) != 0 {
+		t.Fatal("out-of-range node received frame")
+	}
+	if len(a.began) != 0 {
+		t.Fatal("transmitter received its own frame")
+	}
+}
+
+func TestOverhearing(t *testing.T) {
+	// A frame addressed to b is also heard by bystander c in range.
+	s := sim.New(1)
+	m := newTestMedium(s)
+	a := &stubNode{id: 0, pos: geom.Point{X: 0, Y: 0}}
+	b := &stubNode{id: 1, pos: geom.Point{X: 100, Y: 0}}
+	c := &stubNode{id: 2, pos: geom.Point{X: 0, Y: 100}}
+	m.Attach(a)
+	m.Attach(b)
+	m.Attach(c)
+
+	m.Transmit(&Frame{Src: 0, Dst: 1, Bytes: 50, Power: radio.Cabletron.MaxTxPower()})
+	s.Run(time.Second)
+	if len(c.began) != 1 || !c.endedOK[0] {
+		t.Fatal("bystander in range should overhear the frame")
+	}
+}
+
+func TestReducedPowerShrinksRange(t *testing.T) {
+	s := sim.New(1)
+	m := newTestMedium(s)
+	a := &stubNode{id: 0, pos: geom.Point{X: 0, Y: 0}}
+	b := &stubNode{id: 1, pos: geom.Point{X: 200, Y: 0}}
+	m.Attach(a)
+	m.Attach(b)
+
+	low := radio.Cabletron.TxPower(100) // reaches 100 m only
+	m.Transmit(&Frame{Src: 0, Dst: 1, Bytes: 50, Power: low})
+	s.Run(time.Second)
+	if len(b.began) != 0 {
+		t.Fatal("node at 200 m received frame sent with 100 m power")
+	}
+}
+
+func TestCollisionCorruptsBoth(t *testing.T) {
+	s := sim.New(1)
+	m := newTestMedium(s)
+	a := &stubNode{id: 0, pos: geom.Point{X: 0, Y: 0}}
+	b := &stubNode{id: 1, pos: geom.Point{X: 200, Y: 0}}
+	c := &stubNode{id: 2, pos: geom.Point{X: 100, Y: 0}} // hears both
+	m.Attach(a)
+	m.Attach(b)
+	m.Attach(c)
+
+	pw := radio.Cabletron.TxPower(150)
+	s.Schedule(0, func() { m.Transmit(&Frame{Src: 0, Dst: 2, Bytes: 200, Power: pw}) })
+	s.Schedule(100*time.Microsecond, func() {
+		m.Transmit(&Frame{Src: 1, Dst: 2, Bytes: 200, Power: pw})
+	})
+	s.Run(time.Second)
+
+	if len(c.ended) != 2 {
+		t.Fatalf("c ended %d receptions, want 2", len(c.ended))
+	}
+	for i, ok := range c.endedOK {
+		if ok {
+			t.Errorf("reception %d should have collided", i)
+		}
+	}
+}
+
+func TestNoCollisionWhenDisjointInTime(t *testing.T) {
+	s := sim.New(1)
+	m := newTestMedium(s)
+	a := &stubNode{id: 0, pos: geom.Point{X: 0, Y: 0}}
+	b := &stubNode{id: 1, pos: geom.Point{X: 100, Y: 0}}
+	m.Attach(a)
+	m.Attach(b)
+
+	pw := radio.Cabletron.MaxTxPower()
+	s.Schedule(0, func() { m.Transmit(&Frame{Src: 0, Dst: 1, Bytes: 50, Power: pw}) })
+	s.Schedule(100*time.Millisecond, func() {
+		m.Transmit(&Frame{Src: 0, Dst: 1, Bytes: 50, Power: pw})
+	})
+	s.Run(time.Second)
+	if len(b.ended) != 2 || !b.endedOK[0] || !b.endedOK[1] {
+		t.Fatalf("sequential frames should both arrive: ok=%v", b.endedOK)
+	}
+}
+
+func TestHiddenTerminalCollision(t *testing.T) {
+	// a and c cannot hear each other but both reach b: classic hidden
+	// terminal. Simultaneous transmissions must collide at b.
+	s := sim.New(1)
+	m := newTestMedium(s)
+	a := &stubNode{id: 0, pos: geom.Point{X: 0, Y: 0}}
+	b := &stubNode{id: 1, pos: geom.Point{X: 200, Y: 0}}
+	c := &stubNode{id: 2, pos: geom.Point{X: 400, Y: 0}}
+	m.Attach(a)
+	m.Attach(b)
+	m.Attach(c)
+
+	pw := radio.Cabletron.MaxTxPower() // 250 m
+	s.Schedule(0, func() {
+		m.Transmit(&Frame{Src: 0, Dst: 1, Bytes: 100, Power: pw})
+		m.Transmit(&Frame{Src: 2, Dst: 1, Bytes: 100, Power: pw})
+	})
+	s.Run(time.Second)
+	if len(b.ended) != 2 {
+		t.Fatalf("b should see both frames, got %d", len(b.ended))
+	}
+	if b.endedOK[0] || b.endedOK[1] {
+		t.Fatal("hidden-terminal frames must collide at b")
+	}
+}
+
+func TestDeafListenerMissesFrame(t *testing.T) {
+	s := sim.New(1)
+	m := newTestMedium(s)
+	a := &stubNode{id: 0, pos: geom.Point{X: 0, Y: 0}}
+	b := &stubNode{id: 1, pos: geom.Point{X: 100, Y: 0}, deaf: true}
+	m.Attach(a)
+	m.Attach(b)
+	m.Transmit(&Frame{Src: 0, Dst: 1, Bytes: 50, Power: radio.Cabletron.MaxTxPower()})
+	s.Run(time.Second)
+	if len(b.began) != 0 {
+		t.Fatal("sleeping/transmitting node must not receive")
+	}
+}
+
+func TestTransmitterAbortsItsReceptions(t *testing.T) {
+	// b starts receiving from a, then b itself transmits: the reception at b
+	// must be corrupted.
+	s := sim.New(1)
+	m := newTestMedium(s)
+	a := &stubNode{id: 0, pos: geom.Point{X: 0, Y: 0}}
+	b := &stubNode{id: 1, pos: geom.Point{X: 100, Y: 0}}
+	m.Attach(a)
+	m.Attach(b)
+
+	pw := radio.Cabletron.MaxTxPower()
+	s.Schedule(0, func() { m.Transmit(&Frame{Src: 0, Dst: 1, Bytes: 500, Power: pw}) })
+	s.Schedule(50*time.Microsecond, func() {
+		m.Transmit(&Frame{Src: 1, Dst: 0, Bytes: 50, Power: pw})
+	})
+	s.Run(time.Second)
+	if len(b.ended) != 1 {
+		t.Fatalf("b.ended = %d, want 1", len(b.ended))
+	}
+	if b.endedOK[0] {
+		t.Fatal("reception must be corrupted when receiver turns transmitter")
+	}
+}
+
+func TestBusyAndBusyUntil(t *testing.T) {
+	s := sim.New(1)
+	m := newTestMedium(s)
+	a := &stubNode{id: 0, pos: geom.Point{X: 0, Y: 0}}
+	b := &stubNode{id: 1, pos: geom.Point{X: 100, Y: 0}}
+	far := &stubNode{id: 2, pos: geom.Point{X: 1000, Y: 0}}
+	m.Attach(a)
+	m.Attach(b)
+	m.Attach(far)
+
+	if m.Busy(1) {
+		t.Fatal("channel should start clear")
+	}
+	var end sim.Time
+	s.Schedule(0, func() {
+		end = m.Transmit(&Frame{Src: 0, Dst: 1, Bytes: 1000, Power: radio.Cabletron.MaxTxPower()})
+	})
+	s.Schedule(10*time.Microsecond, func() {
+		if !m.Busy(1) {
+			t.Error("b should sense busy during frame")
+		}
+		if m.Busy(2) {
+			t.Error("far node should not sense busy")
+		}
+		if m.Busy(0) {
+			t.Error("transmitter does not sense its own frame as busy")
+		}
+		if got := m.BusyUntil(1); got != end {
+			t.Errorf("BusyUntil = %v, want %v", got, end)
+		}
+		if got := m.BusyUntil(2); got != 0 {
+			t.Errorf("BusyUntil(far) = %v, want 0", got)
+		}
+	})
+	s.Run(time.Second)
+	if m.Busy(1) {
+		t.Fatal("channel should be clear after frame end")
+	}
+}
+
+func TestNeighborsAndDistance(t *testing.T) {
+	s := sim.New(1)
+	m := newTestMedium(s)
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 240, Y: 0}, {X: 600, Y: 0}}
+	for i, p := range pts {
+		m.Attach(&stubNode{id: i, pos: p})
+	}
+	got := m.Neighbors(0, 250)
+	want := []int{1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("Neighbors = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Neighbors = %v, want %v", got, want)
+		}
+	}
+	if d := m.Distance(0, 2); d != 240 {
+		t.Fatalf("Distance = %v, want 240", d)
+	}
+	if n := len(m.NodeIDs()); n != 4 {
+		t.Fatalf("NodeIDs len = %d, want 4", n)
+	}
+}
+
+func TestDuplicateAttachPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate id")
+		}
+	}()
+	s := sim.New(1)
+	m := newTestMedium(s)
+	m.Attach(&stubNode{id: 7})
+	m.Attach(&stubNode{id: 7})
+}
+
+func TestFrameCounter(t *testing.T) {
+	s := sim.New(1)
+	m := newTestMedium(s)
+	m.Attach(&stubNode{id: 0})
+	for i := 0; i < 3; i++ {
+		m.Transmit(&Frame{Src: 0, Dst: Broadcast, Bytes: 10, Power: 2})
+	}
+	if m.Frames() != 3 {
+		t.Fatalf("Frames = %d, want 3", m.Frames())
+	}
+}

@@ -1,0 +1,137 @@
+// Package radio implements the paper's wireless-card energy model
+// (Section 2.1): four operating modes (transmit, receive, idle, sleep) with
+// per-mode powers, polynomial path-loss transmit power
+// Ptx(d) = Pbase + alpha2*d^n, and a per-node energy meter that integrates
+// power over virtual time, split into the buckets the paper reports
+// (data/control transmit, receive, idle, sleep, switching).
+//
+// All quantities are SI: watts, joules, meters, seconds.
+package radio
+
+import (
+	"fmt"
+	"math"
+)
+
+// Card holds the radio parameters of a wireless card (paper Table 1,
+// converted from mW to W).
+type Card struct {
+	Name string
+
+	Idle  float64 // W, power in idle (listening) state: Pidle
+	Recv  float64 // W, power while receiving: Prx
+	Sleep float64 // W, power while asleep: Psleep
+
+	Base        float64 // W, base transmitter cost: Pbase
+	Alpha       float64 // W/m^n, amplifier coefficient: alpha2
+	PathLossExp float64 // n, path-loss exponent (2..4)
+	Range       float64 // m, nominal maximum transmission range D
+
+	SwitchEnergy float64 // J, cost of one sleep<->awake transition: Esw
+}
+
+// TxPower returns the total transmit power draw Ptx(d) = Pbase + alpha2*d^n
+// needed to reach distance d, clamped to the card's maximum (the power needed
+// to reach Range). Distances beyond Range are unreachable; TxPower still
+// reports the max power so callers can detect the clamp via RangeAt.
+func (c Card) TxPower(d float64) float64 {
+	if d < 0 {
+		d = 0
+	}
+	if d > c.Range {
+		d = c.Range
+	}
+	return c.Base + c.Alpha*math.Pow(d, c.PathLossExp)
+}
+
+// MaxTxPower returns the transmit power draw at the card's maximum range.
+func (c Card) MaxTxPower() float64 { return c.TxPower(c.Range) }
+
+// RangeAt inverts the path-loss law: the distance reachable with total
+// transmit power p, clamped to [0, Range].
+func (c Card) RangeAt(p float64) float64 {
+	if p <= c.Base {
+		return 0
+	}
+	d := math.Pow((p-c.Base)/c.Alpha, 1/c.PathLossExp)
+	return math.Min(d, c.Range)
+}
+
+// PerfectSleep returns a copy of the card whose idle power is priced at
+// sleep power. This is the paper's "perfect sleep scheduling" oracle
+// (Section 5.2.3): nodes wake at exactly the instants they are needed, so
+// passive time costs sleep power, with no behavioural change to the stack.
+func (c Card) PerfectSleep() Card {
+	c.Name += "/perfect-sleep"
+	c.Idle = c.Sleep
+	return c
+}
+
+// Validate reports whether the card parameters are physically sensible.
+func (c Card) Validate() error {
+	switch {
+	case c.Idle < 0 || c.Recv < 0 || c.Sleep < 0 || c.Base < 0 || c.Alpha < 0:
+		return fmt.Errorf("radio: card %q has negative power parameter", c.Name)
+	case c.PathLossExp < 2 || c.PathLossExp > 4:
+		return fmt.Errorf("radio: card %q path-loss exponent %.1f outside [2,4]", c.Name, c.PathLossExp)
+	case c.Range <= 0:
+		return fmt.Errorf("radio: card %q has non-positive range", c.Name)
+	case c.Sleep > c.Idle:
+		return fmt.Errorf("radio: card %q sleep power exceeds idle power", c.Name)
+	}
+	return nil
+}
+
+// The cards of paper Table 1. Sleep powers and switching energies are not in
+// Table 1; the paper treats sleep power as "typically negligible", so small
+// measured-order values are used (WLAN cards tens of mW, motes tens of uW).
+var (
+	// Aironet350 is the Cisco Aironet 350 model (Table 1, fitted d^4 law).
+	Aironet350 = Card{
+		Name: "Aironet 350", Idle: 1.350, Recv: 1.350, Sleep: 0.075,
+		Base: 2.165, Alpha: 3.6e-10, PathLossExp: 4, Range: 140,
+		SwitchEnergy: 1e-3,
+	}
+
+	// Cabletron is the Cabletron RoamAbout model (Table 1).
+	Cabletron = Card{
+		Name: "Cabletron", Idle: 0.830, Recv: 1.000, Sleep: 0.050,
+		Base: 1.118, Alpha: 7.2e-11, PathLossExp: 4, Range: 250,
+		SwitchEnergy: 1e-3,
+	}
+
+	// HypotheticalCabletron raises the amplifier coefficient to
+	// alpha2 = 5.2e-6 mW/m^4 so that m_opt >= 2 at R/B = 0.25
+	// (Section 5.1): the one card for which relaying can pay off.
+	HypotheticalCabletron = Card{
+		Name: "Hypothetical Cabletron", Idle: 0.830, Recv: 1.000, Sleep: 0.050,
+		Base: 1.118, Alpha: 5.2e-9, PathLossExp: 4, Range: 250,
+		SwitchEnergy: 1e-3,
+	}
+
+	// Mica2 is the Crossbow Mica2 mote model (Table 1).
+	Mica2 = Card{
+		Name: "Mica2", Idle: 0.021, Recv: 0.021, Sleep: 3e-5,
+		Base: 0.0102, Alpha: 9.4e-10, PathLossExp: 4, Range: 68,
+		SwitchEnergy: 1e-6,
+	}
+
+	// LEACH4 is the LEACH radio with the d^4 law (Table 1, n=4, D=100 m).
+	LEACH4 = Card{
+		Name: "LEACH (n=4)", Idle: 0.050, Recv: 0.050, Sleep: 1e-5,
+		Base: 0.050, Alpha: 1.3e-9, PathLossExp: 4, Range: 100,
+		SwitchEnergy: 1e-6,
+	}
+
+	// LEACH2 is the LEACH radio with the d^2 law (Table 1, n=2, D=75 m).
+	LEACH2 = Card{
+		Name: "LEACH (n=2)", Idle: 0.050, Recv: 0.050, Sleep: 1e-5,
+		Base: 0.050, Alpha: 1e-5, PathLossExp: 2, Range: 75,
+		SwitchEnergy: 1e-6,
+	}
+)
+
+// Cards lists every card of Table 1 in presentation order.
+func Cards() []Card {
+	return []Card{Aironet350, Cabletron, HypotheticalCabletron, Mica2, LEACH4, LEACH2}
+}

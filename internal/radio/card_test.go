@@ -1,0 +1,135 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTxPowerTable1(t *testing.T) {
+	// Spot-check the transcribed Table 1 laws at the card's nominal range
+	// (values in W, computed from the paper's mW formulas).
+	cases := []struct {
+		card Card
+		d    float64
+		want float64
+	}{
+		{Aironet350, 140, 2.165 + 3.6e-10*math.Pow(140, 4)},
+		{Cabletron, 250, 1.118 + 7.2e-11*math.Pow(250, 4)},
+		{HypotheticalCabletron, 250, 1.118 + 5.2e-9*math.Pow(250, 4)},
+		{Mica2, 68, 0.0102 + 9.4e-10*math.Pow(68, 4)},
+		{LEACH4, 100, 0.050 + 1.3e-9*math.Pow(100, 4)},
+		{LEACH2, 75, 0.050 + 1e-5*75*75},
+	}
+	for _, c := range cases {
+		if got := c.card.TxPower(c.d); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: TxPower(%v) = %v, want %v", c.card.Name, c.d, got, c.want)
+		}
+	}
+}
+
+func TestHypotheticalCabletronNeeds20W(t *testing.T) {
+	// Section 5.1: "the transmit power to reach D = 250 m increases up to
+	// 20 W" for the hypothetical card.
+	p := HypotheticalCabletron.MaxTxPower()
+	if p < 20 || p > 22 {
+		t.Fatalf("Hypothetical Cabletron max TX power = %.2f W, want ~20-22 W", p)
+	}
+}
+
+func TestTxPowerClampedAtRange(t *testing.T) {
+	for _, c := range Cards() {
+		if got, want := c.TxPower(c.Range*2), c.MaxTxPower(); got != want {
+			t.Errorf("%s: TxPower beyond range = %v, want clamp to %v", c.Name, got, want)
+		}
+		if got := c.TxPower(-5); got != c.TxPower(0) {
+			t.Errorf("%s: negative distance not clamped", c.Name)
+		}
+	}
+}
+
+func TestRangeAtInvertsTxPower(t *testing.T) {
+	for _, c := range Cards() {
+		for _, frac := range []float64{0.1, 0.3, 0.5, 0.9, 1.0} {
+			d := c.Range * frac
+			got := c.RangeAt(c.TxPower(d))
+			if math.Abs(got-d) > 1e-6*c.Range {
+				t.Errorf("%s: RangeAt(TxPower(%v)) = %v", c.Name, d, got)
+			}
+		}
+	}
+}
+
+func TestRangeAtEdgeCases(t *testing.T) {
+	c := Cabletron
+	if got := c.RangeAt(0); got != 0 {
+		t.Errorf("RangeAt(0) = %v, want 0", got)
+	}
+	if got := c.RangeAt(c.Base); got != 0 {
+		t.Errorf("RangeAt(Base) = %v, want 0", got)
+	}
+	if got := c.RangeAt(1e6); got != c.Range {
+		t.Errorf("RangeAt(huge) = %v, want Range", got)
+	}
+}
+
+func TestTxPowerMonotonic(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Abs(math.Mod(a, 250))
+		b = math.Abs(math.Mod(b, 250))
+		if a > b {
+			a, b = b, a
+		}
+		return Cabletron.TxPower(a) <= Cabletron.TxPower(b)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCardsValidate(t *testing.T) {
+	for _, c := range Cards() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadCards(t *testing.T) {
+	bad := []Card{
+		{Name: "neg", Idle: -1, Range: 10, PathLossExp: 2},
+		{Name: "exp", Idle: 1, Recv: 1, PathLossExp: 5, Range: 10},
+		{Name: "range", Idle: 1, Recv: 1, PathLossExp: 2, Range: 0},
+		{Name: "sleep", Idle: 1, Recv: 1, Sleep: 2, PathLossExp: 2, Range: 10},
+	}
+	for _, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("%s: expected validation error", c.Name)
+		}
+	}
+}
+
+func TestPerfectSleep(t *testing.T) {
+	ps := Cabletron.PerfectSleep()
+	if ps.Idle != Cabletron.Sleep {
+		t.Errorf("PerfectSleep idle = %v, want sleep power %v", ps.Idle, Cabletron.Sleep)
+	}
+	if ps.Recv != Cabletron.Recv || ps.Base != Cabletron.Base {
+		t.Error("PerfectSleep must not change communication powers")
+	}
+	if Cabletron.Idle == Cabletron.Sleep {
+		t.Error("test card must have distinct idle/sleep for this test")
+	}
+}
+
+func TestIdlePowerComparableToRecv(t *testing.T) {
+	// Paper Section 2.1: "idle power is as large as receive power".
+	for _, c := range []Card{Aironet350, Cabletron, Mica2} {
+		if c.Idle > c.Recv {
+			t.Errorf("%s: idle %v > recv %v", c.Name, c.Idle, c.Recv)
+		}
+		if c.Idle < 0.5*c.Recv {
+			t.Errorf("%s: idle %v implausibly small vs recv %v", c.Name, c.Idle, c.Recv)
+		}
+	}
+}

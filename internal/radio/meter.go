@@ -1,0 +1,203 @@
+package radio
+
+import (
+	"fmt"
+	"time"
+)
+
+// Mode is the persistent radio mode between frames.
+type Mode int
+
+// Persistent modes. A node in power-save sleeps between ATIM windows; an
+// active-mode node idles.
+const (
+	ModeIdle Mode = iota + 1
+	ModeSleep
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeIdle:
+		return "idle"
+	case ModeSleep:
+		return "sleep"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// TxKind classifies a transmission for the paper's Ecomm split into data
+// energy (Eq. 1) and control energy (Eq. 2).
+type TxKind int
+
+// Transmission kinds.
+const (
+	TxData TxKind = iota + 1
+	TxControl
+)
+
+// Breakdown is the integrated energy in joules per radio activity,
+// mirroring the paper's Eqs. 1-4.
+type Breakdown struct {
+	TxData    float64 // J, transmitting data frames
+	TxControl float64 // J, transmitting control frames (routing + MAC mgmt)
+	Rx        float64 // J, receiving or overhearing frames
+	Idle      float64 // J, idle listening
+	Sleep     float64 // J, asleep
+	Switch    float64 // J, sleep<->awake transitions (Esw)
+
+	// TxAmp is the amplifier (radiated) portion of all transmissions:
+	// (Ptx - Pbase) integrated over airtime. It is a sub-component of
+	// TxData+TxControl, not additive with them; it is what transmission
+	// power control actually reduces (the paper's Fig. 10 metric).
+	TxAmp float64
+}
+
+// Comm returns communication energy Ecomm = Edata + Econtrol + Rx (Eq. 1-2).
+func (b Breakdown) Comm() float64 { return b.TxData + b.TxControl + b.Rx }
+
+// Passive returns idling energy Epassive (Eq. 3).
+func (b Breakdown) Passive() float64 { return b.Idle + b.Sleep + b.Switch }
+
+// Total returns the node's total energy consumption.
+func (b Breakdown) Total() float64 { return b.Comm() + b.Passive() }
+
+// Add accumulates o into b.
+func (b *Breakdown) Add(o Breakdown) {
+	b.TxData += o.TxData
+	b.TxControl += o.TxControl
+	b.Rx += o.Rx
+	b.Idle += o.Idle
+	b.Sleep += o.Sleep
+	b.Switch += o.Switch
+	b.TxAmp += o.TxAmp
+}
+
+// Radio is the per-node energy state machine. The MAC drives it with
+// StartTx/EndTx, StartRx/EndRx and SetMode; the meter integrates the active
+// power over virtual time. Priority: transmitting > receiving > mode.
+//
+// Radio is not safe for concurrent use; the simulation kernel is
+// single-threaded by design.
+type Radio struct {
+	card Card
+
+	mode    Mode
+	txPower float64
+	txKind  TxKind
+	txBusy  bool
+	rxCount int
+
+	last time.Duration
+	acc  Breakdown
+}
+
+// NewRadio returns a radio in idle mode at virtual time zero.
+func NewRadio(card Card) *Radio {
+	return &Radio{card: card, mode: ModeIdle}
+}
+
+// Card returns the radio's card parameters.
+func (r *Radio) Card() Card { return r.card }
+
+// Mode returns the persistent mode (idle or sleep).
+func (r *Radio) Mode() Mode { return r.mode }
+
+// Asleep reports whether the radio is currently in sleep mode and not
+// engaged in a frame exchange.
+func (r *Radio) Asleep() bool { return r.mode == ModeSleep && !r.txBusy && r.rxCount == 0 }
+
+// Transmitting reports whether a transmission is in progress.
+func (r *Radio) Transmitting() bool { return r.txBusy }
+
+// Receiving reports whether at least one reception is in progress.
+func (r *Radio) Receiving() bool { return r.rxCount > 0 }
+
+// advance accrues energy for the interval [r.last, now] into the bucket for
+// the current activity.
+func (r *Radio) advance(now time.Duration) {
+	dt := (now - r.last).Seconds()
+	if dt < 0 {
+		panic(fmt.Sprintf("radio: time went backwards: %v -> %v", r.last, now))
+	}
+	r.last = now
+	switch {
+	case r.txBusy:
+		e := r.txPower * dt
+		if r.txKind == TxControl {
+			r.acc.TxControl += e
+		} else {
+			r.acc.TxData += e
+		}
+		if amp := r.txPower - r.card.Base; amp > 0 {
+			r.acc.TxAmp += amp * dt
+		}
+	case r.rxCount > 0:
+		r.acc.Rx += r.card.Recv * dt
+	case r.mode == ModeSleep:
+		r.acc.Sleep += r.card.Sleep * dt
+	default:
+		r.acc.Idle += r.card.Idle * dt
+	}
+}
+
+// SetMode switches the persistent mode, charging Esw on sleep transitions.
+func (r *Radio) SetMode(now time.Duration, m Mode) {
+	if m != ModeIdle && m != ModeSleep {
+		panic(fmt.Sprintf("radio: invalid mode %d", int(m)))
+	}
+	if m == r.mode {
+		return
+	}
+	r.advance(now)
+	r.mode = m
+	r.acc.Switch += r.card.SwitchEnergy
+}
+
+// StartTx begins a transmission billed at power (W). The radio must be awake
+// and not already transmitting: the MAC serializes its own transmissions.
+func (r *Radio) StartTx(now time.Duration, power float64, kind TxKind) {
+	if r.txBusy {
+		panic("radio: StartTx while already transmitting")
+	}
+	if r.mode == ModeSleep {
+		panic("radio: StartTx while asleep")
+	}
+	r.advance(now)
+	r.txBusy = true
+	r.txPower = power
+	r.txKind = kind
+}
+
+// EndTx finishes the in-progress transmission.
+func (r *Radio) EndTx(now time.Duration) {
+	if !r.txBusy {
+		panic("radio: EndTx without StartTx")
+	}
+	r.advance(now)
+	r.txBusy = false
+	r.txPower = 0
+}
+
+// StartRx begins a reception (or overhearing). Receptions nest: a node in
+// range of two overlapping transmissions is in receive state for their union.
+func (r *Radio) StartRx(now time.Duration) {
+	r.advance(now)
+	r.rxCount++
+}
+
+// EndRx finishes one nested reception.
+func (r *Radio) EndRx(now time.Duration) {
+	if r.rxCount <= 0 {
+		panic("radio: EndRx without StartRx")
+	}
+	r.advance(now)
+	r.rxCount--
+}
+
+// Snapshot returns the energy breakdown integrated up to now.
+func (r *Radio) Snapshot(now time.Duration) Breakdown {
+	r.advance(now)
+	return r.acc
+}

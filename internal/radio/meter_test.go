@@ -1,0 +1,184 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// testCard has round powers to make hand-computed energies easy.
+var testCard = Card{
+	Name: "test", Idle: 1.0, Recv: 2.0, Sleep: 0.1,
+	Base: 0.5, Alpha: 1e-8, PathLossExp: 4, Range: 100,
+	SwitchEnergy: 0.25,
+}
+
+func approx(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("%s = %v, want %v", name, got, want)
+	}
+}
+
+func TestIdleAccrual(t *testing.T) {
+	r := NewRadio(testCard)
+	b := r.Snapshot(10 * time.Second)
+	approx(t, "Idle", b.Idle, 10.0)
+	approx(t, "Total", b.Total(), 10.0)
+}
+
+func TestSleepAccrual(t *testing.T) {
+	r := NewRadio(testCard)
+	r.SetMode(2*time.Second, ModeSleep)
+	b := r.Snapshot(12 * time.Second)
+	approx(t, "Idle", b.Idle, 2.0)
+	approx(t, "Sleep", b.Sleep, 1.0)    // 10 s at 0.1 W
+	approx(t, "Switch", b.Switch, 0.25) // one transition
+}
+
+func TestSwitchBothWays(t *testing.T) {
+	r := NewRadio(testCard)
+	r.SetMode(time.Second, ModeSleep)
+	r.SetMode(2*time.Second, ModeIdle)
+	b := r.Snapshot(3 * time.Second)
+	approx(t, "Switch", b.Switch, 0.5)
+	approx(t, "Idle", b.Idle, 2.0)
+	approx(t, "Sleep", b.Sleep, 0.1)
+}
+
+func TestSetModeNoopSameMode(t *testing.T) {
+	r := NewRadio(testCard)
+	r.SetMode(time.Second, ModeIdle)
+	b := r.Snapshot(2 * time.Second)
+	approx(t, "Switch", b.Switch, 0)
+}
+
+func TestTxAccounting(t *testing.T) {
+	r := NewRadio(testCard)
+	r.StartTx(1*time.Second, 3.0, TxData)
+	r.EndTx(2 * time.Second)
+	r.StartTx(3*time.Second, 5.0, TxControl)
+	r.EndTx(3500 * time.Millisecond)
+	b := r.Snapshot(4 * time.Second)
+	approx(t, "TxData", b.TxData, 3.0)
+	approx(t, "TxControl", b.TxControl, 2.5)
+	approx(t, "Idle", b.Idle, 2.5) // 0-1, 2-3, 3.5-4
+	approx(t, "Comm", b.Comm(), 5.5)
+}
+
+func TestRxAccounting(t *testing.T) {
+	r := NewRadio(testCard)
+	r.StartRx(1 * time.Second)
+	r.EndRx(3 * time.Second)
+	b := r.Snapshot(4 * time.Second)
+	approx(t, "Rx", b.Rx, 4.0) // 2 s at 2 W
+	approx(t, "Idle", b.Idle, 2.0)
+}
+
+func TestNestedRx(t *testing.T) {
+	// Two overlapping receptions bill receive power once over the union.
+	r := NewRadio(testCard)
+	r.StartRx(1 * time.Second)
+	r.StartRx(2 * time.Second)
+	r.EndRx(3 * time.Second)
+	r.EndRx(4 * time.Second)
+	b := r.Snapshot(5 * time.Second)
+	approx(t, "Rx", b.Rx, 6.0) // union [1,4] at 2 W
+	approx(t, "Idle", b.Idle, 2.0)
+}
+
+func TestTxPriorityOverRx(t *testing.T) {
+	// While transmitting, power is billed to TX even if a reception overlaps
+	// (the MAC never does this for real frames, but overhearing bookkeeping
+	// may interleave).
+	r := NewRadio(testCard)
+	r.StartRx(0)
+	r.StartTx(1*time.Second, 4.0, TxData)
+	r.EndTx(2 * time.Second)
+	r.EndRx(3 * time.Second)
+	b := r.Snapshot(3 * time.Second)
+	approx(t, "TxData", b.TxData, 4.0)
+	approx(t, "Rx", b.Rx, 4.0) // [0,1] and [2,3]
+}
+
+func TestSleepRxTransitions(t *testing.T) {
+	r := NewRadio(testCard)
+	r.SetMode(0, ModeSleep)
+	// Mode stays sleep but an explicit wake for a frame is modelled by the
+	// MAC setting idle mode first; verify Asleep reporting.
+	if !r.Asleep() {
+		t.Fatal("radio should be asleep")
+	}
+	r.SetMode(time.Second, ModeIdle)
+	if r.Asleep() {
+		t.Fatal("radio should be awake")
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("EndTx w/o StartTx", func() { NewRadio(testCard).EndTx(0) })
+	mustPanic("EndRx w/o StartRx", func() { NewRadio(testCard).EndRx(0) })
+	mustPanic("double StartTx", func() {
+		r := NewRadio(testCard)
+		r.StartTx(0, 1, TxData)
+		r.StartTx(0, 1, TxData)
+	})
+	mustPanic("StartTx asleep", func() {
+		r := NewRadio(testCard)
+		r.SetMode(0, ModeSleep)
+		r.StartTx(0, 1, TxData)
+	})
+	mustPanic("time backwards", func() {
+		r := NewRadio(testCard)
+		r.Snapshot(time.Second)
+		r.Snapshot(0)
+	})
+	mustPanic("bad mode", func() { NewRadio(testCard).SetMode(0, Mode(9)) })
+}
+
+func TestBreakdownAdd(t *testing.T) {
+	a := Breakdown{TxData: 1, TxControl: 2, Rx: 3, Idle: 4, Sleep: 5, Switch: 6}
+	b := Breakdown{TxData: 10, TxControl: 20, Rx: 30, Idle: 40, Sleep: 50, Switch: 60}
+	a.Add(b)
+	approx(t, "TxData", a.TxData, 11)
+	approx(t, "Passive", a.Passive(), 44+55+66)
+	approx(t, "Comm", a.Comm(), 11+22+33)
+	approx(t, "Total", a.Total(), 11+22+33+44+55+66)
+}
+
+func TestModeString(t *testing.T) {
+	if ModeIdle.String() != "idle" || ModeSleep.String() != "sleep" {
+		t.Error("unexpected Mode strings")
+	}
+	if Mode(0).String() == "" {
+		t.Error("unknown mode should still stringify")
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	// Total energy equals integral of the active power: run a scripted
+	// sequence and compare against a hand-computed sum.
+	r := NewRadio(testCard)
+	r.StartRx(500 * time.Millisecond)
+	r.EndRx(1500 * time.Millisecond)
+	r.StartTx(2*time.Second, 2.5, TxData)
+	r.EndTx(2500 * time.Millisecond)
+	r.SetMode(3*time.Second, ModeSleep)
+	r.SetMode(5*time.Second, ModeIdle)
+	b := r.Snapshot(6 * time.Second)
+	want := 1.0*2 + // rx 1 s at 2 W
+		2.5*0.5 + // tx
+		0.1*2 + // sleep 2 s
+		0.25*2 + // two switches
+		1.0*(0.5+0.5+0.5+1.0) // idle: [0,.5],[1.5,2],[2.5,3],[5,6]
+	approx(t, "Total", b.Total(), want)
+}

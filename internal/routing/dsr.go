@@ -1,0 +1,439 @@
+package routing
+
+import (
+	"math"
+	"time"
+
+	"eend/internal/mac"
+	"eend/internal/power"
+	"eend/internal/sim"
+)
+
+// DSR discovery constants.
+const (
+	rreqTTL          = 16
+	rreqJitterMax    = 10 * time.Millisecond
+	discoveryTimeout = 500 * time.Millisecond
+	discoveryRetries = 3
+	sendBufferCap    = 20
+	dataTTL          = 64
+)
+
+// Variant parameterizes the DSR engine into the paper's reactive protocols.
+type Variant struct {
+	// BaseName of the protocol (e.g. "MTPR"); "-PC" is appended when
+	// PowerControl is set.
+	BaseName string
+
+	// LinkCost returns the discovery cost of the link from->me, evaluated
+	// at the receiving node (paper: "updates the cost using f(u,v)").
+	// nil means hop count (plain DSR, TITAN).
+	LinkCost func(d *DSR, from int, req *rreq) float64
+
+	// CostBased protocols rebroadcast duplicate RREQs that advertise a
+	// lower cost and answer them with additional RREPs (MTPR, MTPR+, DSRH).
+	CostBased bool
+
+	// Participate decides whether a non-target node joins route discovery
+	// (TITAN's probabilistic backbone bias). nil means always.
+	Participate func(d *DSR) bool
+
+	// ForwardDelay adds protocol-specific RREQ forwarding delay on top of
+	// the random jitter (TITAN defers power-saving nodes). nil means none.
+	ForwardDelay func(d *DSR) time.Duration
+
+	// PowerControl transmits data frames at the learned per-neighbor
+	// minimum power instead of maximum power.
+	PowerControl bool
+}
+
+// rreq is a route request, flooded from the origin.
+type rreq struct {
+	Origin, Target int
+	ID             uint64
+	Path           []int // nodes traversed so far, origin first
+	Cost           float64
+	Rate           float64
+	TTL            int
+}
+
+func (r *rreq) bytes() int { return rreqBaseBytes + perHopBytes*len(r.Path) }
+
+// rrep carries a discovered route back to the origin along the reverse path.
+type rrep struct {
+	Origin, Target int
+	ID             uint64
+	Route          []int // full path origin..target
+	Cost           float64
+	Hop            int // index of the node currently holding the reply
+}
+
+func (r *rrep) bytes() int { return rrepBaseBytes + perHopBytes*len(r.Route) }
+
+// rerr reports a broken link back to a packet source.
+type rerr struct {
+	From, To int // the broken link
+	Dst      int // the source being notified
+	Route    []int
+	Hop      int
+}
+
+type reqKey struct {
+	origin int
+	id     uint64
+}
+
+type cachedRoute struct {
+	path []int
+	cost float64
+}
+
+type discovery struct {
+	tries  int
+	timer  *sim.Timer
+	buffer []*dataPacket
+}
+
+// DSR is the reactive source-routing engine, specialized by a Variant into
+// DSR, MTPR, MTPR+, DSRH and TITAN.
+type DSR struct {
+	env *Env
+	v   Variant
+
+	cache    map[int]*cachedRoute
+	seen     map[reqKey]float64 // best cost seen per request (math.Inf: none)
+	answered map[reqKey]float64 // best cost answered (targets only)
+	pending  map[int]*discovery
+	reqID    uint64
+	seq      uint64
+
+	stats Stats
+}
+
+var _ Protocol = (*DSR)(nil)
+
+// NewDSRVariant builds a DSR-engine protocol from a variant description.
+func NewDSRVariant(env *Env, v Variant) *DSR {
+	return &DSR{
+		env:      env,
+		v:        v,
+		cache:    make(map[int]*cachedRoute),
+		seen:     make(map[reqKey]float64),
+		answered: make(map[reqKey]float64),
+		pending:  make(map[int]*discovery),
+	}
+}
+
+// Name implements Protocol.
+func (d *DSR) Name() string {
+	if d.v.PowerControl {
+		return d.v.BaseName + "-PC"
+	}
+	return d.v.BaseName
+}
+
+// Start implements Protocol. DSR is fully reactive: nothing to schedule.
+func (d *DSR) Start() {}
+
+// Stats implements Protocol.
+func (d *DSR) Stats() Stats { return d.stats }
+
+// Send implements Protocol.
+func (d *DSR) Send(dst int, bytes int, payload any, rate float64) {
+	d.stats.DataSent++
+	d.env.PM.OnActivity(power.ActivityData)
+	d.seq++
+	pkt := &dataPacket{
+		Src: d.env.ID, Dst: dst, Seq: d.seq,
+		AppBytes: bytes, Payload: payload, Rate: rate, TTL: dataTTL,
+	}
+	if dst == d.env.ID {
+		d.deliver(pkt)
+		return
+	}
+	if r, ok := d.cache[dst]; ok {
+		pkt.Route = r.path
+		pkt.Hop = 0
+		d.forward(pkt)
+		return
+	}
+	d.bufferAndDiscover(pkt)
+}
+
+func (d *DSR) bufferAndDiscover(pkt *dataPacket) {
+	dst := pkt.Dst
+	disc, ok := d.pending[dst]
+	if !ok {
+		disc = &discovery{}
+		d.pending[dst] = disc
+		d.sendRREQ(dst, pkt.Rate)
+		d.armRetry(dst, disc)
+	}
+	if len(disc.buffer) >= sendBufferCap {
+		disc.buffer = disc.buffer[1:]
+		d.stats.DataDropped++
+	}
+	disc.buffer = append(disc.buffer, pkt)
+}
+
+func (d *DSR) sendRREQ(dst int, rate float64) {
+	d.reqID++
+	d.stats.RREQSent++
+	req := &rreq{
+		Origin: d.env.ID, Target: dst, ID: d.reqID,
+		Path: []int{d.env.ID}, Rate: rate, TTL: rreqTTL,
+	}
+	d.env.MAC.SendBroadcast(&mac.Packet{
+		Kind: mac.PacketControl, Bytes: req.bytes(), Payload: req,
+	}, nil)
+}
+
+func (d *DSR) armRetry(dst int, disc *discovery) {
+	timeout := discoveryTimeout << uint(disc.tries)
+	disc.timer = d.env.Sim.Schedule(timeout, func() {
+		cur, ok := d.pending[dst]
+		if !ok || cur != disc {
+			return
+		}
+		disc.tries++
+		if disc.tries >= discoveryRetries {
+			d.stats.DataDropped += uint64(len(disc.buffer))
+			delete(d.pending, dst)
+			return
+		}
+		var rate float64
+		if len(disc.buffer) > 0 {
+			rate = disc.buffer[0].Rate
+		}
+		d.sendRREQ(dst, rate)
+		d.armRetry(dst, disc)
+	})
+}
+
+// HandlePacket dispatches packets handed up by the MAC.
+func (d *DSR) HandlePacket(from int, pkt *mac.Packet) {
+	switch msg := pkt.Payload.(type) {
+	case *rreq:
+		d.handleRREQ(from, msg)
+	case *rrep:
+		d.handleRREP(msg)
+	case *rerr:
+		d.handleRERR(msg)
+	case *dataPacket:
+		d.forward(msg)
+	}
+}
+
+// linkCost evaluates the variant cost of the link from->me.
+func (d *DSR) linkCost(from int, req *rreq) float64 {
+	if d.v.LinkCost == nil {
+		return 1
+	}
+	return d.v.LinkCost(d, from, req)
+}
+
+func (d *DSR) handleRREQ(from int, req *rreq) {
+	if req.Origin == d.env.ID {
+		return
+	}
+	key := reqKey{req.Origin, req.ID}
+	cost := req.Cost + d.linkCost(from, req)
+
+	if req.Target == d.env.ID {
+		best, seenIt := d.answered[key]
+		if seenIt && (!d.v.CostBased || cost >= best) {
+			return
+		}
+		d.answered[key] = cost
+		route := append(append([]int{}, req.Path...), d.env.ID)
+		d.sendRREP(&rrep{
+			Origin: req.Origin, Target: req.Target, ID: req.ID,
+			Route: route, Cost: cost, Hop: len(route) - 1,
+		})
+		return
+	}
+
+	if indexOf(req.Path, d.env.ID) >= 0 {
+		return
+	}
+	best, seenIt := d.seen[key]
+	if seenIt && (!d.v.CostBased || cost >= best) {
+		return
+	}
+	firstCopy := !seenIt
+	d.seen[key] = cost
+
+	if req.TTL <= 1 {
+		return
+	}
+	if firstCopy && d.v.Participate != nil && !d.v.Participate(d) {
+		// Declined: poison the dedup entry so later copies are ignored too.
+		d.seen[key] = math.Inf(-1)
+		return
+	}
+
+	fwd := &rreq{
+		Origin: req.Origin, Target: req.Target, ID: req.ID,
+		Path: append(append([]int{}, req.Path...), d.env.ID),
+		Cost: cost, Rate: req.Rate, TTL: req.TTL - 1,
+	}
+	delay := jitter(d.env.RNG(), rreqJitterMax)
+	if d.v.ForwardDelay != nil {
+		delay += d.v.ForwardDelay(d)
+	}
+	d.env.Sim.Schedule(delay, func() {
+		// Suppress if a strictly better copy has been forwarded meanwhile.
+		if cur := d.seen[key]; cur < cost {
+			return
+		}
+		d.env.MAC.SendBroadcast(&mac.Packet{
+			Kind: mac.PacketControl, Bytes: fwd.bytes(), Payload: fwd,
+		}, nil)
+	})
+}
+
+func (d *DSR) sendRREP(rep *rrep) {
+	d.stats.RREPSent++
+	d.env.PM.OnActivity(power.ActivityRoute)
+	if rep.Hop == 0 {
+		return // degenerate single-node route
+	}
+	next := rep.Route[rep.Hop-1]
+	fwd := *rep
+	fwd.Hop--
+	d.env.MAC.SendUnicast(next, &mac.Packet{
+		Kind: mac.PacketControl, Bytes: rep.bytes(), Payload: &fwd,
+	}, 0, nil)
+}
+
+func (d *DSR) handleRREP(rep *rrep) {
+	if rep.Route[rep.Hop] != d.env.ID {
+		return // stale forwarding state
+	}
+	d.env.PM.OnActivity(power.ActivityRoute)
+	if rep.Hop == 0 {
+		// We are the origin: install the route.
+		if d.env.ID != rep.Origin {
+			return
+		}
+		cur, ok := d.cache[rep.Target]
+		if ok && d.v.CostBased && cur.cost <= rep.Cost {
+			return
+		}
+		d.cache[rep.Target] = &cachedRoute{path: rep.Route, cost: rep.Cost}
+		if disc, ok := d.pending[rep.Target]; ok {
+			disc.timer.Cancel()
+			delete(d.pending, rep.Target)
+			for _, pkt := range disc.buffer {
+				pkt.Route = rep.Route
+				pkt.Hop = 0
+				d.forward(pkt)
+			}
+		}
+		return
+	}
+	d.sendRREP(rep)
+}
+
+// forward moves a data packet one hop along its source route, or delivers it.
+func (d *DSR) forward(pkt *dataPacket) {
+	if pkt.Dst == d.env.ID {
+		d.deliver(pkt)
+		return
+	}
+	i := pkt.Hop
+	if i >= len(pkt.Route) || pkt.Route[i] != d.env.ID {
+		i = indexOf(pkt.Route, d.env.ID)
+		if i < 0 {
+			d.stats.DataDropped++
+			return
+		}
+	}
+	if i+1 >= len(pkt.Route) {
+		d.stats.DataDropped++
+		return
+	}
+	pkt.TTL--
+	if pkt.TTL <= 0 {
+		d.stats.DataDropped++
+		return
+	}
+	if pkt.Src != d.env.ID {
+		d.stats.DataForwarded++
+		d.env.PM.OnActivity(power.ActivityData)
+	}
+	next := pkt.Route[i+1]
+	fwd := *pkt
+	fwd.Hop = i + 1
+	var txPower float64
+	if d.v.PowerControl {
+		txPower = d.env.MAC.TxPowerFor(next)
+	}
+	d.env.MAC.SendUnicast(next, &mac.Packet{
+		Kind: mac.PacketData, Bytes: fwd.bytes(), Payload: &fwd,
+	}, txPower, func(ok bool) {
+		if !ok {
+			d.linkBroken(d.env.ID, next, pkt)
+		}
+	})
+}
+
+func (d *DSR) deliver(pkt *dataPacket) {
+	d.stats.DataDelivered++
+	d.env.PM.OnActivity(power.ActivityData)
+	if d.env.Deliver != nil {
+		d.env.Deliver(pkt.Src, pkt.Payload, pkt.AppBytes)
+	}
+}
+
+// linkBroken reacts to a MAC-layer delivery failure: purge routes through
+// the link and notify the packet source.
+func (d *DSR) linkBroken(u, v int, pkt *dataPacket) {
+	d.stats.DataDropped++
+	d.purgeLink(u, v)
+	if pkt.Src == d.env.ID {
+		return
+	}
+	i := indexOf(pkt.Route, d.env.ID)
+	if i <= 0 {
+		return
+	}
+	d.stats.RERRSent++
+	e := &rerr{From: u, To: v, Dst: pkt.Src, Route: pkt.Route, Hop: i}
+	d.forwardRERR(e)
+}
+
+func (d *DSR) forwardRERR(e *rerr) {
+	prev := e.Route[e.Hop-1]
+	fwd := *e
+	fwd.Hop--
+	d.env.MAC.SendUnicast(prev, &mac.Packet{
+		Kind: mac.PacketControl, Bytes: rerrBytes, Payload: &fwd,
+	}, 0, nil)
+}
+
+func (d *DSR) handleRERR(e *rerr) {
+	d.purgeLink(e.From, e.To)
+	if e.Dst == d.env.ID || e.Hop <= 0 || e.Route[e.Hop] != d.env.ID {
+		return
+	}
+	d.forwardRERR(e)
+}
+
+// purgeLink removes cached routes that use the link u-v in either direction.
+func (d *DSR) purgeLink(u, v int) {
+	for dst, r := range d.cache {
+		if hasLink(r.path, u, v) {
+			delete(d.cache, dst)
+		}
+	}
+}
+
+// CachedRoute returns the cached path to dst, or nil (exposed for tests and
+// relay-count metrics).
+func (d *DSR) CachedRoute(dst int) []int {
+	if r, ok := d.cache[dst]; ok {
+		return append([]int{}, r.path...)
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// A Simulator owns a virtual clock and a priority queue of events. Events
+// scheduled for the same instant fire in scheduling order, which makes runs
+// bit-reproducible for a fixed seed. All randomness used by higher layers
+// must come from the simulator's RNG so that a Scenario seed fully
+// determines the outcome.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// Time is a virtual timestamp measured from the start of the simulation.
+type Time = time.Duration
+
+// Event is a scheduled callback. It is owned by the simulator after
+// scheduling; use the returned *Timer to cancel it.
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int
+}
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled event.
+type Timer struct {
+	ev  *event
+	sim *Simulator
+}
+
+// Cancel stops the timer. Cancelling an already-fired or already-cancelled
+// timer is a no-op. Cancel reports whether the event was still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.dead {
+		return false
+	}
+	t.ev.dead = true
+	t.ev.fn = nil
+	return true
+}
+
+// Pending reports whether the timer has neither fired nor been cancelled.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.dead
+}
+
+// At returns the virtual time the timer is (or was) scheduled to fire.
+func (t *Timer) At() Time {
+	if t == nil || t.ev == nil {
+		return 0
+	}
+	return t.ev.at
+}
+
+// Simulator is a single-threaded discrete-event scheduler.
+type Simulator struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	stopped bool
+	fired   uint64
+}
+
+// New returns a simulator whose RNG is seeded from seed.
+func New(seed uint64) *Simulator {
+	return &Simulator{
+		rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// RNG returns the simulation-owned random source. All model randomness must
+// be drawn from it to keep runs reproducible.
+func (s *Simulator) RNG() *rand.Rand { return s.rng }
+
+// Events returns the number of events fired so far.
+func (s *Simulator) Events() uint64 { return s.fired }
+
+// Pending returns the number of events still queued (including cancelled
+// events not yet drained).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule runs fn after delay of virtual time. A negative delay is an error
+// in the model; it panics to surface the bug immediately.
+func (s *Simulator) Schedule(delay Time, fn func()) *Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time at.
+func (s *Simulator) ScheduleAt(at Time, fn func()) *Timer {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: schedule in the past: at=%v now=%v", at, s.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return &Timer{ev: ev, sim: s}
+}
+
+// Stop halts Run after the current event returns.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run executes events until the queue empties or virtual time would exceed
+// until. It returns the virtual time at which it stopped.
+func (s *Simulator) Run(until Time) Time {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		ev := s.queue[0]
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&s.queue)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		fn := ev.fn
+		ev.dead = true
+		ev.fn = nil
+		s.fired++
+		fn()
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return s.now
+}
+
+// Drain executes all remaining events regardless of time. Intended for tests.
+func (s *Simulator) Drain() {
+	s.Run(Time(1<<62 - 1))
+}

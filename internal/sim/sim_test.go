@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.Schedule(3*time.Second, func() { got = append(got, 3) })
+	s.Schedule(1*time.Second, func() { got = append(got, 1) })
+	s.Schedule(2*time.Second, func() { got = append(got, 2) })
+	s.Run(10 * time.Second)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	s.Run(2 * time.Second)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	s := New(1)
+	var at Time
+	s.Schedule(5*time.Second, func() { at = s.Now() })
+	end := s.Run(10 * time.Second)
+	if at != 5*time.Second {
+		t.Errorf("Now inside event = %v, want 5s", at)
+	}
+	if end != 10*time.Second {
+		t.Errorf("Run returned %v, want 10s", end)
+	}
+	if s.Now() != 10*time.Second {
+		t.Errorf("Now after Run = %v, want 10s", s.Now())
+	}
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.Schedule(5*time.Second, func() { fired = true })
+	s.Run(2 * time.Second)
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+	s.Run(10 * time.Second)
+	if !fired {
+		t.Fatal("event did not fire on second Run")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.Schedule(time.Second, func() { fired = true })
+	if !tm.Pending() {
+		t.Fatal("timer should be pending")
+	}
+	if !tm.Cancel() {
+		t.Fatal("Cancel should report true for a pending timer")
+	}
+	if tm.Cancel() {
+		t.Fatal("second Cancel should report false")
+	}
+	s.Run(2 * time.Second)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	s := New(1)
+	tm := s.Schedule(time.Second, func() {})
+	s.Run(2 * time.Second)
+	if tm.Pending() {
+		t.Fatal("fired timer still pending")
+	}
+	if tm.Cancel() {
+		t.Fatal("Cancel after fire should report false")
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New(1)
+	var count int
+	for i := 1; i <= 5; i++ {
+		s.Schedule(Time(i)*time.Second, func() {
+			count++
+			if count == 2 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run(10 * time.Second)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2 (Stop should halt the loop)", count)
+	}
+}
+
+func TestScheduleInsideEvent(t *testing.T) {
+	s := New(1)
+	var seq []Time
+	var rec func()
+	rec = func() {
+		seq = append(seq, s.Now())
+		if len(seq) < 4 {
+			s.Schedule(time.Second, rec)
+		}
+	}
+	s.Schedule(time.Second, rec)
+	s.Run(time.Minute)
+	if len(seq) != 4 {
+		t.Fatalf("len(seq) = %d, want 4", len(seq))
+	}
+	for i, at := range seq {
+		if want := Time(i+1) * time.Second; at != want {
+			t.Errorf("seq[%d] = %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative delay")
+		}
+	}()
+	New(1).Schedule(-time.Second, func() {})
+}
+
+func TestNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on nil fn")
+		}
+	}()
+	New(1).Schedule(time.Second, nil)
+}
+
+func TestDeterministicRNG(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.RNG().Uint64() != b.RNG().Uint64() {
+			t.Fatal("same seed should give identical RNG streams")
+		}
+	}
+	c := New(43)
+	same := true
+	for i := 0; i < 100; i++ {
+		if New(42).RNG().Uint64() != c.RNG().Uint64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different streams")
+	}
+}
+
+func TestEventsCounter(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 7; i++ {
+		s.Schedule(Time(i)*time.Millisecond, func() {})
+	}
+	tm := s.Schedule(time.Millisecond, func() {})
+	tm.Cancel()
+	s.Run(time.Second)
+	if s.Events() != 7 {
+		t.Fatalf("Events = %d, want 7 (cancelled events must not count)", s.Events())
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order.
+func TestPropertyMonotonicFiring(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New(7)
+		var times []Time
+		for _, d := range delays {
+			s.Schedule(Time(d)*time.Millisecond, func() {
+				times = append(times, s.Now())
+			})
+		}
+		s.Drain()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrainRunsEverything(t *testing.T) {
+	s := New(1)
+	n := 0
+	for i := 0; i < 100; i++ {
+		s.Schedule(Time(i)*time.Hour, func() { n++ })
+	}
+	s.Drain()
+	if n != 100 {
+		t.Fatalf("Drain fired %d events, want 100", n)
+	}
+}

@@ -1,0 +1,170 @@
+// Package traffic provides the constant-bit-rate (CBR) sources and the
+// delivery accounting used throughout the paper's evaluation: flows of
+// fixed-size packets (128 B) at 2-200 Kbit/s, starting at a random time in
+// a configured window.
+package traffic
+
+import (
+	"fmt"
+	"time"
+
+	"eend/internal/sim"
+)
+
+// Flow describes one CBR flow.
+type Flow struct {
+	ID          int
+	Src, Dst    int
+	Rate        float64 // bit/s
+	PacketBytes int
+	// StartMin/StartMax bound the random start time (paper: 20-25 s).
+	StartMin, StartMax time.Duration
+}
+
+// Interval returns the inter-packet gap.
+func (f Flow) Interval() time.Duration {
+	if f.Rate <= 0 || f.PacketBytes <= 0 {
+		return 0
+	}
+	bits := float64(f.PacketBytes * 8)
+	return time.Duration(bits / f.Rate * float64(time.Second))
+}
+
+// Validate reports configuration errors.
+func (f Flow) Validate() error {
+	switch {
+	case f.Src == f.Dst:
+		return fmt.Errorf("traffic: flow %d has src == dst", f.ID)
+	case f.Rate <= 0:
+		return fmt.Errorf("traffic: flow %d has non-positive rate", f.ID)
+	case f.PacketBytes <= 0:
+		return fmt.Errorf("traffic: flow %d has non-positive packet size", f.ID)
+	case f.StartMax < f.StartMin:
+		return fmt.Errorf("traffic: flow %d has StartMax < StartMin", f.ID)
+	}
+	return nil
+}
+
+// Datum is the application payload carried by each CBR packet.
+type Datum struct {
+	Flow int
+	Seq  uint64
+}
+
+// SendFunc originates an application packet at the flow source.
+type SendFunc func(dst int, bytes int, payload any, rate float64)
+
+// Collector aggregates per-flow delivery statistics.
+type Collector struct {
+	sent      map[int]uint64
+	delivered map[int]uint64
+	bits      map[int]float64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		sent:      make(map[int]uint64),
+		delivered: make(map[int]uint64),
+		bits:      make(map[int]float64),
+	}
+}
+
+// OnSend records an originated packet.
+func (c *Collector) OnSend(flow int) { c.sent[flow]++ }
+
+// OnDeliver records a packet arriving at its sink.
+func (c *Collector) OnDeliver(flow int, bytes int) {
+	c.delivered[flow]++
+	c.bits[flow] += float64(bytes * 8)
+}
+
+// Sent returns the total packets originated (all flows).
+func (c *Collector) Sent() uint64 {
+	var n uint64
+	for _, v := range c.sent {
+		n += v
+	}
+	return n
+}
+
+// Delivered returns the total packets delivered (all flows).
+func (c *Collector) Delivered() uint64 {
+	var n uint64
+	for _, v := range c.delivered {
+		n += v
+	}
+	return n
+}
+
+// DeliveredBits returns the total application bits delivered.
+func (c *Collector) DeliveredBits() float64 {
+	var b float64
+	for _, v := range c.bits {
+		b += v
+	}
+	return b
+}
+
+// DeliveryRatio returns delivered/sent over all flows (1 if nothing sent).
+func (c *Collector) DeliveryRatio() float64 {
+	s := c.Sent()
+	if s == 0 {
+		return 1
+	}
+	return float64(c.Delivered()) / float64(s)
+}
+
+// FlowDeliveryRatio returns the ratio for one flow.
+func (c *Collector) FlowDeliveryRatio(flow int) float64 {
+	if c.sent[flow] == 0 {
+		return 1
+	}
+	return float64(c.delivered[flow]) / float64(c.sent[flow])
+}
+
+// Source drives one CBR flow: it schedules packet origination on the
+// simulator until the horizon and reports each send to the collector.
+type Source struct {
+	sim   *sim.Simulator
+	flow  Flow
+	send  SendFunc
+	col   *Collector
+	until sim.Time
+	seq   uint64
+}
+
+// NewSource creates a CBR source; Start must be called to begin.
+func NewSource(s *sim.Simulator, flow Flow, send SendFunc, col *Collector, until sim.Time) (*Source, error) {
+	if err := flow.Validate(); err != nil {
+		return nil, err
+	}
+	if send == nil {
+		return nil, fmt.Errorf("traffic: flow %d has nil send func", flow.ID)
+	}
+	return &Source{sim: s, flow: flow, send: send, col: col, until: until}, nil
+}
+
+// Start schedules the first packet at a random time in the start window.
+func (s *Source) Start() {
+	start := s.flow.StartMin
+	if w := s.flow.StartMax - s.flow.StartMin; w > 0 {
+		start += time.Duration(s.sim.RNG().Int64N(int64(w)))
+	}
+	s.sim.Schedule(start, s.emit)
+}
+
+func (s *Source) emit() {
+	if s.sim.Now() >= s.until {
+		return
+	}
+	s.seq++
+	if s.col != nil {
+		s.col.OnSend(s.flow.ID)
+	}
+	s.send(s.flow.Dst, s.flow.PacketBytes, &Datum{Flow: s.flow.ID, Seq: s.seq}, s.flow.Rate)
+	s.sim.Schedule(s.flow.Interval(), s.emit)
+}
+
+// Sent returns the number of packets this source has originated.
+func (s *Source) Sent() uint64 { return s.seq }

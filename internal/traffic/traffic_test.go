@@ -1,0 +1,141 @@
+package traffic
+
+import (
+	"testing"
+	"time"
+
+	"eend/internal/sim"
+)
+
+func TestFlowInterval(t *testing.T) {
+	// 128 B at 2048 bit/s -> 0.5 s between packets (2 packets/s).
+	f := Flow{Rate: 2048, PacketBytes: 128}
+	if got := f.Interval(); got != 500*time.Millisecond {
+		t.Fatalf("Interval = %v, want 500ms", got)
+	}
+	if (Flow{}).Interval() != 0 {
+		t.Fatal("zero flow should have zero interval")
+	}
+}
+
+func TestFlowValidate(t *testing.T) {
+	good := Flow{ID: 1, Src: 0, Dst: 1, Rate: 1000, PacketBytes: 128}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Flow{
+		{Src: 1, Dst: 1, Rate: 1, PacketBytes: 1},
+		{Src: 0, Dst: 1, Rate: 0, PacketBytes: 1},
+		{Src: 0, Dst: 1, Rate: 1, PacketBytes: 0},
+		{Src: 0, Dst: 1, Rate: 1, PacketBytes: 1, StartMin: 2, StartMax: 1},
+	}
+	for i, f := range bad {
+		if f.Validate() == nil {
+			t.Errorf("bad flow %d validated", i)
+		}
+	}
+}
+
+func TestSourceEmitsAtRate(t *testing.T) {
+	s := sim.New(1)
+	col := NewCollector()
+	var got []*Datum
+	send := func(dst int, bytes int, payload any, rate float64) {
+		if dst != 5 || bytes != 128 || rate != 2048 {
+			t.Errorf("send(%d,%d,rate=%v)", dst, bytes, rate)
+		}
+		got = append(got, payload.(*Datum))
+	}
+	f := Flow{ID: 3, Src: 0, Dst: 5, Rate: 2048, PacketBytes: 128,
+		StartMin: time.Second, StartMax: time.Second}
+	src, err := NewSource(s, f, send, col, 11*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Start()
+	s.Run(11 * time.Second)
+	// Start at 1 s, 2 packets/s until 11 s -> 21 packets (t=1.0,1.5,...,10.5, 11.0 excluded by horizon).
+	if len(got) != 20 && len(got) != 21 {
+		t.Fatalf("emitted %d packets, want ~20", len(got))
+	}
+	if col.Sent() != uint64(len(got)) {
+		t.Fatalf("collector sent=%d, emitted=%d", col.Sent(), len(got))
+	}
+	for i, d := range got {
+		if d.Flow != 3 || d.Seq != uint64(i+1) {
+			t.Fatalf("packet %d = %+v", i, d)
+		}
+	}
+}
+
+func TestSourceRandomStartWindow(t *testing.T) {
+	starts := make(map[time.Duration]bool)
+	for seed := uint64(0); seed < 10; seed++ {
+		s := sim.New(seed)
+		var first sim.Time = -1
+		f := Flow{ID: 1, Src: 0, Dst: 1, Rate: 1024, PacketBytes: 128,
+			StartMin: 20 * time.Second, StartMax: 25 * time.Second}
+		src, err := NewSource(s, f, func(int, int, any, float64) {
+			if first < 0 {
+				first = s.Now()
+			}
+		}, nil, 30*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src.Start()
+		s.Run(30 * time.Second)
+		if first < 20*time.Second || first > 25*time.Second {
+			t.Fatalf("seed %d: first packet at %v, want in [20s,25s]", seed, first)
+		}
+		starts[first] = true
+	}
+	if len(starts) < 3 {
+		t.Fatal("start times should vary across seeds")
+	}
+}
+
+func TestNewSourceValidation(t *testing.T) {
+	s := sim.New(1)
+	if _, err := NewSource(s, Flow{}, func(int, int, any, float64) {}, nil, time.Second); err == nil {
+		t.Fatal("invalid flow accepted")
+	}
+	good := Flow{ID: 1, Src: 0, Dst: 1, Rate: 1, PacketBytes: 1}
+	if _, err := NewSource(s, good, nil, nil, time.Second); err == nil {
+		t.Fatal("nil send accepted")
+	}
+}
+
+func TestCollectorAccounting(t *testing.T) {
+	c := NewCollector()
+	c.OnSend(1)
+	c.OnSend(1)
+	c.OnSend(2)
+	c.OnDeliver(1, 128)
+	c.OnDeliver(2, 128)
+	if c.Sent() != 3 || c.Delivered() != 2 {
+		t.Fatalf("sent=%d delivered=%d", c.Sent(), c.Delivered())
+	}
+	if got := c.DeliveryRatio(); got != 2.0/3.0 {
+		t.Fatalf("ratio = %v", got)
+	}
+	if got := c.FlowDeliveryRatio(1); got != 0.5 {
+		t.Fatalf("flow 1 ratio = %v", got)
+	}
+	if got := c.FlowDeliveryRatio(2); got != 1.0 {
+		t.Fatalf("flow 2 ratio = %v", got)
+	}
+	if got := c.DeliveredBits(); got != 2*128*8 {
+		t.Fatalf("bits = %v", got)
+	}
+}
+
+func TestCollectorEmpty(t *testing.T) {
+	c := NewCollector()
+	if c.DeliveryRatio() != 1 {
+		t.Fatal("empty collector ratio should be 1")
+	}
+	if c.FlowDeliveryRatio(9) != 1 {
+		t.Fatal("unknown flow ratio should be 1")
+	}
+}
