@@ -1,0 +1,85 @@
+package eend
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// BatchResult is one completed scenario within a RunBatch.
+type BatchResult struct {
+	// Index is the scenario's position in the slice passed to RunBatch.
+	Index int `json:"index"`
+	// Scenario is the scenario that produced this result.
+	Scenario *Scenario `json:"-"`
+	// Results is nil when Err is set.
+	Results *Results `json:"results,omitempty"`
+	// Err reports a failed or cancelled run.
+	Err error `json:"-"`
+}
+
+// batchConfig holds RunBatch tuning.
+type batchConfig struct {
+	workers int
+}
+
+// BatchOption tunes RunBatch.
+type BatchOption func(*batchConfig)
+
+// Workers bounds the number of scenarios simulated concurrently; n <= 0
+// (and the default) means GOMAXPROCS. Each scenario owns its simulator, so
+// results are independent of the worker count.
+func Workers(n int) BatchOption {
+	return func(c *batchConfig) { c.workers = n }
+}
+
+// RunBatch executes the scenarios on a bounded worker pool and streams each
+// result over the returned channel as it completes (not in input order; use
+// BatchResult.Index to correlate). The channel is closed once every
+// dispatched scenario has delivered its result. Cancelling ctx aborts
+// in-flight runs (which then arrive as results with Err set) and stops
+// dispatching queued ones; scenarios never dispatched simply don't appear.
+// The channel is buffered for the whole batch, so workers never block on a
+// slow or departed consumer and every completed result is delivered.
+func RunBatch(ctx context.Context, scenarios []*Scenario, opts ...BatchOption) <-chan BatchResult {
+	var cfg batchConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+
+	out := make(chan BatchResult, len(scenarios))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := scenarios[i].Run(ctx)
+				// The buffer holds the full batch, so this never blocks.
+				out <- BatchResult{Index: i, Scenario: scenarios[i], Results: res, Err: err}
+			}
+		}()
+	}
+	go func() {
+	feed:
+		for i := range scenarios {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}

@@ -1,6 +1,7 @@
 package eend
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -23,9 +24,11 @@ import (
 
 func quickRunner() experiments.Runner { return experiments.Runner{Scale: experiments.Quick} }
 
+var benchCtx = context.Background()
+
 func BenchmarkTable1Cards(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if f := quickRunner().Table1(); f.Text == "" {
+		if f := quickRunner().Table1(benchCtx); f.Text == "" {
 			b.Fatal("empty table")
 		}
 	}
@@ -33,7 +36,7 @@ func BenchmarkTable1Cards(b *testing.B) {
 
 func BenchmarkFig7Mopt(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if f := quickRunner().Fig7(); len(f.Series) != 6 {
+		if f := quickRunner().Fig7(benchCtx); len(f.Series) != 6 {
 			b.Fatal("incomplete figure")
 		}
 	}
@@ -41,7 +44,7 @@ func BenchmarkFig7Mopt(b *testing.B) {
 
 func BenchmarkFig8DeliverySmall(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig8, _ := quickRunner().SmallNetworks()
+		fig8, _ := quickRunner().SmallNetworks(benchCtx)
 		if len(fig8.Series) != 8 {
 			b.Fatal("incomplete figure")
 		}
@@ -50,7 +53,7 @@ func BenchmarkFig8DeliverySmall(b *testing.B) {
 
 func BenchmarkFig9GoodputSmall(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, fig9 := quickRunner().SmallNetworks()
+		_, fig9 := quickRunner().SmallNetworks(benchCtx)
 		if len(fig9.Series) != 8 {
 			b.Fatal("incomplete figure")
 		}
@@ -59,7 +62,7 @@ func BenchmarkFig9GoodputSmall(b *testing.B) {
 
 func BenchmarkFig10TransmitEnergy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if f := quickRunner().Fig10(); len(f.Series) != 4 {
+		if f := quickRunner().Fig10(benchCtx); len(f.Series) != 4 {
 			b.Fatal("incomplete figure")
 		}
 	}
@@ -67,7 +70,7 @@ func BenchmarkFig10TransmitEnergy(b *testing.B) {
 
 func BenchmarkFig11DeliveryLarge(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig11, _ := quickRunner().LargeNetworks()
+		fig11, _ := quickRunner().LargeNetworks(benchCtx)
 		if len(fig11.Series) != 7 {
 			b.Fatal("incomplete figure")
 		}
@@ -76,7 +79,7 @@ func BenchmarkFig11DeliveryLarge(b *testing.B) {
 
 func BenchmarkFig12GoodputLarge(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, fig12 := quickRunner().LargeNetworks()
+		_, fig12 := quickRunner().LargeNetworks(benchCtx)
 		if len(fig12.Series) != 7 {
 			b.Fatal("incomplete figure")
 		}
@@ -85,7 +88,7 @@ func BenchmarkFig12GoodputLarge(b *testing.B) {
 
 func BenchmarkTable2Density(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if f := quickRunner().Table2(); len(f.Series) != 4 {
+		if f := quickRunner().Table2(benchCtx); len(f.Series) != 4 {
 			b.Fatal("incomplete table")
 		}
 	}
@@ -110,7 +113,7 @@ func BenchmarkFig16GridODPMHigh(b *testing.B) {
 func benchGrid(b *testing.B, fig int) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		if f := quickRunner().GridFigure(fig); len(f.Series) != 6 {
+		if f := quickRunner().GridFigure(benchCtx, fig); len(f.Series) != 6 {
 			b.Fatalf("incomplete fig%d: %v", fig, f.Notes)
 		}
 	}

@@ -1,0 +1,86 @@
+// Command eendd serves the simulator over HTTP so remote callers can run
+// scenarios and regenerate the paper's figures without a local toolchain.
+//
+// Usage:
+//
+//	eendd [-addr :8080] [-grace 15s]
+//
+// Endpoints:
+//
+//	POST /v1/scenarios           run a scenario from a JSON body -> eend.Results JSON
+//	GET  /v1/experiments         list experiment and ablation IDs
+//	GET  /v1/experiments/{id}    regenerate a figure (?scale=quick|full) -> eend.Figure JSON
+//	GET  /healthz                liveness probe
+//
+// On SIGTERM/SIGINT the server stops accepting connections and gives
+// in-flight simulations -grace to finish; runs still going after that are
+// cancelled through their request contexts.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "eendd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("eendd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	grace := fs.Duration("grace", 15*time.Second, "shutdown grace period for in-flight runs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// baseCtx underlies every request context; cancelling it aborts
+	// simulations that outlive the shutdown grace period.
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(),
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "eendd: listening on %s\n", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "eendd: shutting down")
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	err := srv.Shutdown(shutdownCtx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		// Grace expired: cancel in-flight simulations and close for real.
+		cancelBase()
+		err = srv.Close()
+	}
+	<-errc // drain ListenAndServe's http.ErrServerClosed
+	return err
+}

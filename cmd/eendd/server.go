@@ -1,0 +1,267 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"eend"
+)
+
+// scenarioRequest is the JSON body of POST /v1/scenarios. Every field is
+// optional; omitted ones take the facade defaults (50 nodes, 500x500 m,
+// Cabletron, TITAN-PC/ODPM, 300 s).
+type scenarioRequest struct {
+	Seed  *uint64 `json:"seed,omitempty"`
+	Field *struct {
+		Width  float64 `json:"width"`
+		Height float64 `json:"height"`
+	} `json:"field,omitempty"`
+	Nodes *int `json:"nodes,omitempty"`
+	Grid  *struct {
+		Rows int `json:"rows"`
+		Cols int `json:"cols"`
+	} `json:"grid,omitempty"`
+	Card        string      `json:"card,omitempty"`
+	Stack       *stackSpec  `json:"stack,omitempty"`
+	Duration    string      `json:"duration,omitempty"` // Go syntax, e.g. "300s"
+	Flows       []eend.Flow `json:"flows,omitempty"`
+	RandomFlows *struct {
+		Count       int     `json:"count"`
+		Limit       int     `json:"limit,omitempty"` // endpoints among first Limit nodes; 0 = all
+		RateBps     float64 `json:"rate_bps"`
+		PacketBytes int     `json:"packet_bytes,omitempty"` // default 128
+	} `json:"random_flows,omitempty"`
+	BatteryJ     float64 `json:"battery_j,omitempty"`
+	BandwidthBps float64 `json:"bandwidth_bps,omitempty"`
+}
+
+// stackSpec selects the protocol stack by short names (see eend.RoutingNames,
+// eend.PMNames).
+type stackSpec struct {
+	Routing      string `json:"routing"`
+	PM           string `json:"pm,omitempty"` // default "odpm"
+	PowerControl bool   `json:"power_control,omitempty"`
+	Span         bool   `json:"span,omitempty"`
+	PerfectSleep bool   `json:"perfect_sleep,omitempty"`
+	Label        string `json:"label,omitempty"`
+	ODPMData     string `json:"odpm_data_timeout,omitempty"`  // Go duration
+	ODPMRoute    string `json:"odpm_route_timeout,omitempty"` // Go duration
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// scenarioFromRequest translates the wire request into facade options.
+func scenarioFromRequest(req scenarioRequest) (*eend.Scenario, error) {
+	var opts []eend.Option
+	if req.Seed != nil {
+		opts = append(opts, eend.WithSeed(*req.Seed))
+	}
+	if req.Field != nil {
+		opts = append(opts, eend.WithField(req.Field.Width, req.Field.Height))
+	}
+	if req.Nodes != nil && req.Grid != nil {
+		return nil, errors.New("nodes and grid are mutually exclusive")
+	}
+	if req.Nodes != nil {
+		opts = append(opts, eend.WithNodes(*req.Nodes))
+	}
+	if req.Grid != nil {
+		opts = append(opts, eend.WithGrid(req.Grid.Rows, req.Grid.Cols))
+	}
+	if req.Card != "" {
+		card, err := eend.ParseCard(req.Card)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, eend.WithCard(card))
+	}
+	if req.Stack != nil {
+		stack, err := stackOptions(*req.Stack)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, eend.WithStack(stack...))
+	}
+	if req.Duration != "" {
+		d, err := time.ParseDuration(req.Duration)
+		if err != nil {
+			return nil, fmt.Errorf("bad duration: %w", err)
+		}
+		opts = append(opts, eend.WithDuration(d))
+	}
+	if len(req.Flows) > 0 {
+		opts = append(opts, eend.WithFlows(req.Flows...))
+	}
+	if rf := req.RandomFlows; rf != nil {
+		packetBytes := rf.PacketBytes
+		if packetBytes == 0 {
+			packetBytes = 128
+		}
+		if rf.Limit > 0 {
+			opts = append(opts, eend.WithRandomFlowsAmong(rf.Count, rf.Limit, rf.RateBps, packetBytes))
+		} else {
+			opts = append(opts, eend.WithRandomFlows(rf.Count, rf.RateBps, packetBytes))
+		}
+	}
+	// Zero means "omitted"; anything else (including negative sign typos)
+	// goes through the option's own validation so bad values 400 instead
+	// of being silently dropped.
+	if req.BatteryJ != 0 {
+		opts = append(opts, eend.WithBattery(req.BatteryJ))
+	}
+	if req.BandwidthBps != 0 {
+		opts = append(opts, eend.WithBandwidth(req.BandwidthBps))
+	}
+	return eend.NewScenario(opts...)
+}
+
+// stackOptions translates a stackSpec into facade stack options.
+func stackOptions(spec stackSpec) ([]eend.StackOption, error) {
+	routing, err := eend.ParseRouting(spec.Routing)
+	if err != nil {
+		return nil, err
+	}
+	pmName := spec.PM
+	if pmName == "" {
+		pmName = "odpm"
+	}
+	pm, err := eend.ParsePM(pmName)
+	if err != nil {
+		return nil, err
+	}
+	out := []eend.StackOption{routing, pm}
+	if spec.PowerControl {
+		out = append(out, eend.PowerControl())
+	}
+	if spec.Span {
+		out = append(out, eend.Span())
+	}
+	if spec.PerfectSleep {
+		out = append(out, eend.PerfectSleep())
+	}
+	if spec.Label != "" {
+		out = append(out, eend.StackLabel(spec.Label))
+	}
+	if spec.ODPMData != "" || spec.ODPMRoute != "" {
+		// Each timeout is individually optional; an omitted one keeps the
+		// paper default (5 s data / 10 s route).
+		var data, route time.Duration
+		var err error
+		if spec.ODPMData != "" {
+			if data, err = time.ParseDuration(spec.ODPMData); err != nil {
+				return nil, fmt.Errorf("bad odpm_data_timeout: %w", err)
+			}
+		}
+		if spec.ODPMRoute != "" {
+			if route, err = time.ParseDuration(spec.ODPMRoute); err != nil {
+				return nil, fmt.Errorf("bad odpm_route_timeout: %w", err)
+			}
+		}
+		out = append(out, eend.ODPMTimeouts(data, route))
+	}
+	return out, nil
+}
+
+// maxScenarioBody bounds request bodies; a scenario spec is tiny.
+const maxScenarioBody = 1 << 20
+
+// newServer builds the eendd HTTP API:
+//
+//	POST /v1/scenarios           run a scenario from a JSON body -> eend.Results
+//	GET  /v1/experiments         list experiment and ablation IDs
+//	GET  /v1/experiments/{id}    regenerate a figure (?scale=quick|full) -> eend.Figure
+//	GET  /healthz                liveness probe
+//
+// Every simulation runs under the request's context, so a dropped client
+// connection (or server shutdown) cancels the run.
+func newServer() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	mux.HandleFunc("GET /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string][]string{
+			"experiments": eend.ExperimentIDs(),
+			"ablations":   eend.AblationIDs(),
+		})
+	})
+
+	mux.HandleFunc("GET /v1/experiments/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if !eend.IsExperimentID(id) {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown experiment %q", id))
+			return
+		}
+		scale, err := eend.ParseScale(r.URL.Query().Get("scale"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		fig, err := eend.RunExperiment(r.Context(), eend.Runner{Scale: scale}, id)
+		if err != nil {
+			writeRunError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, fig)
+	})
+
+	mux.HandleFunc("POST /v1/scenarios", func(w http.ResponseWriter, r *http.Request) {
+		if ct := r.Header.Get("Content-Type"); ct != "" && !strings.HasPrefix(ct, "application/json") {
+			writeError(w, http.StatusUnsupportedMediaType, fmt.Errorf("want application/json, got %q", ct))
+			return
+		}
+		var req scenarioRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxScenarioBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad scenario body: %w", err))
+			return
+		}
+		sc, err := scenarioFromRequest(req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		res, err := sc.Run(r.Context())
+		if err != nil {
+			writeRunError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+
+	return mux
+}
+
+// writeJSON emits v with the proper content type.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError emits the JSON error envelope.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// writeRunError distinguishes a client-cancelled run from a server fault.
+func writeRunError(w http.ResponseWriter, r *http.Request, err error) {
+	if r.Context().Err() != nil {
+		// The client went away; 499-style status for the log's benefit.
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err)
+}

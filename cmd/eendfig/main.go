@@ -2,46 +2,65 @@
 //
 // Usage:
 //
-//	eendfig [-fig all|table1|fig7|fig8|...|fig16] [-scale quick|full] [-csv dir] [-v]
+//	eendfig [-fig all|table1|fig7|fig8|...|fig16] [-scale quick|full]
+//	        [-format text|json|csv] [-csv dir] [-v]
 //
 // At -scale full the random-field experiments use the paper's parameters
 // (up to 200 nodes, 600-900 s, 5-10 seeds) and can take an hour; -scale
 // quick (default) runs a CI-sized version of every experiment in seconds.
+// Interrupting a run (SIGINT/SIGTERM) cancels the in-flight sweep.
+//
+// -format json emits one JSON array of figure objects (machine-readable,
+// round-trips through eend.Figure); -format csv emits each figure's series
+// as CSV; -format text (default) renders aligned tables.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
-	"eend/internal/experiments"
+	"eend"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "eendfig:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, out io.Writer, args []string) error {
 	fs := flag.NewFlagSet("eendfig", flag.ContinueOnError)
 	fig := fs.String("fig", "all",
 		"experiment id, 'all' (paper experiments) or 'ablations' (ids: "+
-			fmt.Sprint(experiments.IDs())+" + "+fmt.Sprint(experiments.AblationIDs())+")")
+			fmt.Sprint(eend.ExperimentIDs())+" + "+fmt.Sprint(eend.AblationIDs())+")")
 	scaleStr := fs.String("scale", "quick", "experiment scale: quick or full (paper parameters)")
+	format := fs.String("format", "text", "output format: text, json or csv")
 	csvDir := fs.String("csv", "", "directory to write per-figure CSV files (optional)")
 	verbose := fs.Bool("v", false, "print per-run progress")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		return fmt.Errorf("unknown format %q (want text|json|csv)", *format)
+	}
 
-	scale, err := experiments.ParseScale(*scaleStr)
+	scale, err := eend.ParseScale(*scaleStr)
 	if err != nil {
 		return err
 	}
-	runner := experiments.Runner{Scale: scale}
+	runner := eend.Runner{Scale: scale}
 	if *verbose {
 		runner.Progress = func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)
@@ -53,8 +72,12 @@ func run(args []string) error {
 			return err
 		}
 	}
-	emit := func(f *experiments.Figure) error {
-		fmt.Println(f.Render())
+
+	figures, err := collect(ctx, runner, *fig)
+	if err != nil {
+		return err
+	}
+	for _, f := range figures {
 		if *csvDir != "" {
 			if csv := f.CSV(); csv != "" {
 				path := filepath.Join(*csvDir, f.ID+".csv")
@@ -64,45 +87,53 @@ func run(args []string) error {
 				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 			}
 		}
-		return nil
 	}
+	return emit(out, *format, figures)
+}
 
-	switch *fig {
+// collect resolves the -fig selector to the list of figures to produce.
+func collect(ctx context.Context, runner eend.Runner, fig string) ([]*eend.Figure, error) {
+	switch fig {
 	case "all":
 		// All() shares sweeps between figure pairs plotting the same runs.
-		for _, f := range runner.All() {
-			if err := emit(f); err != nil {
-				return err
-			}
-		}
-		return nil
+		return runner.All(ctx)
 	case "ablations":
-		for _, id := range experiments.AblationIDs() {
-			f, err := runner.RunAblation(id)
+		var out []*eend.Figure
+		for _, id := range eend.AblationIDs() {
+			f, err := runner.RunAblation(ctx, id)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			if err := emit(f); err != nil {
-				return err
+			out = append(out, f)
+		}
+		return out, nil
+	default:
+		f, err := eend.RunExperiment(ctx, runner, fig)
+		if err != nil {
+			return nil, err
+		}
+		return []*eend.Figure{f}, nil
+	}
+}
+
+// emit writes the figures in the requested format.
+func emit(out io.Writer, format string, figures []*eend.Figure) error {
+	switch format {
+	case "json":
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(figures)
+	case "csv":
+		for _, f := range figures {
+			if csv := f.CSV(); csv != "" {
+				fmt.Fprintf(out, "# %s: %s\n%s\n", f.ID, f.Title, csv)
 			}
 		}
 		return nil
-	}
-
-	isAblation := false
-	for _, a := range experiments.AblationIDs() {
-		if a == *fig {
-			isAblation = true
+	default:
+		for _, f := range figures {
+			fmt.Fprintln(out, f.Render())
 		}
+		return nil
 	}
-	var f *experiments.Figure
-	if isAblation {
-		f, err = runner.RunAblation(*fig)
-	} else {
-		f, err = runner.Run(*fig)
-	}
-	if err != nil {
-		return err
-	}
-	return emit(f)
 }

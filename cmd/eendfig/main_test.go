@@ -1,20 +1,32 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"eend"
 )
 
+var bg = context.Background()
+
 func TestRunTable1(t *testing.T) {
-	if err := run([]string{"-fig", "table1"}); err != nil {
+	var out bytes.Buffer
+	if err := run(bg, &out, []string{"-fig", "table1"}); err != nil {
 		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Radio parameters") {
+		t.Fatalf("unexpected table1 output: %q", out.String())
 	}
 }
 
 func TestRunFig7WithCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run([]string{"-fig", "fig7", "-csv", dir}); err != nil {
+	if err := run(bg, os.Stdout, []string{"-fig", "fig7", "-csv", dir}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig7.csv")); err != nil {
@@ -22,14 +34,66 @@ func TestRunFig7WithCSV(t *testing.T) {
 	}
 }
 
+func TestRunFormatJSONRoundTrips(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(bg, &out, []string{"-fig", "fig7", "-format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	var figures []*eend.Figure
+	if err := json.Unmarshal(out.Bytes(), &figures); err != nil {
+		t.Fatalf("output is not valid figure JSON: %v", err)
+	}
+	if len(figures) != 1 || figures[0].ID != "fig7" {
+		t.Fatalf("figures = %+v, want one fig7", figures)
+	}
+	if len(figures[0].Series) != 6 {
+		t.Fatalf("fig7 decoded with %d series, want 6", len(figures[0].Series))
+	}
+	again, err := json.Marshal(figures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, out.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != compact.String() {
+		t.Fatal("figure JSON does not round-trip byte-identically")
+	}
+}
+
+func TestRunFormatCSV(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(bg, &out, []string{"-fig", "fig7", "-format", "csv"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# fig7") || !strings.Contains(out.String(), "R/B") {
+		t.Fatalf("unexpected CSV output: %.120q", out.String())
+	}
+}
+
 func TestRunRejectsBadScale(t *testing.T) {
-	if err := run([]string{"-scale", "bogus"}); err == nil {
+	if err := run(bg, os.Stdout, []string{"-scale", "bogus"}); err == nil {
 		t.Fatal("bad scale should fail")
 	}
 }
 
 func TestRunRejectsBadFigure(t *testing.T) {
-	if err := run([]string{"-fig", "fig99"}); err == nil {
+	if err := run(bg, os.Stdout, []string{"-fig", "fig99"}); err == nil {
 		t.Fatal("bad figure id should fail")
+	}
+}
+
+func TestRunRejectsBadFormat(t *testing.T) {
+	if err := run(bg, os.Stdout, []string{"-format", "xml"}); err == nil {
+		t.Fatal("bad format should fail")
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	if err := run(ctx, os.Stdout, []string{"-fig", "fig8"}); err == nil {
+		t.Fatal("cancelled context should abort the run with an error")
 	}
 }

@@ -4,145 +4,108 @@
 // Example:
 //
 //	eendsim -nodes 50 -field 500 -proto titan -pm odpm -pc -flows 10 -rate 4 -dur 300s
+//
+// -json prints the run's eend.Results as JSON instead of the text summary.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
-	"eend/internal/geom"
-	"eend/internal/network"
-	"eend/internal/radio"
-	"eend/internal/traffic"
+	"eend"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "eendsim:", err)
 		os.Exit(1)
 	}
 }
 
-var protocols = map[string]network.ProtocolKind{
-	"dsr":       network.ProtoDSR,
-	"mtpr":      network.ProtoMTPR,
-	"mtpr+":     network.ProtoMTPRPlus,
-	"dsrh":      network.ProtoDSRHNoRate,
-	"dsrh-rate": network.ProtoDSRHRate,
-	"dsdv":      network.ProtoDSDV,
-	"dsdvh":     network.ProtoDSDVH,
-	"titan":     network.ProtoTITAN,
-}
-
-var cards = map[string]radio.Card{
-	"aironet":      radio.Aironet350,
-	"cabletron":    radio.Cabletron,
-	"hypothetical": radio.HypotheticalCabletron,
-	"mica2":        radio.Mica2,
-	"leach4":       radio.LEACH4,
-	"leach2":       radio.LEACH2,
-}
-
-func run(args []string) error {
+func run(ctx context.Context, out io.Writer, args []string) error {
 	fs := flag.NewFlagSet("eendsim", flag.ContinueOnError)
 	var (
 		nodes   = fs.Int("nodes", 50, "number of nodes")
 		field   = fs.Float64("field", 500, "square field side (m)")
-		proto   = fs.String("proto", "titan", "routing protocol: "+strings.Join(keys(protocols), "|"))
-		pmStr   = fs.String("pm", "odpm", "power management: odpm|active")
+		proto   = fs.String("proto", "titan", "routing protocol: "+strings.Join(eend.RoutingNames(), "|"))
+		pmStr   = fs.String("pm", "odpm", "power management: "+strings.Join(eend.PMNames(), "|"))
 		pc      = fs.Bool("pc", false, "transmission power control for data frames")
 		perfect = fs.Bool("perfect-sleep", false, "price idle time at sleep power (oracle)")
 		span    = fs.Bool("span", false, "advertised-traffic-window PSM improvement")
-		cardStr = fs.String("card", "cabletron", "radio card: "+strings.Join(keys(cards), "|"))
+		cardStr = fs.String("card", "cabletron", "radio card: "+strings.Join(eend.CardNames(), "|"))
 		flows   = fs.Int("flows", 10, "number of CBR flows (random endpoints)")
 		rate    = fs.Float64("rate", 2, "per-flow rate (Kbit/s, 128 B packets)")
 		dur     = fs.Duration("dur", 300*time.Second, "simulated duration")
 		seed    = fs.Uint64("seed", 1, "random seed")
 		grid    = fs.Int("grid", 0, "if > 0, place nodes on an NxN grid instead of uniformly")
+		asJSON  = fs.Bool("json", false, "print results as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	pk, ok := protocols[*proto]
-	if !ok {
-		return fmt.Errorf("unknown protocol %q", *proto)
-	}
-	card, ok := cards[*cardStr]
-	if !ok {
-		return fmt.Errorf("unknown card %q", *cardStr)
-	}
-	var pm network.PMKind
-	switch *pmStr {
-	case "odpm":
-		pm = network.PMODPM
-	case "active":
-		pm = network.PMAlwaysActive
-	default:
-		return fmt.Errorf("unknown power management %q", *pmStr)
-	}
-
-	sc := network.Scenario{
-		Seed:  *seed,
-		Field: geom.Field{Width: *field, Height: *field},
-		Nodes: *nodes,
-		Card:  card,
-		Stack: network.Stack{
-			Routing:          pk,
-			PM:               pm,
-			PowerControl:     *pc,
-			PerfectSleep:     *perfect,
-			AdvertisedWindow: *span,
-		},
-		Duration: *dur,
-	}
-	if *grid > 0 {
-		sc.GridRows, sc.GridCols = *grid, *grid
-		sc.Nodes = 0
-	}
-
-	n := *nodes
-	if *grid > 0 {
-		n = *grid * *grid
-	}
-	rng := network.EndpointRNG(*seed)
-	for i := 0; i < *flows; i++ {
-		src := rng.IntN(n)
-		dst := rng.IntN(n)
-		for dst == src {
-			dst = rng.IntN(n)
-		}
-		sc.Flows = append(sc.Flows, traffic.Flow{
-			ID: i + 1, Src: src, Dst: dst,
-			Rate: *rate * 1024, PacketBytes: 128,
-			StartMin: 20 * time.Second, StartMax: 25 * time.Second,
-		})
-	}
-
-	res, err := network.Run(sc)
+	routing, err := eend.ParseRouting(*proto)
 	if err != nil {
 		return err
 	}
-	fmt.Print(res.Summary())
-	fmt.Printf("events:          %d\n", res.Events)
-	return nil
-}
+	card, err := eend.ParseCard(*cardStr)
+	if err != nil {
+		return err
+	}
+	pm, err := eend.ParsePM(*pmStr)
+	if err != nil {
+		return err
+	}
 
-func keys[V any](m map[string]V) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
+	stack := []eend.StackOption{routing, pm}
+	if *pc {
+		stack = append(stack, eend.PowerControl())
 	}
-	// stable order for help text
-	for i := 0; i < len(out); i++ {
-		for j := i + 1; j < len(out); j++ {
-			if out[j] < out[i] {
-				out[i], out[j] = out[j], out[i]
-			}
-		}
+	if *perfect {
+		stack = append(stack, eend.PerfectSleep())
 	}
-	return out
+	if *span {
+		stack = append(stack, eend.Span())
+	}
+
+	opts := []eend.Option{
+		eend.WithSeed(*seed),
+		eend.WithField(*field, *field),
+		eend.WithCard(card),
+		eend.WithStack(stack...),
+		eend.WithDuration(*dur),
+		eend.WithRandomFlows(*flows, *rate*1024, 128),
+	}
+	if *grid > 0 {
+		opts = append(opts, eend.WithGrid(*grid, *grid))
+	} else {
+		opts = append(opts, eend.WithNodes(*nodes))
+	}
+
+	sc, err := eend.NewScenario(opts...)
+	if err != nil {
+		return err
+	}
+	res, err := sc.Run(ctx)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Fprint(out, res.Summary())
+	fmt.Fprintf(out, "events:          %d\n", res.Events)
+	return nil
 }

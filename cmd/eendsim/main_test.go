@@ -1,9 +1,19 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"testing"
+
+	"eend"
+)
+
+var bg = context.Background()
 
 func TestRunSmallScenario(t *testing.T) {
-	err := run([]string{
+	err := run(bg, io.Discard, []string{
 		"-nodes", "10", "-field", "300", "-proto", "dsr", "-pm", "active",
 		"-flows", "2", "-rate", "2", "-dur", "30s",
 	})
@@ -13,7 +23,7 @@ func TestRunSmallScenario(t *testing.T) {
 }
 
 func TestRunGridScenario(t *testing.T) {
-	err := run([]string{
+	err := run(bg, io.Discard, []string{
 		"-grid", "4", "-field", "300", "-proto", "titan", "-pm", "odpm", "-pc",
 		"-card", "hypothetical", "-flows", "2", "-rate", "2", "-dur", "40s",
 	})
@@ -22,20 +32,46 @@ func TestRunGridScenario(t *testing.T) {
 	}
 }
 
+func TestRunJSONOutput(t *testing.T) {
+	var out bytes.Buffer
+	err := run(bg, &out, []string{
+		"-nodes", "10", "-field", "300", "-proto", "dsr", "-pm", "active",
+		"-flows", "2", "-rate", "2", "-dur", "30s", "-json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res eend.Results
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("output is not valid results JSON: %v", err)
+	}
+	if res.Stack != "DSR-Active" || res.Sent == 0 {
+		t.Fatalf("decoded results look wrong: stack=%q sent=%d", res.Stack, res.Sent)
+	}
+}
+
 func TestRunRejectsUnknownProtocol(t *testing.T) {
-	if err := run([]string{"-proto", "ospf"}); err == nil {
+	if err := run(bg, io.Discard, []string{"-proto", "ospf"}); err == nil {
 		t.Fatal("unknown protocol should fail")
 	}
 }
 
 func TestRunRejectsUnknownCard(t *testing.T) {
-	if err := run([]string{"-card", "walkietalkie"}); err == nil {
+	if err := run(bg, io.Discard, []string{"-card", "walkietalkie"}); err == nil {
 		t.Fatal("unknown card should fail")
 	}
 }
 
 func TestRunRejectsUnknownPM(t *testing.T) {
-	if err := run([]string{"-pm", "nightmode"}); err == nil {
+	if err := run(bg, io.Discard, []string{"-pm", "nightmode"}); err == nil {
 		t.Fatal("unknown power management should fail")
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	if err := run(ctx, io.Discard, []string{"-nodes", "10", "-flows", "2", "-dur", "30s"}); err == nil {
+		t.Fatal("cancelled context should abort the run")
 	}
 }

@@ -4,12 +4,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"eend/internal/core"
-	"eend/internal/experiments"
+	"eend"
+	"eend/design"
 )
 
 func main() {
@@ -27,22 +28,23 @@ func run(args []string) error {
 		return err
 	}
 
-	runner := experiments.Runner{Scale: experiments.Quick}
-	fmt.Println(runner.Table1().Render())
+	ctx := context.Background()
+	runner := eend.Runner{Scale: eend.Quick}
+	fmt.Println(runner.Table1(ctx).Render())
 	if *table1Only {
 		return nil
 	}
-	fmt.Println(runner.Fig7().Render())
+	fmt.Println(runner.Fig7(ctx).Render())
 
 	fmt.Printf("Verdict at R/B = %.2f:\n", *rb)
-	for _, fc := range core.Fig7Cards() {
-		hops := core.CharacteristicHopCount(fc.Card, fc.D, *rb)
+	for _, fc := range design.Fig7Cards() {
+		hops := design.CharacteristicHopCount(fc.Card, fc.D, *rb)
 		verdict := "direct transmission only"
 		if hops >= 2 {
 			verdict = fmt.Sprintf("relaying pays off (%d hops optimal)", hops)
 		}
 		fmt.Printf("  %-24s D=%3.0fm  m_opt=%.3f  -> %s\n",
-			fc.Card.Name, fc.D, core.Mopt(fc.Card, fc.D, *rb), verdict)
+			fc.Card.Name, fc.D, design.Mopt(fc.Card, fc.D, *rb), verdict)
 	}
 	return nil
 }

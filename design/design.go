@@ -1,0 +1,96 @@
+// Package design exposes the energy-efficient network design problem in its
+// static, formal form (paper Section 3): node-weighted graphs, the
+// Enetwork objective (Eq. 5), the Steiner gadget analyses (Figs. 1-6, Eqs.
+// 6-9), the three heuristic solution approaches of Section 4, and the
+// Section 5.1 analytical characteristic-hop-count study. It is the public
+// facade over the internal solver; all types are aliases, so values
+// interoperate with the rest of the module.
+package design
+
+import (
+	"eend/internal/core"
+	"eend/internal/radio"
+)
+
+type (
+	// Graph is an undirected graph with node weights (idling cost) and
+	// edge weights (communication cost).
+	Graph = core.Graph
+	// Demand is one (source, destination, rate) communication requirement.
+	Demand = core.Demand
+	// Design is a solution: one route per demand.
+	Design = core.Design
+	// Tree is a rooted tree inside a Graph (Steiner constructions).
+	Tree = core.Tree
+	// EvalConfig weighs idle versus traffic time in Enetwork (Eq. 5).
+	EvalConfig = core.EvalConfig
+	// EdgeCostFunc customizes edge costs in shortest-path queries.
+	EdgeCostFunc = core.EdgeCostFunc
+	// NodeCostFunc customizes node costs in shortest-path queries.
+	NodeCostFunc = core.NodeCostFunc
+	// Approach is one of the paper's three heuristic solution strategies.
+	Approach = core.Approach
+	// MoptPoint is one (R/B, m_opt) sample of the Fig. 7 curves.
+	MoptPoint = core.MoptPoint
+	// Fig7Card pairs a radio card with its study distance D.
+	Fig7Card = core.Fig7Card
+	// Card re-exports the radio card model used by the analytical study.
+	Card = radio.Card
+)
+
+// The three heuristic approaches of Section 4.
+const (
+	// CommFirst minimizes communication energy first (MTPR-style).
+	CommFirst = core.CommFirst
+	// Joint optimizes communication and idling together (DSRH-style).
+	Joint = core.Joint
+	// IdleFirst minimizes the number of awake relays first (TITAN-style).
+	IdleFirst = core.IdleFirst
+)
+
+// NewGraph returns an empty graph on n nodes.
+func NewGraph(n int) *Graph { return core.NewGraph(n) }
+
+// Gadget constructions and their closed forms (Figs. 1-6, Eqs. 6-9).
+var (
+	// STGadget builds the Steiner-tree gadget with k sources.
+	STGadget = core.STGadget
+	// ST1Design is the minimum-node-weight tree through the expensive hub.
+	ST1Design = core.ST1Design
+	// ST2Design is the alternative minimum-node-weight tree.
+	ST2Design = core.ST2Design
+	// EST1 is Eq. 6, the closed-form Enetwork of ST1.
+	EST1 = core.EST1
+	// EST2 is Eq. 7, the closed-form Enetwork of ST2.
+	EST2 = core.EST2
+	// SFGadget builds the Steiner-forest gadget with k pairs.
+	SFGadget = core.SFGadget
+	// SF1Design serves each pair through its own relay.
+	SF1Design = core.SF1Design
+	// SF2Design serves every pair through one shared relay.
+	SF2Design = core.SF2Design
+	// ESF1 is Eq. 8, the closed-form Enetwork of SF1.
+	ESF1 = core.ESF1
+	// ESF2 is Eq. 9, the closed-form Enetwork of SF2.
+	ESF2 = core.ESF2
+	// SFIdleRatio is the 3k/(2k+1) idle-energy gap of the forest gadget.
+	SFIdleRatio = core.SFIdleRatio
+)
+
+// The Section 5.1 analytical study (Fig. 7 and Table 1 companions).
+var (
+	// Mopt is the characteristic hop count m_opt (Eq. 15).
+	Mopt = core.Mopt
+	// MoptCurve samples m_opt over a bandwidth-utilization range.
+	MoptCurve = core.MoptCurve
+	// CharacteristicHopCount rounds Mopt to the optimal integer hop count.
+	CharacteristicHopCount = core.CharacteristicHopCount
+	// RelayingSavesEnergy reports whether m_opt >= 2 for the card.
+	RelayingSavesEnergy = core.RelayingSavesEnergy
+	// CharacteristicDistance inverts Mopt for a fixed utilization.
+	CharacteristicDistance = core.CharacteristicDistance
+	// RouteEnergy evaluates the m-hop route energy of the study.
+	RouteEnergy = core.RouteEnergy
+	// Fig7Cards lists the card/distance pairs the paper plots in Fig. 7.
+	Fig7Cards = core.Fig7Cards
+)

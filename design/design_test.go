@@ -1,0 +1,85 @@
+package design_test
+
+import (
+	"math"
+	"testing"
+
+	"eend/design"
+)
+
+// The facade is aliases over the internal solver; these tests pin that the
+// public surface is complete enough to reproduce the paper's Section 3
+// analyses without eend/internal imports.
+
+func TestGadgetClosedForms(t *testing.T) {
+	const (
+		k     = 8
+		alpha = 2.0
+		z     = 1.0
+		tidle = 10.0
+		tdata = 1.0
+	)
+	cfg := design.EvalConfig{TIdle: tidle, TData: tdata}
+
+	g, demands := design.STGadget(k, alpha, z)
+	est1 := g.Enetwork(demands, design.ST1Design(k), cfg)
+	est2 := g.Enetwork(demands, design.ST2Design(k), cfg)
+	if math.Abs(est1-design.EST1(k, tidle, tdata, alpha, z)) > 1e-9 {
+		t.Errorf("E(ST1) = %g, closed form %g", est1, design.EST1(k, tidle, tdata, alpha, z))
+	}
+	if math.Abs(est2-design.EST2(k, tidle, tdata, alpha, z)) > 1e-9 {
+		t.Errorf("E(ST2) = %g, closed form %g", est2, design.EST2(k, tidle, tdata, alpha, z))
+	}
+
+	gf, df := design.SFGadget(k, alpha, z)
+	esf2 := gf.Enetwork(df, design.SF2Design(k), cfg)
+	if math.Abs(esf2-design.ESF2(k, tidle, tdata, alpha, z)) > 1e-9 {
+		t.Errorf("E(SF2) = %g, closed form %g", esf2, design.ESF2(k, tidle, tdata, alpha, z))
+	}
+	// The idle-first heuristic discovers the shared relay itself.
+	d, err := gf.Solve(df, design.IdleFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gf.Enetwork(df, d, cfg); math.Abs(got-esf2) > 1e-9 {
+		t.Errorf("idle-first Enetwork = %g, want SF2's %g", got, esf2)
+	}
+}
+
+func TestCompareApproaches(t *testing.T) {
+	g := design.NewGraph(4)
+	for i := 0; i < 4; i++ {
+		g.SetNodeWeight(i, 1)
+	}
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(0, 3, 10)
+	res, err := g.CompareApproaches([]design.Demand{{Src: 0, Dst: 3}},
+		design.EvalConfig{TIdle: 1, TData: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []design.Approach{design.CommFirst, design.Joint, design.IdleFirst} {
+		if _, ok := res[a]; !ok {
+			t.Errorf("missing approach %v", a)
+		}
+	}
+}
+
+func TestAnalyticStudy(t *testing.T) {
+	cards := design.Fig7Cards()
+	if len(cards) != 6 {
+		t.Fatalf("Fig7Cards = %d entries, want 6", len(cards))
+	}
+	for _, fc := range cards {
+		m := design.Mopt(fc.Card, fc.D, 0.25)
+		if m <= 0 || math.IsNaN(m) {
+			t.Errorf("%s: m_opt = %g", fc.Card.Name, m)
+		}
+		hops := design.CharacteristicHopCount(fc.Card, fc.D, 0.25)
+		if saves := design.RelayingSavesEnergy(fc.Card, fc.D, 0.25); saves != (hops >= 2) {
+			t.Errorf("%s: RelayingSavesEnergy=%v but hops=%d", fc.Card.Name, saves, hops)
+		}
+	}
+}

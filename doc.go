@@ -7,9 +7,27 @@
 // harness that regenerates every table and figure of the paper's
 // evaluation.
 //
+// The root package is the public facade: scenarios are built with
+// functional options and run under a context.Context, so even Full-scale
+// runs cancel promptly:
+//
+//	sc, err := eend.NewScenario(
+//		eend.WithField(500, 500),
+//		eend.WithNodes(50),
+//		eend.WithStack(eend.TITAN, eend.ODPM, eend.PowerControl()),
+//		eend.WithRandomFlows(10, 2048, 128),
+//	)
+//	res, err := sc.Run(ctx)
+//
+// Batches of scenarios run concurrently through RunBatch, which streams
+// results as they complete; Results, Figure and the metric series marshal
+// to stable JSON for machine consumption (served over HTTP by cmd/eendd).
+//
 // Layout:
 //
-//	internal/sim          discrete-event kernel
+//	eend (root)           public facade: scenarios, options, batches, experiments
+//	design                public facade for the formal design problem (Section 3)
+//	internal/sim          discrete-event kernel (context-aware event loop)
 //	internal/geom         placement geometry
 //	internal/radio        card models (Table 1) + energy meter (Eqs. 1-4)
 //	internal/phy          medium: propagation, collisions, carrier sense
@@ -19,10 +37,11 @@
 //	internal/traffic      CBR flows and delivery accounting
 //	internal/network      scenario assembly and metrics
 //	internal/core         the design problem: Enetwork, Steiner/MPC, m_opt
-//	internal/metrics      means and 95% confidence intervals
+//	internal/metrics      means and 95% confidence intervals (JSON-marshalable)
 //	internal/experiments  one runner per paper table/figure
-//	cmd/eendfig           regenerate all tables and figures
-//	cmd/eendsim           run a single scenario
+//	cmd/eendfig           regenerate all tables and figures (-format text|json|csv)
+//	cmd/eendsim           run a single scenario (-json for machine output)
+//	cmd/eendd             HTTP service: run scenarios and figures remotely
 //	cmd/mopt              the Section 5.1 analytical study
 //
 // The benchmarks in bench_test.go regenerate each experiment at Quick

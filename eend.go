@@ -1,0 +1,95 @@
+package eend
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"eend/internal/geom"
+	"eend/internal/metrics"
+	"eend/internal/network"
+	"eend/internal/radio"
+	"eend/internal/traffic"
+)
+
+// The public facade re-exports the reproduction's result and building-block
+// types as aliases, so values returned by the internal engine are directly
+// usable (and JSON-marshalable) by importers without reaching into
+// eend/internal/....
+
+type (
+	// Results aggregates the metrics of one simulation run.
+	Results = network.Results
+	// NodeResults is one node's outcome within Results.PerNode.
+	NodeResults = network.NodeResults
+	// Lifetime holds battery-depletion metrics (set via WithBattery).
+	Lifetime = network.Lifetime
+	// Flow describes one constant-bit-rate traffic flow.
+	Flow = traffic.Flow
+	// Card is a radio card model (paper Table 1).
+	Card = radio.Card
+	// Breakdown is a per-state energy breakdown in joules (Eqs. 1-4).
+	Breakdown = radio.Breakdown
+	// Point is a node position in meters.
+	Point = geom.Point
+	// Field is the rectangular deployment area in meters.
+	Field = geom.Field
+	// Series is one figure line: (x, sample) points with 95% CIs.
+	Series = metrics.Series
+	// Sample accumulates observations of one measured quantity.
+	Sample = metrics.Sample
+)
+
+// The modelled radio cards (paper Table 1).
+var (
+	Aironet350            = radio.Aironet350
+	Cabletron             = radio.Cabletron
+	HypotheticalCabletron = radio.HypotheticalCabletron
+	Mica2                 = radio.Mica2
+	LEACH4                = radio.LEACH4
+	LEACH2                = radio.LEACH2
+)
+
+// Cards returns every modelled card in Table 1 order.
+func Cards() []Card { return radio.Cards() }
+
+// cardsByName maps the CLI/HTTP short names to card models.
+var cardsByName = map[string]Card{
+	"aironet":      radio.Aironet350,
+	"cabletron":    radio.Cabletron,
+	"hypothetical": radio.HypotheticalCabletron,
+	"mica2":        radio.Mica2,
+	"leach4":       radio.LEACH4,
+	"leach2":       radio.LEACH2,
+}
+
+// ParseCard resolves a card short name (see CardNames).
+func ParseCard(name string) (Card, error) {
+	c, ok := cardsByName[name]
+	if !ok {
+		return Card{}, fmt.Errorf("eend: unknown card %q (want one of %v)", name, CardNames())
+	}
+	return c, nil
+}
+
+// CardNames lists the card short names accepted by ParseCard, sorted.
+func CardNames() []string {
+	out := make([]string, 0, len(cardsByName))
+	for k := range cardsByName {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EndpointRNG returns the deterministic RNG used to draw random flow
+// endpoints for a seed, decoupled from the scenario's own random stream so
+// that endpoint choice stays stable when other randomness changes.
+func EndpointRNG(seed uint64) *rand.Rand { return network.EndpointRNG(seed) }
+
+// RandomFlows draws n CBR flows with distinct random endpoints among nodes
+// [0, nodes) at rate bit/s, starting in the paper's 20-25 s window. Most
+// callers want WithRandomFlows instead; this is the raw helper.
+func RandomFlows(rng *rand.Rand, n, nodes int, rate float64, packetBytes int) []Flow {
+	return traffic.RandomFlows(rng, n, nodes, rate, packetBytes)
+}

@@ -8,62 +8,60 @@
 // plus the DSR-Active baseline, reproducing in miniature the story of
 // Figs. 8-12: with real radios, idling dominates, so the idle-first stacks
 // win on energy goodput without losing delivery.
+//
+// The five scenarios run concurrently through eend.RunBatch, which streams
+// results as they complete.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"eend/internal/geom"
-	"eend/internal/network"
-	"eend/internal/radio"
-	"eend/internal/traffic"
+	"eend"
 )
 
 func main() {
-	stacks := []network.Stack{
-		{Label: "1. MTPR-ODPM (comm first)", Routing: network.ProtoMTPR, PM: network.PMODPM},
-		{Label: "2. DSRH-ODPM (joint)", Routing: network.ProtoDSRHNoRate, PM: network.PMODPM},
-		{Label: "3a. DSR-ODPM-PC (idle first)", Routing: network.ProtoDSR, PM: network.PMODPM, PowerControl: true},
-		{Label: "3b. TITAN-PC (idle first)", Routing: network.ProtoTITAN, PM: network.PMODPM, PowerControl: true},
-		{Label: "baseline DSR-Active", Routing: network.ProtoDSR, PM: network.PMAlwaysActive},
+	stacks := [][]eend.StackOption{
+		{eend.MTPR, eend.ODPM, eend.StackLabel("1. MTPR-ODPM (comm first)")},
+		{eend.DSRHNoRate, eend.ODPM, eend.StackLabel("2. DSRH-ODPM (joint)")},
+		{eend.DSR, eend.ODPM, eend.PowerControl(), eend.StackLabel("3a. DSR-ODPM-PC (idle first)")},
+		{eend.TITAN, eend.ODPM, eend.PowerControl(), eend.StackLabel("3b. TITAN-PC (idle first)")},
+		{eend.DSR, eend.AlwaysActive, eend.StackLabel("baseline DSR-Active")},
+	}
+
+	scenarios := make([]*eend.Scenario, len(stacks))
+	for i, st := range stacks {
+		sc, err := eend.NewScenario(
+			eend.WithSeed(7),
+			eend.WithField(500, 500),
+			eend.WithNodes(50),
+			eend.WithStack(st...),
+			eend.WithRandomFlows(8, 4096, 128),
+			eend.WithDuration(4*time.Minute),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scenarios[i] = sc
+	}
+
+	// Results stream in completion order; index them back to input order.
+	ordered := make([]*eend.Results, len(scenarios))
+	for br := range eend.RunBatch(context.Background(), scenarios, eend.Workers(len(scenarios))) {
+		if br.Err != nil {
+			log.Fatal(br.Err)
+		}
+		ordered[br.Index] = br.Results
 	}
 
 	fmt.Printf("%-30s %10s %14s %10s %8s\n",
 		"stack", "delivery", "goodput(bit/J)", "energy(J)", "relays")
-	for _, st := range stacks {
-		res, err := network.Run(scenario(st))
-		if err != nil {
-			log.Fatal(err)
-		}
+	for _, res := range ordered {
 		fmt.Printf("%-30s %10.3f %14.0f %10.1f %8d\n",
-			st.Label, res.DeliveryRatio, res.EnergyGoodput, res.Energy.Total(), res.Relays)
+			res.Stack, res.DeliveryRatio, res.EnergyGoodput, res.Energy.Total(), res.Relays)
 	}
 	fmt.Println("\nWith real radios (Cabletron), idle power dominates: the idle-first")
 	fmt.Println("stacks deliver the same traffic for a fraction of the energy.")
-}
-
-func scenario(st network.Stack) network.Scenario {
-	sc := network.Scenario{
-		Seed:     7,
-		Field:    geom.Field{Width: 500, Height: 500},
-		Nodes:    50,
-		Card:     radio.Cabletron,
-		Stack:    st,
-		Duration: 4 * time.Minute,
-	}
-	rng := network.EndpointRNG(sc.Seed)
-	for i := 0; i < 8; i++ {
-		src, dst := rng.IntN(sc.Nodes), rng.IntN(sc.Nodes)
-		for dst == src {
-			dst = rng.IntN(sc.Nodes)
-		}
-		sc.Flows = append(sc.Flows, traffic.Flow{
-			ID: i + 1, Src: src, Dst: dst,
-			Rate: 4096, PacketBytes: 128,
-			StartMin: 20 * time.Second, StartMax: 25 * time.Second,
-		})
-	}
-	return sc
 }

@@ -5,58 +5,45 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"eend/internal/geom"
-	"eend/internal/network"
-	"eend/internal/radio"
-	"eend/internal/traffic"
+	"eend"
 )
 
 func main() {
-	stacks := []network.Stack{
-		{Label: "DSR-ODPM-PC", Routing: network.ProtoDSR, PM: network.PMODPM, PowerControl: true},
-		{Label: "TITAN-PC", Routing: network.ProtoTITAN, PM: network.PMODPM, PowerControl: true},
+	stacks := [][]eend.StackOption{
+		{eend.DSR, eend.ODPM, eend.PowerControl(), eend.StackLabel("DSR-ODPM-PC")},
+		{eend.TITAN, eend.ODPM, eend.PowerControl(), eend.StackLabel("TITAN-PC")},
 	}
 	densities := []int{60, 90, 120}
 
 	fmt.Printf("%-14s %8s %10s %14s %12s\n", "stack", "nodes", "delivery", "goodput(bit/J)", "RREQ floods")
 	for _, st := range stacks {
 		for _, n := range densities {
-			res, err := network.Run(scenario(st, n))
+			sc, err := eend.NewScenario(
+				eend.WithSeed(5),
+				eend.WithField(800, 800),
+				eend.WithNodes(n),
+				eend.WithStack(st...),
+				// Endpoints among the first 60 nodes, whose positions are
+				// identical at every density (the Table 2 methodology).
+				eend.WithRandomFlowsAmong(8, 60, 4096, 128),
+				eend.WithDuration(3*time.Minute),
+			)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := sc.Run(context.Background())
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("%-14s %8d %10.3f %14.0f %12d\n",
-				st.Label, n, res.DeliveryRatio, res.EnergyGoodput, res.Routing.RREQSent)
+				res.Stack, n, res.DeliveryRatio, res.EnergyGoodput, res.Routing.RREQSent)
 		}
 	}
 	fmt.Println("\nFlow endpoints sit among the first 60 nodes, whose positions are")
 	fmt.Println("identical at every density (the paper's Table 2 methodology).")
-}
-
-func scenario(st network.Stack, nodes int) network.Scenario {
-	sc := network.Scenario{
-		Seed:     5,
-		Field:    geom.Field{Width: 800, Height: 800},
-		Nodes:    nodes,
-		Card:     radio.Cabletron,
-		Stack:    st,
-		Duration: 3 * time.Minute,
-	}
-	rng := network.EndpointRNG(sc.Seed)
-	for i := 0; i < 8; i++ {
-		src, dst := rng.IntN(60), rng.IntN(60)
-		for dst == src {
-			dst = rng.IntN(60)
-		}
-		sc.Flows = append(sc.Flows, traffic.Flow{
-			ID: i + 1, Src: src, Dst: dst,
-			Rate: 4096, PacketBytes: 128,
-			StartMin: 20 * time.Second, StartMax: 25 * time.Second,
-		})
-	}
-	return sc
 }

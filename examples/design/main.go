@@ -16,7 +16,7 @@ import (
 	"log"
 	"math/rand/v2"
 
-	"eend/internal/core"
+	"eend/design"
 )
 
 func main() {
@@ -33,28 +33,28 @@ func gadgets() {
 		tdata = 1.0
 	)
 	fmt.Printf("Steiner-tree gadget (k=%d sources, Figs. 1-3):\n", k)
-	g, demands := core.STGadget(k, alpha, z)
-	est1 := g.Enetwork(demands, core.ST1Design(k), core.EvalConfig{TIdle: tidle, TData: tdata})
-	est2 := g.Enetwork(demands, core.ST2Design(k), core.EvalConfig{TIdle: tidle, TData: tdata})
-	fmt.Printf("  E(ST1) = %6.1f   (closed form Eq. 6: %6.1f)\n", est1, core.EST1(k, tidle, tdata, alpha, z))
-	fmt.Printf("  E(ST2) = %6.1f   (closed form Eq. 7: %6.1f)\n", est2, core.EST2(k, tidle, tdata, alpha, z))
+	g, demands := design.STGadget(k, alpha, z)
+	est1 := g.Enetwork(demands, design.ST1Design(k), design.EvalConfig{TIdle: tidle, TData: tdata})
+	est2 := g.Enetwork(demands, design.ST2Design(k), design.EvalConfig{TIdle: tidle, TData: tdata})
+	fmt.Printf("  E(ST1) = %6.1f   (closed form Eq. 6: %6.1f)\n", est1, design.EST1(k, tidle, tdata, alpha, z))
+	fmt.Printf("  E(ST2) = %6.1f   (closed form Eq. 7: %6.1f)\n", est2, design.EST2(k, tidle, tdata, alpha, z))
 	fmt.Printf("  both trees keep one relay awake, yet ST1 costs %.2fx more to run\n\n", est1/est2)
 
 	fmt.Printf("Steiner-forest gadget (k=%d pairs, Figs. 4-6):\n", k)
-	gf, df := core.SFGadget(k, alpha, z)
-	esf1 := gf.Enetwork(df, core.SF1Design(k), core.EvalConfig{TIdle: tidle, TData: tdata})
-	esf2 := gf.Enetwork(df, core.SF2Design(k), core.EvalConfig{TIdle: tidle, TData: tdata})
-	fmt.Printf("  E(SF1) = %6.1f with %d relays  (Eq. 8: %6.1f)\n", esf1, k, core.ESF1(k, tidle, tdata, alpha, z))
-	fmt.Printf("  E(SF2) = %6.1f with 1 relay    (Eq. 9: %6.1f)\n", esf2, core.ESF2(k, tidle, tdata, alpha, z))
-	fmt.Printf("  counting endpoint idling the gap converges to 3k/(2k+1) = %.3f\n\n", core.SFIdleRatio(k))
+	gf, df := design.SFGadget(k, alpha, z)
+	esf1 := gf.Enetwork(df, design.SF1Design(k), design.EvalConfig{TIdle: tidle, TData: tdata})
+	esf2 := gf.Enetwork(df, design.SF2Design(k), design.EvalConfig{TIdle: tidle, TData: tdata})
+	fmt.Printf("  E(SF1) = %6.1f with %d relays  (Eq. 8: %6.1f)\n", esf1, k, design.ESF1(k, tidle, tdata, alpha, z))
+	fmt.Printf("  E(SF2) = %6.1f with 1 relay    (Eq. 9: %6.1f)\n", esf2, design.ESF2(k, tidle, tdata, alpha, z))
+	fmt.Printf("  counting endpoint idling the gap converges to 3k/(2k+1) = %.3f\n\n", design.SFIdleRatio(k))
 
 	// The greedy idle-first heuristic discovers the shared relay itself.
-	d, err := gf.Solve(df, core.IdleFirst)
+	d, err := gf.Solve(df, design.IdleFirst)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  idle-first heuristic on the gadget: Enetwork = %.1f (matches SF2)\n\n",
-		gf.Enetwork(df, d, core.EvalConfig{TIdle: tidle, TData: tdata}))
+		gf.Enetwork(df, d, design.EvalConfig{TIdle: tidle, TData: tdata}))
 }
 
 func heuristics() {
@@ -67,7 +67,7 @@ func heuristics() {
 	for i := range pts {
 		pts[i] = pt{rng.Float64() * 120, rng.Float64() * 120}
 	}
-	g := core.NewGraph(n)
+	g := design.NewGraph(n)
 	for i := 0; i < n; i++ {
 		g.SetNodeWeight(i, 1.0)
 		for j := i + 1; j < n; j++ {
@@ -77,24 +77,24 @@ func heuristics() {
 			}
 		}
 	}
-	demands := []core.Demand{
+	demands := []design.Demand{
 		{Src: 0, Dst: n - 1}, {Src: 3, Dst: n - 5}, {Src: 7, Dst: n - 9},
 	}
 
 	fmt.Println("Three heuristic approaches on a 60-node random geometric graph:")
 	for _, regime := range []struct {
 		name string
-		cfg  core.EvalConfig
+		cfg  design.EvalConfig
 	}{
-		{"idle-dominated (light traffic)", core.EvalConfig{TIdle: 500, TData: 1}},
-		{"traffic-dominated (heavy traffic)", core.EvalConfig{TIdle: 1, TData: 500}},
+		{"idle-dominated (light traffic)", design.EvalConfig{TIdle: 500, TData: 1}},
+		{"traffic-dominated (heavy traffic)", design.EvalConfig{TIdle: 1, TData: 500}},
 	} {
 		res, err := g.CompareApproaches(demands, regime.cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %s:\n", regime.name)
-		for _, a := range []core.Approach{core.CommFirst, core.Joint, core.IdleFirst} {
+		for _, a := range []design.Approach{design.CommFirst, design.Joint, design.IdleFirst} {
 			fmt.Printf("    %-12s Enetwork = %9.1f\n", a, res[a])
 		}
 	}

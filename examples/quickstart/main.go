@@ -1,56 +1,40 @@
 // Quickstart: build a 50-node wireless network, run the paper's winning
 // stack (TITAN-PC: idling-energy-first route selection + transmission power
 // control + on-demand power management) for five simulated minutes, and
-// print the delivery ratio and energy goodput.
+// print the delivery ratio and energy goodput — all through the public
+// eend facade.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"eend/internal/geom"
-	"eend/internal/network"
-	"eend/internal/radio"
-	"eend/internal/traffic"
+	"eend"
 )
 
 func main() {
-	sc := network.Scenario{
-		Seed:  42,
-		Field: geom.Field{Width: 500, Height: 500},
-		Nodes: 50,
-		Card:  radio.Cabletron,
-		Stack: network.Stack{
-			Label:        "TITAN-PC",
-			Routing:      network.ProtoTITAN,
-			PM:           network.PMODPM,
-			PowerControl: true,
-		},
-		Duration: 5 * time.Minute,
+	sc, err := eend.NewScenario(
+		eend.WithSeed(42),
+		eend.WithField(500, 500),
+		eend.WithNodes(50),
+		eend.WithStack(eend.TITAN, eend.ODPM, eend.PowerControl(), eend.StackLabel("TITAN-PC")),
+		// Ten CBR flows at 2 Kbit/s (two 128 B packets per second), starting
+		// at a random time in the paper's 20-25 s window.
+		eend.WithRandomFlows(10, 2048, 128),
+		eend.WithDuration(5*time.Minute),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	// Ten CBR flows at 2 Kbit/s (two 128 B packets per second), starting at
-	// a random time in the paper's 20-25 s window.
-	rng := network.EndpointRNG(sc.Seed)
-	for i := 0; i < 10; i++ {
-		src, dst := rng.IntN(sc.Nodes), rng.IntN(sc.Nodes)
-		for dst == src {
-			dst = rng.IntN(sc.Nodes)
-		}
-		sc.Flows = append(sc.Flows, traffic.Flow{
-			ID: i + 1, Src: src, Dst: dst,
-			Rate: 2048, PacketBytes: 128,
-			StartMin: 20 * time.Second, StartMax: 25 * time.Second,
-		})
-	}
-
-	res, err := network.Run(sc)
+	res, err := sc.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(res.Summary())
 	fmt.Printf("\nThe network delivered %.0f%% of packets while %d of %d nodes\n",
-		res.DeliveryRatio*100, res.Relays, sc.Nodes)
+		res.DeliveryRatio*100, res.Relays, sc.NodeCount())
 	fmt.Println("served as relays; everyone else spent the run in power-save mode.")
 }

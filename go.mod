@@ -1,0 +1,3 @@
+module eend
+
+go 1.24

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -21,20 +22,26 @@ func AblationIDs() []string {
 	return []string{"ablation-titan", "ablation-odpm", "ablation-pc", "ablation-span"}
 }
 
-// RunAblation dispatches an ablation experiment by ID.
-func (r Runner) RunAblation(id string) (*Figure, error) {
+// RunAblation dispatches an ablation experiment by ID. A cancelled ctx
+// aborts the underlying sweep early and returns the context's error.
+func (r Runner) RunAblation(ctx context.Context, id string) (*Figure, error) {
+	var f *Figure
 	switch id {
 	case "ablation-titan":
-		return r.AblationTITAN(), nil
+		f = r.AblationTITAN(ctx)
 	case "ablation-odpm":
-		return r.AblationODPM(), nil
+		f = r.AblationODPM(ctx)
 	case "ablation-pc":
-		return r.AblationPC(), nil
+		f = r.AblationPC(ctx)
 	case "ablation-span":
-		return r.AblationSpan(), nil
+		f = r.AblationSpan(ctx)
 	default:
 		return nil, fmt.Errorf("experiments: unknown ablation %q (want one of %v)", id, AblationIDs())
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return f, nil
 }
 
 // ablationParams is a mid-sized scenario family shared by the ablations.
@@ -65,7 +72,7 @@ func titanVariant(label string, opts routing.TITANOptions) network.Stack {
 }
 
 // AblationTITAN disables TITAN's two discovery mechanisms one at a time.
-func (r Runner) AblationTITAN() *Figure {
+func (r Runner) AblationTITAN(ctx context.Context) *Figure {
 	p := r.ablationParams()
 	lines := []line{
 		{"TITAN-PC (full)", titanVariant("TITAN-PC (full)", routing.TITANOptions{})},
@@ -82,7 +89,7 @@ func (r Runner) AblationTITAN() *Figure {
 		relays[ln.label] = metrics.NewSeries(ln.label + " relays")
 		series = append(series, gp[ln.label], relays[ln.label])
 	}
-	err := r.sweep("ablation-titan", p, lines, func(label string, rate float64, res network.Results) {
+	err := r.sweep(ctx, "ablation-titan", p, lines, func(label string, rate float64, res network.Results) {
 		gp[label].Observe(rate, res.EnergyGoodput)
 		relays[label].Observe(rate, float64(res.Relays))
 	})
@@ -95,7 +102,7 @@ func (r Runner) AblationTITAN() *Figure {
 }
 
 // AblationODPM sweeps the keep-alive pair across an order of magnitude.
-func (r Runner) AblationODPM() *Figure {
+func (r Runner) AblationODPM(ctx context.Context) *Figure {
 	p := r.ablationParams()
 	mk := func(label string, data, route time.Duration) line {
 		return line{label, network.Stack{
@@ -117,7 +124,7 @@ func (r Runner) AblationODPM() *Figure {
 		del[ln.label] = metrics.NewSeries(ln.label + " delivery")
 		series = append(series, gp[ln.label], del[ln.label])
 	}
-	err := r.sweep("ablation-odpm", p, lines, func(label string, rate float64, res network.Results) {
+	err := r.sweep(ctx, "ablation-odpm", p, lines, func(label string, rate float64, res network.Results) {
 		gp[label].Observe(rate, res.EnergyGoodput)
 		del[label].Observe(rate, res.DeliveryRatio)
 	})
@@ -130,7 +137,7 @@ func (r Runner) AblationODPM() *Figure {
 }
 
 // AblationPC isolates transmission power control on the data path.
-func (r Runner) AblationPC() *Figure {
+func (r Runner) AblationPC(ctx context.Context) *Figure {
 	p := r.ablationParams()
 	lines := []line{
 		{"PC on", network.Stack{Label: "PC on", Routing: network.ProtoDSR, PM: network.PMODPM, PowerControl: true}},
@@ -144,7 +151,7 @@ func (r Runner) AblationPC() *Figure {
 		gp[ln.label] = metrics.NewSeries(ln.label + " goodput")
 		series = append(series, amp[ln.label], gp[ln.label])
 	}
-	err := r.sweep("ablation-pc", p, lines, func(label string, rate float64, res network.Results) {
+	err := r.sweep(ctx, "ablation-pc", p, lines, func(label string, rate float64, res network.Results) {
 		amp[label].Observe(rate, res.TxAmpEnergy)
 		gp[label].Observe(rate, res.EnergyGoodput)
 	})
@@ -158,7 +165,7 @@ func (r Runner) AblationPC() *Figure {
 
 // AblationSpan isolates the advertised-traffic-window PSM improvement on a
 // broadcast-heavy proactive stack.
-func (r Runner) AblationSpan() *Figure {
+func (r Runner) AblationSpan(ctx context.Context) *Figure {
 	p := r.ablationParams()
 	lines := []line{
 		{"span on", network.Stack{Label: "span on", Routing: network.ProtoDSDVH, PM: network.PMODPM, AdvertisedWindow: true}},
@@ -172,7 +179,7 @@ func (r Runner) AblationSpan() *Figure {
 		del[ln.label] = metrics.NewSeries(ln.label + " delivery")
 		series = append(series, idle[ln.label], del[ln.label])
 	}
-	err := r.sweep("ablation-span", p, lines, func(label string, rate float64, res network.Results) {
+	err := r.sweep(ctx, "ablation-span", p, lines, func(label string, rate float64, res network.Results) {
 		idle[label].Observe(rate, res.Energy.Idle)
 		del[label].Observe(rate, res.DeliveryRatio)
 	})

@@ -10,13 +10,13 @@ func TestAblationIDsAndDispatch(t *testing.T) {
 	if len(ids) != 4 {
 		t.Fatalf("AblationIDs = %v", ids)
 	}
-	if _, err := quickRunner().RunAblation("ablation-nope"); err == nil {
+	if _, err := quickRunner().RunAblation(bg, "ablation-nope"); err == nil {
 		t.Fatal("unknown ablation should fail")
 	}
 }
 
 func TestAblationTITAN(t *testing.T) {
-	f := quickRunner().AblationTITAN()
+	f := quickRunner().AblationTITAN(bg)
 	assertNoErrors(t, f)
 	if len(f.Series) != 8 { // 4 variants x (goodput, relays)
 		t.Fatalf("series = %d, want 8", len(f.Series))
@@ -32,7 +32,7 @@ func TestAblationTITAN(t *testing.T) {
 }
 
 func TestAblationODPM(t *testing.T) {
-	f := quickRunner().AblationODPM()
+	f := quickRunner().AblationODPM(bg)
 	assertNoErrors(t, f)
 	if len(f.Series) != 8 {
 		t.Fatalf("series = %d, want 8", len(f.Series))
@@ -47,7 +47,7 @@ func TestAblationODPM(t *testing.T) {
 }
 
 func TestAblationPC(t *testing.T) {
-	f := quickRunner().AblationPC()
+	f := quickRunner().AblationPC(bg)
 	assertNoErrors(t, f)
 	on := sumSeries(f, "PC on radiated(J)")
 	off := sumSeries(f, "PC off radiated(J)")
@@ -57,7 +57,7 @@ func TestAblationPC(t *testing.T) {
 }
 
 func TestAblationSpan(t *testing.T) {
-	f := quickRunner().AblationSpan()
+	f := quickRunner().AblationSpan(bg)
 	assertNoErrors(t, f)
 	on := sumSeries(f, "span on idle(J)")
 	off := sumSeries(f, "span off idle(J)")

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -10,8 +11,9 @@ import (
 )
 
 // Table1 renders the radio parameters of the modelled cards (paper
-// Table 1), converted back to the paper's mW units.
-func (r Runner) Table1() *Figure {
+// Table 1), converted back to the paper's mW units. It is analytic (no
+// simulation); ctx is accepted for uniformity with the other experiments.
+func (r Runner) Table1(_ context.Context) *Figure {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-24s %10s %10s %12s %14s %4s %8s\n",
 		"Card", "Pidle(mW)", "Prx(mW)", "Pbase(mW)", "alpha2(mW/m^n)", "n", "D(m)")
@@ -28,8 +30,9 @@ func (r Runner) Table1() *Figure {
 }
 
 // Fig7 reproduces the characteristic hop count study: m_opt vs bandwidth
-// utilization R/B for every card (Eq. 15). No simulation involved.
-func (r Runner) Fig7() *Figure {
+// utilization R/B for every card (Eq. 15). No simulation involved; ctx is
+// accepted for uniformity with the other experiments.
+func (r Runner) Fig7(_ context.Context) *Figure {
 	var series []*metrics.Series
 	for _, fc := range core.Fig7Cards() {
 		s := metrics.NewSeries(fmt.Sprintf("%s (D=%.0fm)", fc.Card.Name, fc.D))

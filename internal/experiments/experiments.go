@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -47,14 +48,16 @@ func ParseScale(s string) (Scale, error) {
 	}
 }
 
-// Figure is a reproduced table or figure.
+// Figure is a reproduced table or figure. The JSON field names are the
+// machine-readable contract served by cmd/eendfig -format json and
+// cmd/eendd; keep them stable.
 type Figure struct {
-	ID     string
-	Title  string
-	XLabel string
-	Series []*metrics.Series
-	Text   string   // preformatted content for non-series tables (Table 1)
-	Notes  []string // caveats and paper-vs-measured remarks
+	ID     string            `json:"id"`
+	Title  string            `json:"title"`
+	XLabel string            `json:"xlabel,omitempty"`
+	Series []*metrics.Series `json:"series,omitempty"`
+	Text   string            `json:"text,omitempty"`  // preformatted content for non-series tables (Table 1)
+	Notes  []string          `json:"notes,omitempty"` // caveats and paper-vs-measured remarks
 }
 
 // Render formats the figure as an aligned text table.
@@ -106,50 +109,67 @@ func IDs() []string {
 }
 
 // All regenerates every paper experiment, sharing sweeps between figure
-// pairs that plot the same runs (8/9 and 11/12), in paper order.
-func (r Runner) All() []*Figure {
-	fig8, fig9 := r.SmallNetworks()
-	fig11, fig12 := r.LargeNetworks()
-	return []*Figure{
-		r.Table1(), r.Fig7(), fig8, fig9, r.Fig10(), fig11, fig12,
-		r.Table2(), r.GridFigure(13), r.GridFigure(14), r.GridFigure(15), r.GridFigure(16),
+// pairs that plot the same runs (8/9 and 11/12), in paper order. A
+// cancelled ctx stops between (and inside) experiments and returns the
+// figures completed so far with the context's error.
+func (r Runner) All(ctx context.Context) ([]*Figure, error) {
+	var out []*Figure
+	emit := func(figs ...*Figure) error {
+		out = append(out, figs...)
+		return ctx.Err()
 	}
+	fig8, fig9 := r.SmallNetworks(ctx)
+	if err := emit(r.Table1(ctx), r.Fig7(ctx), fig8, fig9, r.Fig10(ctx)); err != nil {
+		return out, err
+	}
+	fig11, fig12 := r.LargeNetworks(ctx)
+	if err := emit(fig11, fig12, r.Table2(ctx)); err != nil {
+		return out, err
+	}
+	for fig := 13; fig <= 16; fig++ {
+		if err := emit(r.GridFigure(ctx, fig)); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
 }
 
-// Run dispatches an experiment by ID.
-func (r Runner) Run(id string) (*Figure, error) {
+// Run dispatches an experiment by ID. A cancelled ctx aborts the underlying
+// simulation sweep early and returns the context's error.
+func (r Runner) Run(ctx context.Context, id string) (*Figure, error) {
+	var f *Figure
 	switch id {
 	case "table1":
-		return r.Table1(), nil
+		f = r.Table1(ctx)
 	case "fig7":
-		return r.Fig7(), nil
+		f = r.Fig7(ctx)
 	case "fig8":
-		f, _ := r.SmallNetworks()
-		return f, nil
+		f, _ = r.SmallNetworks(ctx)
 	case "fig9":
-		_, f := r.SmallNetworks()
-		return f, nil
+		_, f = r.SmallNetworks(ctx)
 	case "fig10":
-		return r.Fig10(), nil
+		f = r.Fig10(ctx)
 	case "fig11":
-		f, _ := r.LargeNetworks()
-		return f, nil
+		f, _ = r.LargeNetworks(ctx)
 	case "fig12":
-		_, f := r.LargeNetworks()
-		return f, nil
+		_, f = r.LargeNetworks(ctx)
 	case "table2":
-		return r.Table2(), nil
+		f = r.Table2(ctx)
 	case "fig13":
-		return r.GridFigure(13), nil
+		f = r.GridFigure(ctx, 13)
 	case "fig14":
-		return r.GridFigure(14), nil
+		f = r.GridFigure(ctx, 14)
 	case "fig15":
-		return r.GridFigure(15), nil
+		f = r.GridFigure(ctx, 15)
 	case "fig16":
-		return r.GridFigure(16), nil
+		f = r.GridFigure(ctx, 16)
 	default:
 		return nil, fmt.Errorf("experiments: unknown id %q (want one of %v)", id, IDs())
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return f, nil
 }
 
 // line pairs a display label with a protocol stack.
@@ -201,21 +221,7 @@ func stackDSDVHSpan() network.Stack {
 }
 
 // randomFlows draws n CBR flows with distinct random endpoints among nodes
-// [0, limit), starting in the paper's 20-25 s window.
-func randomFlows(n, limit int, rateKbps float64, seed uint64) []traffic.Flow {
-	rng := newEndpointRNG(seed)
-	flows := make([]traffic.Flow, n)
-	for i := range flows {
-		src := rng.IntN(limit)
-		dst := rng.IntN(limit)
-		for dst == src {
-			dst = rng.IntN(limit)
-		}
-		flows[i] = traffic.Flow{
-			ID: i + 1, Src: src, Dst: dst,
-			Rate: rateKbps * 1000, PacketBytes: 128,
-			StartMin: 20 * time.Second, StartMax: 25 * time.Second,
-		}
-	}
-	return flows
+// [0, limit) at rate bit/s, starting in the paper's 20-25 s window.
+func randomFlows(n, limit int, rate float64, seed uint64) []traffic.Flow {
+	return traffic.RandomFlows(newEndpointRNG(seed), n, limit, rate, 128)
 }

@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func quickRunner() Runner { return Runner{Scale: Quick} }
+
+var bg = context.Background()
 
 func seriesMean(f *Figure, label string, x float64) (float64, bool) {
 	for _, s := range f.Series {
@@ -46,13 +49,13 @@ func TestIDsAndDispatch(t *testing.T) {
 	if len(ids) != 12 {
 		t.Fatalf("IDs = %v, want 12 experiments", ids)
 	}
-	if _, err := quickRunner().Run("nope"); err == nil {
+	if _, err := quickRunner().Run(bg, "nope"); err == nil {
 		t.Fatal("unknown id should fail")
 	}
 }
 
 func TestTable1(t *testing.T) {
-	f := quickRunner().Table1()
+	f := quickRunner().Table1(bg)
 	for _, name := range []string{"Aironet 350", "Cabletron", "Hypothetical", "Mica2", "LEACH"} {
 		if !strings.Contains(f.Text, name) {
 			t.Errorf("Table 1 missing %q", name)
@@ -64,7 +67,7 @@ func TestTable1(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
-	f := quickRunner().Fig7()
+	f := quickRunner().Fig7(bg)
 	if len(f.Series) != 6 {
 		t.Fatalf("Fig. 7 has %d curves, want 6", len(f.Series))
 	}
@@ -90,7 +93,7 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestSmallNetworksShapes(t *testing.T) {
-	fig8, fig9 := quickRunner().SmallNetworks()
+	fig8, fig9 := quickRunner().SmallNetworks(bg)
 	assertNoErrors(t, fig8)
 	assertNoErrors(t, fig9)
 	if len(fig8.Series) != 8 || len(fig9.Series) != 8 {
@@ -123,7 +126,7 @@ func TestSmallNetworksShapes(t *testing.T) {
 }
 
 func TestFig10TransmitEnergy(t *testing.T) {
-	f := quickRunner().Fig10()
+	f := quickRunner().Fig10(bg)
 	assertNoErrors(t, f)
 	if len(f.Series) != 4 {
 		t.Fatalf("Fig. 10 has %d series, want 4 (2 stacks x 2 fields)", len(f.Series))
@@ -153,7 +156,7 @@ func TestFig10TransmitEnergy(t *testing.T) {
 }
 
 func TestLargeNetworksShapes(t *testing.T) {
-	fig11, fig12 := quickRunner().LargeNetworks()
+	fig11, fig12 := quickRunner().LargeNetworks(bg)
 	assertNoErrors(t, fig11)
 	assertNoErrors(t, fig12)
 	if len(fig11.Series) != 7 {
@@ -168,7 +171,7 @@ func TestLargeNetworksShapes(t *testing.T) {
 }
 
 func TestTable2Density(t *testing.T) {
-	f := quickRunner().Table2()
+	f := quickRunner().Table2(bg)
 	assertNoErrors(t, f)
 	if len(f.Series) != 4 {
 		t.Fatalf("Table 2 has %d series, want 4", len(f.Series))
@@ -182,10 +185,10 @@ func TestTable2Density(t *testing.T) {
 
 func TestGridFiguresShapes(t *testing.T) {
 	r := quickRunner()
-	fig13 := r.GridFigure(13)
-	fig14 := r.GridFigure(14)
-	fig15 := r.GridFigure(15)
-	fig16 := r.GridFigure(16)
+	fig13 := r.GridFigure(bg, 13)
+	fig14 := r.GridFigure(bg, 14)
+	fig15 := r.GridFigure(bg, 15)
+	fig16 := r.GridFigure(bg, 16)
 	for _, f := range []*Figure{fig13, fig14, fig15, fig16} {
 		if len(f.Series) != 6 {
 			t.Fatalf("%s has %d series, want 6", f.ID, len(f.Series))
@@ -226,7 +229,7 @@ func TestRunDispatchAll(t *testing.T) {
 	}
 	r := quickRunner()
 	for _, id := range []string{"table1", "fig7"} {
-		f, err := r.Run(id)
+		f, err := r.Run(bg, id)
 		if err != nil {
 			t.Fatalf("Run(%s): %v", id, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -89,7 +90,7 @@ func gridLines() []gridLine {
 
 // stabilizeRoutes runs the grid at 2 Kbit/s and extracts each flow's
 // stabilized source route.
-func (r Runner) stabilizeRoutes(p gridParams, ln gridLine, seed uint64) ([][]int, []geom.Point, error) {
+func (r Runner) stabilizeRoutes(ctx context.Context, p gridParams, ln gridLine, seed uint64) ([][]int, []geom.Point, error) {
 	pts := geom.GridPlacement(p.field, p.rows, p.cols)
 	sc := network.Scenario{
 		Seed:      seed,
@@ -104,7 +105,9 @@ func (r Runner) stabilizeRoutes(p gridParams, ln gridLine, seed uint64) ([][]int
 	if err != nil {
 		return nil, nil, err
 	}
-	nw.Execute()
+	if _, err := nw.ExecuteContext(ctx); err != nil {
+		return nil, nil, err
+	}
 	routes := make([][]int, len(sc.Flows))
 	for i, f := range sc.Flows {
 		dsr, ok := nw.Protocol(f.Src).(*routing.DSR)
@@ -186,7 +189,7 @@ func projectEnergy(card radio.Card, pts []geom.Point, routes [][]int, pc bool, r
 }
 
 // GridFigure reproduces Figs. 13-16 (fig = 13, 14, 15 or 16).
-func (r Runner) GridFigure(fig int) *Figure {
+func (r Runner) GridFigure(ctx context.Context, fig int) *Figure {
 	p := gridParamsFor(r.Scale)
 	lowRates := []float64{2, 3, 4, 5}
 	highRates := []float64{50, 100, 150, 200}
@@ -217,7 +220,7 @@ func (r Runner) GridFigure(fig int) *Figure {
 	for _, ln := range gridLines() {
 		s := metrics.NewSeries(ln.label)
 		series = append(series, s)
-		routes, pts, err := r.stabilizeRoutes(p, ln, 1)
+		routes, pts, err := r.stabilizeRoutes(ctx, p, ln, 1)
 		if err != nil {
 			notes = append(notes, fmt.Sprintf("%s: %v", ln.label, err))
 			continue

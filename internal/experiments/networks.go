@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"runtime"
@@ -71,7 +72,7 @@ func fieldScenario(p netParams, st network.Stack, rateKbps float64, seed uint64)
 		Nodes:    p.nodes,
 		Card:     radio.Cabletron,
 		Stack:    st,
-		Flows:    randomFlows(p.flows, p.nodes, rateKbps*kbit/1000, seed),
+		Flows:    randomFlows(p.flows, p.nodes, rateKbps*kbit, seed),
 		Duration: p.dur,
 	}
 }
@@ -85,8 +86,10 @@ type runJob struct {
 
 // runAll executes the jobs on a bounded worker pool and returns results in
 // job order. Each scenario owns its simulator, so concurrency does not
-// affect the outcome.
-func (r Runner) runAll(name string, jobs []runJob) ([]network.Results, error) {
+// affect the outcome. Cancellation is checked per seeded run (and, inside
+// each run, per event batch): a cancelled ctx stops dispatching jobs,
+// aborts in-flight simulations, and returns the context's error.
+func (r Runner) runAll(ctx context.Context, name string, jobs []runJob) ([]network.Results, error) {
 	workers := r.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -104,7 +107,7 @@ func (r Runner) runAll(name string, jobs []runJob) ([]network.Results, error) {
 			defer wg.Done()
 			for i := range next {
 				j := jobs[i]
-				res, err := network.Run(j.sc)
+				res, err := network.RunContext(ctx, j.sc)
 				if err != nil {
 					errs[i] = fmt.Errorf("%s %s x=%g seed=%d: %w", name, j.label, j.x, j.sc.Seed, err)
 					continue
@@ -115,11 +118,19 @@ func (r Runner) runAll(name string, jobs []runJob) ([]network.Results, error) {
 			}
 		}()
 	}
+feed:
 	for i := range jobs {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -130,7 +141,7 @@ func (r Runner) runAll(name string, jobs []runJob) ([]network.Results, error) {
 
 // sweep runs stacks x rates x seeds and feeds each run's results to emit in
 // deterministic order.
-func (r Runner) sweep(name string, p netParams, lines []line, emit func(label string, rate float64, res network.Results)) error {
+func (r Runner) sweep(ctx context.Context, name string, p netParams, lines []line, emit func(label string, rate float64, res network.Results)) error {
 	var jobs []runJob
 	for _, ln := range lines {
 		for _, rate := range p.rates {
@@ -143,7 +154,7 @@ func (r Runner) sweep(name string, p netParams, lines []line, emit func(label st
 			}
 		}
 	}
-	results, err := r.runAll(name, jobs)
+	results, err := r.runAll(ctx, name, jobs)
 	if err != nil {
 		return err
 	}
@@ -182,7 +193,7 @@ func largeLines() []line {
 
 // SmallNetworks reproduces Figs. 8 (delivery ratio) and 9 (energy goodput):
 // 50 nodes in 500x500 m2, 10 CBR flows, 2-6 Kbit/s, Cabletron cards.
-func (r Runner) SmallNetworks() (fig8, fig9 *Figure) {
+func (r Runner) SmallNetworks(ctx context.Context) (fig8, fig9 *Figure) {
 	p := smallParams(r.Scale)
 	lines := smallLines()
 	del := make(map[string]*metrics.Series, len(lines))
@@ -194,7 +205,7 @@ func (r Runner) SmallNetworks() (fig8, fig9 *Figure) {
 		delS = append(delS, del[ln.label])
 		gpS = append(gpS, gp[ln.label])
 	}
-	err := r.sweep("fig8/9", p, lines, func(label string, rate float64, res network.Results) {
+	err := r.sweep(ctx, "fig8/9", p, lines, func(label string, rate float64, res network.Results) {
 		del[label].Observe(rate, res.DeliveryRatio)
 		gp[label].Observe(rate, res.EnergyGoodput)
 	})
@@ -214,7 +225,7 @@ func (r Runner) SmallNetworks() (fig8, fig9 *Figure) {
 
 // LargeNetworks reproduces Figs. 11 (delivery ratio) and 12 (energy
 // goodput): 200 nodes in 1300x1300 m2, 20 CBR flows.
-func (r Runner) LargeNetworks() (fig11, fig12 *Figure) {
+func (r Runner) LargeNetworks(ctx context.Context) (fig11, fig12 *Figure) {
 	p := largeParams(r.Scale)
 	lines := largeLines()
 	del := make(map[string]*metrics.Series, len(lines))
@@ -226,7 +237,7 @@ func (r Runner) LargeNetworks() (fig11, fig12 *Figure) {
 		delS = append(delS, del[ln.label])
 		gpS = append(gpS, gp[ln.label])
 	}
-	err := r.sweep("fig11/12", p, lines, func(label string, rate float64, res network.Results) {
+	err := r.sweep(ctx, "fig11/12", p, lines, func(label string, rate float64, res network.Results) {
 		del[label].Observe(rate, res.DeliveryRatio)
 		gp[label].Observe(rate, res.EnergyGoodput)
 	})
@@ -246,7 +257,7 @@ func (r Runner) LargeNetworks() (fig11, fig12 *Figure) {
 
 // Fig10 reproduces the transmit-energy comparison: TITAN-PC vs DSR-ODPM in
 // both field sizes.
-func (r Runner) Fig10() *Figure {
+func (r Runner) Fig10(ctx context.Context) *Figure {
 	lines := []line{
 		{"TITAN-PC", stackTITANPC()},
 		{"DSR-ODPM", stackDSRODPM()},
@@ -271,7 +282,7 @@ func (r Runner) Fig10() *Figure {
 			series[ln.label] = s
 			out = append(out, s)
 		}
-		if err := r.sweep("fig10", cfg.p, lines, func(label string, rate float64, res network.Results) {
+		if err := r.sweep(ctx, "fig10", cfg.p, lines, func(label string, rate float64, res network.Results) {
 			series[label].Observe(rate, res.TxAmpEnergy)
 		}); err != nil {
 			notes = append(notes, "ERROR: "+err.Error())
@@ -283,7 +294,7 @@ func (r Runner) Fig10() *Figure {
 
 // Table2 reproduces the density study: DSR-ODPM-PC vs TITAN-PC at 4 Kbit/s
 // with increasing node counts in the large field, flow endpoints unchanged.
-func (r Runner) Table2() *Figure {
+func (r Runner) Table2(ctx context.Context) *Figure {
 	p := largeParams(r.Scale)
 	densities := []int{300, 400}
 	flowLimit := 200
@@ -318,13 +329,13 @@ func (r Runner) Table2() *Figure {
 					// placement draws those positions identically at every
 					// density, matching the paper's "without changing the
 					// positions of source and destination nodes".
-					Flows:    randomFlows(p.flows, flowLimit, 4*kbit/1000, seed),
+					Flows:    randomFlows(p.flows, flowLimit, 4*kbit, seed),
 					Duration: p.dur,
 				}})
 			}
 		}
 	}
-	results, err := r.runAll("table2", jobs)
+	results, err := r.runAll(ctx, "table2", jobs)
 	if err != nil {
 		return &Figure{ID: "table2", Notes: []string{"ERROR: " + err.Error()}}
 	}

@@ -11,7 +11,8 @@ import (
 
 // Point is a position in meters.
 type Point struct {
-	X, Y float64
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
 }
 
 // String implements fmt.Stringer.

@@ -23,6 +23,7 @@
 package mac
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -51,6 +52,28 @@ func (m PowerMode) String() string {
 	default:
 		return fmt.Sprintf("PowerMode(%d)", int(m))
 	}
+}
+
+// MarshalJSON encodes the mode as its symbolic name ("AM" or "PSM").
+func (m PowerMode) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.String())
+}
+
+// UnmarshalJSON decodes a symbolic power-mode name.
+func (m *PowerMode) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "AM":
+		*m = AM
+	case "PSM":
+		*m = PSM
+	default:
+		return fmt.Errorf("mac: unknown power mode %q", s)
+	}
+	return nil
 }
 
 // PacketKind classifies network-layer packets for energy accounting:
@@ -192,13 +215,13 @@ type frame struct {
 
 // Stats counts MAC-level activity.
 type Stats struct {
-	UnicastSent    uint64 // data frames successfully acknowledged
-	UnicastFailed  uint64 // jobs dropped after retry/announce exhaustion
-	BroadcastSent  uint64
-	QueueDrops     uint64 // packets rejected because the queue was full
-	Retries        uint64
-	ATIMSent       uint64
-	CollisionsSeen uint64 // corrupted receptions observed
+	UnicastSent    uint64 `json:"unicast_sent"`   // data frames successfully acknowledged
+	UnicastFailed  uint64 `json:"unicast_failed"` // jobs dropped after retry/announce exhaustion
+	BroadcastSent  uint64 `json:"broadcast_sent"`
+	QueueDrops     uint64 `json:"queue_drops"` // packets rejected because the queue was full
+	Retries        uint64 `json:"retries"`
+	ATIMSent       uint64 `json:"atim_sent"`
+	CollisionsSeen uint64 `json:"collisions_seen"` // corrupted receptions observed
 }
 
 // Delivery is the callback type for packets delivered to the network layer.

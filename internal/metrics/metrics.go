@@ -5,6 +5,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -83,6 +84,13 @@ func (s *Sample) String() string {
 	return fmt.Sprintf("%.3f ± %.3f", s.Mean(), s.CI95())
 }
 
+// Values returns a copy of the raw observations in insertion order.
+func (s *Sample) Values() []float64 {
+	out := make([]float64, len(s.xs))
+	copy(out, s.xs)
+	return out
+}
+
 // Series is one figure line: an ordered set of (x, Sample) points, e.g.
 // energy goodput vs traffic rate for one protocol stack.
 type Series struct {
@@ -117,6 +125,51 @@ func (s *Series) Xs() []float64 {
 
 // At returns the sample at x (nil if absent).
 func (s *Series) At(x float64) *Sample { return s.points[x] }
+
+// seriesJSON is the stable wire form of a Series: one entry per x in
+// ascending order, carrying both the derived statistics (for readers) and
+// the raw observations (so Unmarshal reconstructs the series exactly).
+type seriesJSON struct {
+	Label  string      `json:"label"`
+	Points []pointJSON `json:"points"`
+}
+
+type pointJSON struct {
+	X      float64   `json:"x"`
+	N      int       `json:"n"`
+	Mean   float64   `json:"mean"`
+	CI95   float64   `json:"ci95"`
+	Values []float64 `json:"values"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *Series) MarshalJSON() ([]byte, error) {
+	out := seriesJSON{Label: s.Label, Points: make([]pointJSON, 0, len(s.points))}
+	for _, x := range s.Xs() {
+		p := s.points[x]
+		out.Points = append(out.Points, pointJSON{
+			X: x, N: p.N(), Mean: p.Mean(), CI95: p.CI95(), Values: p.Values(),
+		})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rebuilding the samples from
+// the raw observations.
+func (s *Series) UnmarshalJSON(b []byte) error {
+	var in seriesJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	s.Label = in.Label
+	s.points = make(map[float64]*Sample, len(in.Points))
+	for _, p := range in.Points {
+		for _, v := range p.Values {
+			s.Observe(p.X, v)
+		}
+	}
+	return nil
+}
 
 // Table renders a set of series as an aligned text table with one row per x
 // value, mirroring how the paper's figures would be read off.

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -162,5 +163,55 @@ func TestSampleString(t *testing.T) {
 	s.Add(3)
 	if got := s.String(); !strings.Contains(got, "2.000") || !strings.Contains(got, "±") {
 		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestSeriesJSONRoundTrip(t *testing.T) {
+	s := NewSeries("goodput")
+	s.Observe(2, 10.5)
+	s.Observe(2, 11.5)
+	s.Observe(4, 20)
+	blob, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"label"`, `"points"`, `"x"`, `"n"`, `"mean"`, `"ci95"`, `"values"`} {
+		if !strings.Contains(string(blob), field) {
+			t.Errorf("series JSON missing %s: %s", field, blob)
+		}
+	}
+	var back Series
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Label != "goodput" {
+		t.Fatalf("label = %q", back.Label)
+	}
+	if got := back.At(2).Mean(); got != 11 {
+		t.Fatalf("mean at 2 = %g, want 11", got)
+	}
+	if got := back.At(2).CI95(); got != s.At(2).CI95() {
+		t.Fatalf("ci95 at 2 = %g, want %g", got, s.At(2).CI95())
+	}
+	if got := back.At(4).N(); got != 1 {
+		t.Fatalf("n at 4 = %d, want 1", got)
+	}
+	again, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(blob) {
+		t.Fatal("series JSON does not round-trip byte-identically")
+	}
+}
+
+func TestSampleValuesCopies(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(2)
+	vs := s.Values()
+	vs[0] = 99
+	if s.Mean() != 1.5 {
+		t.Fatal("Values must return a copy, not the backing slice")
 	}
 }

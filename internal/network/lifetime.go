@@ -19,14 +19,14 @@ const lifetimeSamplePeriod = time.Second
 // Lifetime holds battery-depletion metrics for one run.
 type Lifetime struct {
 	// BatteryJ is the per-node budget the metrics were computed against.
-	BatteryJ float64
+	BatteryJ float64 `json:"battery_j"`
 	// FirstDepletion is the virtual time the first node crossed its
 	// budget (0 if none did).
-	FirstDepletion time.Duration
+	FirstDepletion time.Duration `json:"first_depletion_ns"`
 	// FirstDepleted is the id of that node (-1 if none).
-	FirstDepleted int
+	FirstDepleted int `json:"first_depleted"`
 	// Depleted is the number of nodes over budget at the end of the run.
-	Depleted int
+	Depleted int `json:"depleted"`
 }
 
 // watchLifetime arms a periodic sampler that records battery depletions.

@@ -6,6 +6,7 @@
 package network
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"time"
@@ -117,42 +118,44 @@ type Scenario struct {
 	BatteryJ float64
 }
 
-// Results aggregates one run.
+// Results aggregates one run. The JSON field names are the machine-readable
+// contract served by cmd/eendd and the eend facade; keep them stable.
 type Results struct {
-	Stack    string
-	Duration time.Duration
+	Stack    string        `json:"stack"`
+	Duration time.Duration `json:"duration_ns"`
 
-	Sent, Delivered uint64
-	DeliveryRatio   float64
-	DeliveredBits   float64
+	Sent          uint64  `json:"sent"`
+	Delivered     uint64  `json:"delivered"`
+	DeliveryRatio float64 `json:"delivery_ratio"`
+	DeliveredBits float64 `json:"delivered_bits"`
 
-	Energy        radio.Breakdown // network total (Eq. 4)
-	EnergyGoodput float64         // delivered app bits / total joules
-	TxEnergy      float64         // total transmit energy, data + control
-	TxAmpEnergy   float64         // radiated (amplifier) transmit energy (Fig. 10)
+	Energy        radio.Breakdown `json:"energy"`          // network total (Eq. 4)
+	EnergyGoodput float64         `json:"energy_goodput"`  // delivered app bits / total joules
+	TxEnergy      float64         `json:"tx_energy_j"`     // total transmit energy, data + control
+	TxAmpEnergy   float64         `json:"tx_amp_energy_j"` // radiated (amplifier) transmit energy (Fig. 10)
 
-	Relays int // nodes that forwarded at least one data packet
+	Relays int `json:"relays"` // nodes that forwarded at least one data packet
 
-	Routing routing.Stats
-	MAC     mac.Stats
-	Events  uint64
+	Routing routing.Stats `json:"routing"`
+	MAC     mac.Stats     `json:"mac"`
+	Events  uint64        `json:"events"`
 
 	// Lifetime is non-nil when Scenario.BatteryJ was set.
-	Lifetime *Lifetime
+	Lifetime *Lifetime `json:"lifetime,omitempty"`
 
 	// PerNode holds per-node outcomes, indexed by node id.
-	PerNode []NodeResults
+	PerNode []NodeResults `json:"per_node,omitempty"`
 }
 
 // NodeResults is one node's outcome.
 type NodeResults struct {
-	ID        int
-	Pos       geom.Point
-	Energy    radio.Breakdown
-	Forwarded uint64 // data packets relayed (nonzero marks a relay)
-	Delivered uint64 // data packets sunk here
-	Sent      uint64 // data packets originated here
-	FinalMode mac.PowerMode
+	ID        int             `json:"id"`
+	Pos       geom.Point      `json:"pos"`
+	Energy    radio.Breakdown `json:"energy"`
+	Forwarded uint64          `json:"forwarded"` // data packets relayed (nonzero marks a relay)
+	Delivered uint64          `json:"delivered"` // data packets sunk here
+	Sent      uint64          `json:"sent"`      // data packets originated here
+	FinalMode mac.PowerMode   `json:"final_mode"`
 }
 
 // node bundles one simulated node's layers.
@@ -311,15 +314,28 @@ func buildFlows(nw *Network, sc Scenario, s *sim.Simulator) (*Network, error) {
 
 // Run executes the scenario to its horizon and returns the metrics.
 func Run(sc Scenario) (Results, error) {
+	return RunContext(context.Background(), sc)
+}
+
+// RunContext executes the scenario like Run but aborts early (returning the
+// context's error) when ctx is cancelled mid-run.
+func RunContext(ctx context.Context, sc Scenario) (Results, error) {
 	nw, err := Build(sc)
 	if err != nil {
 		return Results{}, err
 	}
-	return nw.Execute(), nil
+	return nw.ExecuteContext(ctx)
 }
 
 // Execute runs the wired network and collects results.
 func (nw *Network) Execute() Results {
+	res, _ := nw.ExecuteContext(context.Background())
+	return res
+}
+
+// ExecuteContext runs the wired network, polling ctx between event batches;
+// a cancelled context abandons the run and returns the context's error.
+func (nw *Network) ExecuteContext(ctx context.Context) (Results, error) {
 	nw.coord.Start()
 	for _, n := range nw.nodes {
 		n.pm.Start()
@@ -332,7 +348,9 @@ func (nw *Network) Execute() Results {
 	if nw.sc.BatteryJ > 0 {
 		lifetime = nw.watchLifetime(nw.sc.BatteryJ)
 	}
-	nw.sim.Run(nw.sc.Duration)
+	if _, err := nw.sim.RunContext(ctx, nw.sc.Duration); err != nil {
+		return Results{}, err
+	}
 
 	res := Results{
 		Stack:    nw.sc.Stack.Name(),
@@ -376,7 +394,7 @@ func (nw *Network) Execute() Results {
 	}
 	res.TxEnergy = res.Energy.TxData + res.Energy.TxControl
 	res.TxAmpEnergy = res.Energy.TxAmp
-	return res
+	return res, nil
 }
 
 // Summary renders the headline metrics as a human-readable block.

@@ -40,18 +40,18 @@ const (
 // Breakdown is the integrated energy in joules per radio activity,
 // mirroring the paper's Eqs. 1-4.
 type Breakdown struct {
-	TxData    float64 // J, transmitting data frames
-	TxControl float64 // J, transmitting control frames (routing + MAC mgmt)
-	Rx        float64 // J, receiving or overhearing frames
-	Idle      float64 // J, idle listening
-	Sleep     float64 // J, asleep
-	Switch    float64 // J, sleep<->awake transitions (Esw)
+	TxData    float64 `json:"tx_data_j"`    // J, transmitting data frames
+	TxControl float64 `json:"tx_control_j"` // J, transmitting control frames (routing + MAC mgmt)
+	Rx        float64 `json:"rx_j"`         // J, receiving or overhearing frames
+	Idle      float64 `json:"idle_j"`       // J, idle listening
+	Sleep     float64 `json:"sleep_j"`      // J, asleep
+	Switch    float64 `json:"switch_j"`     // J, sleep<->awake transitions (Esw)
 
 	// TxAmp is the amplifier (radiated) portion of all transmissions:
 	// (Ptx - Pbase) integrated over airtime. It is a sub-component of
 	// TxData+TxControl, not additive with them; it is what transmission
 	// power control actually reduces (the paper's Fig. 10 metric).
-	TxAmp float64
+	TxAmp float64 `json:"tx_amp_j"`
 }
 
 // Comm returns communication energy Ecomm = Edata + Econtrol + Rx (Eq. 1-2).

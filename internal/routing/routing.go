@@ -58,14 +58,14 @@ type Protocol interface {
 
 // Stats counts routing-layer activity on one node.
 type Stats struct {
-	DataSent      uint64 // packets originated here
-	DataForwarded uint64 // packets relayed here
-	DataDelivered uint64 // packets delivered to the local sink
-	DataDropped   uint64 // no-route, buffer, TTL or link-failure drops
-	RREQSent      uint64
-	RREPSent      uint64
-	RERRSent      uint64
-	UpdatesSent   uint64 // DSDV(H) route updates broadcast
+	DataSent      uint64 `json:"data_sent"`      // packets originated here
+	DataForwarded uint64 `json:"data_forwarded"` // packets relayed here
+	DataDelivered uint64 `json:"data_delivered"` // packets delivered to the local sink
+	DataDropped   uint64 `json:"data_dropped"`   // no-route, buffer, TTL or link-failure drops
+	RREQSent      uint64 `json:"rreq_sent"`
+	RREPSent      uint64 `json:"rrep_sent"`
+	RERRSent      uint64 `json:"rerr_sent"`
+	UpdatesSent   uint64 `json:"updates_sent"` // DSDV(H) route updates broadcast
 }
 
 // Add accumulates o into s.

@@ -9,6 +9,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"time"
@@ -151,7 +152,30 @@ func (s *Simulator) Stop() { s.stopped = true }
 // Run executes events until the queue empties or virtual time would exceed
 // until. It returns the virtual time at which it stopped.
 func (s *Simulator) Run(until Time) Time {
+	now, _ := s.RunContext(context.Background(), until)
+	return now
+}
+
+// ctxCheckBatch is how many events fire between context checks in
+// RunContext. Large enough that the check is free next to event work, small
+// enough that cancellation lands within microseconds of wall time.
+const ctxCheckBatch = 256
+
+// RunContext executes events like Run but polls ctx once per batch of
+// events. When ctx is cancelled it stops between events and returns the
+// context's error with the virtual time reached; the queue is left intact,
+// so the caller can inspect or resume the partial run.
+func (s *Simulator) RunContext(ctx context.Context, until Time) (Time, error) {
+	done := ctx.Done()
+	if done != nil {
+		select {
+		case <-done:
+			return s.now, ctx.Err()
+		default:
+		}
+	}
 	s.stopped = false
+	batch := 0
 	for len(s.queue) > 0 && !s.stopped {
 		ev := s.queue[0]
 		if ev.at > until {
@@ -160,6 +184,17 @@ func (s *Simulator) Run(until Time) Time {
 		heap.Pop(&s.queue)
 		if ev.dead {
 			continue
+		}
+		if done != nil {
+			if batch++; batch >= ctxCheckBatch {
+				batch = 0
+				select {
+				case <-done:
+					heap.Push(&s.queue, ev)
+					return s.now, ctx.Err()
+				default:
+				}
+			}
 		}
 		s.now = ev.at
 		fn := ev.fn
@@ -171,7 +206,7 @@ func (s *Simulator) Run(until Time) Time {
 	if s.now < until {
 		s.now = until
 	}
-	return s.now
+	return s.now, nil
 }
 
 // Drain executes all remaining events regardless of time. Intended for tests.

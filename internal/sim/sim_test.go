@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 	"time"
@@ -222,5 +223,53 @@ func TestDrainRunsEverything(t *testing.T) {
 	s.Drain()
 	if n != 100 {
 		t.Fatalf("Drain fired %d events, want 100", n)
+	}
+}
+
+func TestRunContextCancelledImmediately(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.Schedule(time.Millisecond, func() { fired = true })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	now, err := s.RunContext(ctx, time.Second)
+	if err == nil {
+		t.Fatal("cancelled context should return an error")
+	}
+	if fired {
+		t.Fatal("no event should fire under a cancelled context")
+	}
+	if now != 0 {
+		t.Fatalf("virtual time advanced to %v under a cancelled context", now)
+	}
+}
+
+func TestRunContextCancelsMidRun(t *testing.T) {
+	s := New(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n == 10*ctxCheckBatch {
+			cancel()
+		}
+		s.Schedule(time.Microsecond, tick)
+	}
+	s.Schedule(0, tick)
+	_, err := s.RunContext(ctx, time.Hour)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Cancellation is checked per batch: the loop must stop within one
+	// batch of the cancel call, leaving the queue intact for resumption.
+	if n > 11*ctxCheckBatch {
+		t.Fatalf("fired %d events after cancel, want <= one extra batch", n)
+	}
+	if s.Pending() == 0 {
+		t.Fatal("queue should retain the pending event after cancellation")
+	}
+	if _, err := s.RunContext(context.Background(), s.Now()+10*time.Microsecond); err != nil {
+		t.Fatalf("resume after cancel: %v", err)
 	}
 }

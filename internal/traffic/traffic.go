@@ -6,6 +6,7 @@ package traffic
 
 import (
 	"fmt"
+	"math/rand/v2"
 	"time"
 
 	"eend/internal/sim"
@@ -13,12 +14,14 @@ import (
 
 // Flow describes one CBR flow.
 type Flow struct {
-	ID          int
-	Src, Dst    int
-	Rate        float64 // bit/s
-	PacketBytes int
+	ID          int     `json:"id"`
+	Src         int     `json:"src"`
+	Dst         int     `json:"dst"`
+	Rate        float64 `json:"rate_bps"` // bit/s
+	PacketBytes int     `json:"packet_bytes"`
 	// StartMin/StartMax bound the random start time (paper: 20-25 s).
-	StartMin, StartMax time.Duration
+	StartMin time.Duration `json:"start_min_ns"`
+	StartMax time.Duration `json:"start_max_ns"`
 }
 
 // Interval returns the inter-packet gap.
@@ -43,6 +46,34 @@ func (f Flow) Validate() error {
 		return fmt.Errorf("traffic: flow %d has StartMax < StartMin", f.ID)
 	}
 	return nil
+}
+
+// RandomFlows draws n CBR flows with distinct random endpoints among nodes
+// [0, nodes), each at rate bit/s with packetBytes-byte packets, starting at
+// a random time in the paper's 20-25 s window. Flow IDs are 1-based. The
+// caller supplies the RNG so endpoint choice stays deterministic per seed
+// (see network.EndpointRNG).
+func RandomFlows(rng *rand.Rand, n, nodes int, rate float64, packetBytes int) []Flow {
+	if n <= 0 {
+		return nil
+	}
+	if nodes < 2 {
+		panic("traffic: RandomFlows needs at least 2 nodes for distinct endpoints")
+	}
+	flows := make([]Flow, n)
+	for i := range flows {
+		src := rng.IntN(nodes)
+		dst := rng.IntN(nodes)
+		for dst == src {
+			dst = rng.IntN(nodes)
+		}
+		flows[i] = Flow{
+			ID: i + 1, Src: src, Dst: dst,
+			Rate: rate, PacketBytes: packetBytes,
+			StartMin: 20 * time.Second, StartMax: 25 * time.Second,
+		}
+	}
+	return flows
 }
 
 // Datum is the application payload carried by each CBR packet.

@@ -1,6 +1,7 @@
 package traffic
 
 import (
+	"math/rand/v2"
 	"testing"
 	"time"
 
@@ -138,4 +139,56 @@ func TestCollectorEmpty(t *testing.T) {
 	if c.FlowDeliveryRatio(9) != 1 {
 		t.Fatal("unknown flow ratio should be 1")
 	}
+}
+
+func TestRandomFlowsShape(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 0x5bd1e995))
+	flows := RandomFlows(rng, 10, 30, 2048, 128)
+	if len(flows) != 10 {
+		t.Fatalf("got %d flows, want 10", len(flows))
+	}
+	for i, f := range flows {
+		if f.ID != i+1 {
+			t.Errorf("flow %d has ID %d, want %d", i, f.ID, i+1)
+		}
+		if f.Src == f.Dst {
+			t.Errorf("flow %d has src == dst == %d", i, f.Src)
+		}
+		if f.Src < 0 || f.Src >= 30 || f.Dst < 0 || f.Dst >= 30 {
+			t.Errorf("flow %d endpoints (%d,%d) out of range", i, f.Src, f.Dst)
+		}
+		if f.Rate != 2048 || f.PacketBytes != 128 {
+			t.Errorf("flow %d rate/packet = %g/%d", i, f.Rate, f.PacketBytes)
+		}
+		if f.StartMin != 20*time.Second || f.StartMax != 25*time.Second {
+			t.Errorf("flow %d start window = %v-%v, want the paper's 20-25 s", i, f.StartMin, f.StartMax)
+		}
+		if err := f.Validate(); err != nil {
+			t.Errorf("flow %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestRandomFlowsDeterministicPerSeed(t *testing.T) {
+	mk := func() []Flow {
+		return RandomFlows(rand.New(rand.NewPCG(7, 7)), 5, 12, 1024, 128)
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flow %d differs across identical RNGs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRandomFlowsEdgeCases(t *testing.T) {
+	if got := RandomFlows(nil, 0, 10, 1024, 128); got != nil {
+		t.Fatalf("zero flows should return nil, got %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RandomFlows with 1 node should panic")
+		}
+	}()
+	RandomFlows(rand.New(rand.NewPCG(1, 1)), 1, 1, 1024, 128)
 }

@@ -1,0 +1,323 @@
+package eend
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"eend/internal/geom"
+	"eend/internal/network"
+	"eend/internal/radio"
+	"eend/internal/traffic"
+)
+
+// Scenario is a fully specified, validated simulation run. Build one with
+// NewScenario and execute it with Run; a Scenario is immutable after
+// construction and safe to run from multiple goroutines (each Run wires an
+// independent simulator).
+type Scenario struct {
+	sc network.Scenario
+}
+
+// Option configures a Scenario under construction.
+type Option func(*builder) error
+
+// builder accumulates options before validation.
+type builder struct {
+	sc        network.Scenario
+	randFlows []randomFlowSpec
+}
+
+// randomFlowSpec defers random-endpoint drawing until the seed and node
+// count are final, so option order does not matter.
+type randomFlowSpec struct {
+	n, limit    int // limit 0: all nodes
+	rate        float64
+	packetBytes int
+}
+
+// WithSeed sets the random seed that fully determines the run (default 1).
+func WithSeed(seed uint64) Option {
+	return func(b *builder) error {
+		b.sc.Seed = seed
+		return nil
+	}
+}
+
+// WithField sets the rectangular deployment area in meters (default
+// 500x500).
+func WithField(width, height float64) Option {
+	return func(b *builder) error {
+		if width <= 0 || height <= 0 {
+			return fmt.Errorf("eend: field %gx%g is not positive", width, height)
+		}
+		b.sc.Field = geom.Field{Width: width, Height: height}
+		return nil
+	}
+}
+
+// WithNodes places n nodes uniformly at random in the field (default 50).
+func WithNodes(n int) Option {
+	return func(b *builder) error {
+		if n <= 0 {
+			return fmt.Errorf("eend: node count %d is not positive", n)
+		}
+		b.sc.Nodes = n
+		b.sc.GridRows, b.sc.GridCols = 0, 0
+		b.sc.Positions = nil
+		return nil
+	}
+}
+
+// WithGrid places rows x cols nodes on a regular grid instead of uniformly.
+func WithGrid(rows, cols int) Option {
+	return func(b *builder) error {
+		if rows <= 0 || cols <= 0 {
+			return fmt.Errorf("eend: grid %dx%d is not positive", rows, cols)
+		}
+		b.sc.GridRows, b.sc.GridCols = rows, cols
+		b.sc.Nodes = 0
+		b.sc.Positions = nil
+		return nil
+	}
+}
+
+// WithPositions pins node placement exactly (one node per point).
+func WithPositions(pts ...Point) Option {
+	return func(b *builder) error {
+		if len(pts) == 0 {
+			return fmt.Errorf("eend: WithPositions needs at least one point")
+		}
+		b.sc.Positions = append([]geom.Point(nil), pts...)
+		b.sc.Nodes = 0
+		b.sc.GridRows, b.sc.GridCols = 0, 0
+		return nil
+	}
+}
+
+// WithCard selects the radio card model (default Cabletron, the paper's
+// primary card).
+func WithCard(c Card) Option {
+	return func(b *builder) error {
+		b.sc.Card = c
+		return nil
+	}
+}
+
+// WithBandwidth overrides the channel bit rate in bit/s (default 2 Mbit/s).
+func WithBandwidth(bps float64) Option {
+	return func(b *builder) error {
+		if bps <= 0 {
+			return fmt.Errorf("eend: bandwidth %g bit/s is not positive", bps)
+		}
+		b.sc.Bandwidth = bps
+		return nil
+	}
+}
+
+// WithStack configures the protocol stack from routing kind, PM policy and
+// modifiers, e.g. WithStack(TITAN, ODPM, PowerControl()). The default stack
+// (when WithStack is not given at all) is TITAN-PC over ODPM, the paper's
+// winner; an omitted PM policy defaults to ODPM too, matching the HTTP
+// surface — pass AlwaysActive explicitly for radios that never sleep.
+func WithStack(opts ...StackOption) Option {
+	return func(b *builder) error {
+		st := network.Stack{}
+		for _, o := range opts {
+			o.applyStack(&st)
+		}
+		if st.Routing == 0 {
+			return fmt.Errorf("eend: stack needs a routing kind (e.g. eend.TITAN)")
+		}
+		if st.PM == 0 {
+			st.PM = network.PMODPM
+		}
+		b.sc.Stack = st
+		return nil
+	}
+}
+
+// WithDuration sets the simulated horizon (default 300 s).
+func WithDuration(d time.Duration) Option {
+	return func(b *builder) error {
+		if d <= 0 {
+			return fmt.Errorf("eend: duration %v is not positive", d)
+		}
+		b.sc.Duration = d
+		return nil
+	}
+}
+
+// WithFlows appends explicit CBR flows.
+func WithFlows(flows ...Flow) Option {
+	return func(b *builder) error {
+		b.sc.Flows = append(b.sc.Flows, flows...)
+		return nil
+	}
+}
+
+// WithRandomFlows appends n CBR flows with distinct random endpoints drawn
+// deterministically from the scenario seed, each at rate bit/s with
+// packetBytes-byte packets, starting in the paper's 20-25 s window.
+func WithRandomFlows(n int, rate float64, packetBytes int) Option {
+	return withRandomFlows(n, 0, rate, packetBytes)
+}
+
+// WithRandomFlowsAmong is WithRandomFlows with endpoints restricted to the
+// first limit nodes — the paper's Table 2 methodology, where density grows
+// but flow endpoints stay fixed.
+func WithRandomFlowsAmong(n, limit int, rate float64, packetBytes int) Option {
+	if limit < 2 {
+		return func(*builder) error {
+			return fmt.Errorf("eend: random-flow endpoint limit %d needs at least 2 nodes", limit)
+		}
+	}
+	return withRandomFlows(n, limit, rate, packetBytes)
+}
+
+func withRandomFlows(n, limit int, rate float64, packetBytes int) Option {
+	return func(b *builder) error {
+		if n <= 0 {
+			return fmt.Errorf("eend: random flow count %d is not positive", n)
+		}
+		if rate <= 0 {
+			return fmt.Errorf("eend: flow rate %g bit/s is not positive", rate)
+		}
+		if packetBytes <= 0 {
+			return fmt.Errorf("eend: packet size %d B is not positive", packetBytes)
+		}
+		b.randFlows = append(b.randFlows, randomFlowSpec{n: n, limit: limit, rate: rate, packetBytes: packetBytes})
+		return nil
+	}
+}
+
+// WithBattery gives every node an energy budget in joules and enables the
+// Lifetime metrics in Results.
+func WithBattery(joules float64) Option {
+	return func(b *builder) error {
+		if joules <= 0 {
+			return fmt.Errorf("eend: battery budget %g J is not positive", joules)
+		}
+		b.sc.BatteryJ = joules
+		return nil
+	}
+}
+
+// NewScenario builds and validates a scenario from functional options.
+// Unset options take the paper's defaults: seed 1, 50 nodes uniformly
+// placed in a 500x500 m field, Cabletron cards, the TITAN-PC/ODPM stack,
+// and a 300 s horizon. Options may be given in any order.
+func NewScenario(opts ...Option) (*Scenario, error) {
+	b := &builder{sc: network.Scenario{
+		Seed:  1,
+		Field: geom.Field{Width: 500, Height: 500},
+		Nodes: 50,
+		Card:  radio.Cabletron,
+		Stack: network.Stack{
+			Routing:      network.ProtoTITAN,
+			PM:           network.PMODPM,
+			PowerControl: true,
+		},
+		Duration: 300 * time.Second,
+	}}
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, fmt.Errorf("eend: nil option")
+		}
+		if err := opt(b); err != nil {
+			return nil, err
+		}
+	}
+	nodes := b.nodeCount()
+	// Random flows are drawn last so the seed and node count options have
+	// settled, whatever order they were given in.
+	rng := network.EndpointRNG(b.sc.Seed)
+	for _, spec := range b.randFlows {
+		limit := spec.limit
+		if limit == 0 {
+			limit = nodes
+		} else if limit > nodes {
+			// Clamping here would silently change the endpoint draw and
+			// break the fixed-endpoints-across-densities methodology the
+			// option exists for (Table 2).
+			return nil, fmt.Errorf("eend: random-flow endpoint limit %d exceeds node count %d", limit, nodes)
+		}
+		if limit < 2 {
+			return nil, fmt.Errorf("eend: random flows need at least 2 nodes, have %d", limit)
+		}
+		base := len(b.sc.Flows)
+		for i, f := range traffic.RandomFlows(rng, spec.n, limit, spec.rate, spec.packetBytes) {
+			f.ID = base + i + 1
+			b.sc.Flows = append(b.sc.Flows, f)
+		}
+	}
+	if err := b.validate(nodes); err != nil {
+		return nil, err
+	}
+	return &Scenario{sc: b.sc}, nil
+}
+
+// nodeCount resolves the effective node count of the placement options.
+func (b *builder) nodeCount() int {
+	switch {
+	case b.sc.Positions != nil:
+		return len(b.sc.Positions)
+	case b.sc.GridRows > 0 && b.sc.GridCols > 0:
+		return b.sc.GridRows * b.sc.GridCols
+	default:
+		return b.sc.Nodes
+	}
+}
+
+// validate rejects configurations the engine would reject at Build or,
+// worse, mis-simulate.
+func (b *builder) validate(nodes int) error {
+	if err := b.sc.Card.Validate(); err != nil {
+		return err
+	}
+	if nodes <= 0 {
+		return fmt.Errorf("eend: scenario has no nodes")
+	}
+	for _, f := range b.sc.Flows {
+		if err := f.Validate(); err != nil {
+			return err
+		}
+		if f.Src < 0 || f.Src >= nodes || f.Dst < 0 || f.Dst >= nodes {
+			return fmt.Errorf("eend: flow %d endpoints (%d,%d) out of range [0,%d)", f.ID, f.Src, f.Dst, nodes)
+		}
+	}
+	return nil
+}
+
+// Run wires the network and executes the scenario to its horizon.
+// Cancellation is polled between event batches, so a cancelled ctx aborts
+// even an hour-long Full-scale run promptly and returns the context's
+// error.
+func (s *Scenario) Run(ctx context.Context) (*Results, error) {
+	res, err := network.RunContext(ctx, s.sc)
+	if err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Seed returns the scenario's random seed.
+func (s *Scenario) Seed() uint64 { return s.sc.Seed }
+
+// NodeCount returns the number of simulated nodes.
+func (s *Scenario) NodeCount() int {
+	b := builder{sc: s.sc}
+	return b.nodeCount()
+}
+
+// StackName returns the display label of the protocol stack under test.
+func (s *Scenario) StackName() string { return s.sc.Stack.Name() }
+
+// Duration returns the simulated horizon.
+func (s *Scenario) Duration() time.Duration { return s.sc.Duration }
+
+// Flows returns a copy of the scenario's traffic flows (explicit and
+// materialized random ones).
+func (s *Scenario) Flows() []Flow {
+	return append([]Flow(nil), s.sc.Flows...)
+}

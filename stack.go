@@ -1,0 +1,160 @@
+package eend
+
+import (
+	"fmt"
+	"time"
+
+	"eend/internal/network"
+	"eend/internal/power"
+)
+
+// StackOption configures the protocol stack of a scenario. RoutingKind and
+// PMKind values are themselves options, so a stack reads as
+//
+//	eend.WithStack(eend.TITAN, eend.ODPM, eend.PowerControl())
+type StackOption interface {
+	applyStack(*network.Stack)
+}
+
+// RoutingKind selects one of the paper's routing protocols. It implements
+// StackOption.
+type RoutingKind int
+
+// Routing protocols from the paper.
+const (
+	DSR        RoutingKind = iota + 1 // dynamic source routing (baseline)
+	MTPR                              // minimum total transmission power
+	MTPRPlus                          // MTPR with receive cost included
+	DSRHRate                          // joint heuristic, rate-aware cost
+	DSRHNoRate                        // joint heuristic, rate-oblivious cost
+	DSDV                              // proactive distance vector
+	DSDVH                             // proactive joint heuristic
+	TITAN                             // idling-energy-first (the paper's winner)
+)
+
+// routingKinds maps public kinds to the internal protocol enum.
+var routingKinds = map[RoutingKind]struct {
+	proto network.ProtocolKind
+	name  string
+}{
+	DSR:        {network.ProtoDSR, "dsr"},
+	MTPR:       {network.ProtoMTPR, "mtpr"},
+	MTPRPlus:   {network.ProtoMTPRPlus, "mtpr+"},
+	DSRHRate:   {network.ProtoDSRHRate, "dsrh-rate"},
+	DSRHNoRate: {network.ProtoDSRHNoRate, "dsrh"},
+	DSDV:       {network.ProtoDSDV, "dsdv"},
+	DSDVH:      {network.ProtoDSDVH, "dsdvh"},
+	TITAN:      {network.ProtoTITAN, "titan"},
+}
+
+func (k RoutingKind) applyStack(st *network.Stack) {
+	st.Routing = routingKinds[k].proto
+}
+
+// String returns the kind's short name (the one ParseRouting accepts).
+func (k RoutingKind) String() string {
+	if e, ok := routingKinds[k]; ok {
+		return e.name
+	}
+	return fmt.Sprintf("RoutingKind(%d)", int(k))
+}
+
+// ParseRouting resolves a routing short name (see RoutingNames).
+func ParseRouting(name string) (RoutingKind, error) {
+	for k, e := range routingKinds {
+		if e.name == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("eend: unknown routing protocol %q (want one of %v)", name, RoutingNames())
+}
+
+// RoutingNames lists the short names accepted by ParseRouting in enum order.
+func RoutingNames() []string {
+	out := make([]string, 0, len(routingKinds))
+	for k := DSR; k <= TITAN; k++ {
+		out = append(out, routingKinds[k].name)
+	}
+	return out
+}
+
+// PMKind selects the power-management policy. It implements StackOption.
+type PMKind int
+
+// Power-management policies.
+const (
+	AlwaysActive PMKind = iota + 1 // radios idle whenever not communicating
+	ODPM                           // on-demand power management (keep-alives)
+)
+
+func (k PMKind) applyStack(st *network.Stack) {
+	switch k {
+	case ODPM:
+		st.PM = network.PMODPM
+	default:
+		st.PM = network.PMAlwaysActive
+	}
+}
+
+// String returns the policy's short name (the one ParsePM accepts).
+func (k PMKind) String() string {
+	switch k {
+	case AlwaysActive:
+		return "active"
+	case ODPM:
+		return "odpm"
+	default:
+		return fmt.Sprintf("PMKind(%d)", int(k))
+	}
+}
+
+// ParsePM resolves a power-management short name (see PMNames).
+func ParsePM(name string) (PMKind, error) {
+	switch name {
+	case "active":
+		return AlwaysActive, nil
+	case "odpm":
+		return ODPM, nil
+	default:
+		return 0, fmt.Errorf("eend: unknown power management %q (want one of %v)", name, PMNames())
+	}
+}
+
+// PMNames lists the short names accepted by ParsePM.
+func PMNames() []string { return []string{"active", "odpm"} }
+
+// stackOptionFunc adapts a closure to StackOption.
+type stackOptionFunc func(*network.Stack)
+
+func (f stackOptionFunc) applyStack(st *network.Stack) { f(st) }
+
+// PowerControl enables transmission power control for data frames (the
+// paper's -PC suffix).
+func PowerControl() StackOption {
+	return stackOptionFunc(func(st *network.Stack) { st.PowerControl = true })
+}
+
+// PerfectSleep prices idle time at sleep power: the scheduling oracle of
+// Section 5.2.3. It composes with AlwaysActive.
+func PerfectSleep() StackOption {
+	return stackOptionFunc(func(st *network.Stack) { st.PerfectSleep = true })
+}
+
+// Span enables the Span-style advertised-traffic-window PSM improvement at
+// the MAC.
+func Span() StackOption {
+	return stackOptionFunc(func(st *network.Stack) { st.AdvertisedWindow = true })
+}
+
+// ODPMTimeouts overrides ODPM's keep-alive pair (paper defaults: 5 s after
+// data, 10 s after routing control).
+func ODPMTimeouts(data, route time.Duration) StackOption {
+	return stackOptionFunc(func(st *network.Stack) {
+		st.ODPM = power.ODPMConfig{DataTimeout: data, RouteTimeout: route}
+	})
+}
+
+// StackLabel overrides the stack's display label (Results.Stack).
+func StackLabel(label string) StackOption {
+	return stackOptionFunc(func(st *network.Stack) { st.Label = label })
+}
