@@ -26,96 +26,54 @@ func quickRunner() experiments.Runner { return experiments.Runner{Scale: experim
 
 var benchCtx = context.Background()
 
-func BenchmarkTable1Cards(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if f := quickRunner().Table1(benchCtx); f.Text == "" {
-			b.Fatal("empty table")
-		}
-	}
+// figureBenches drives every per-figure bench through one table: each case
+// regenerates a figure at Quick scale and reports how many series it must
+// contain (0 means a text-only table).
+var figureBenches = []struct {
+	name   string
+	series int
+	gen    func(experiments.Runner) *experiments.Figure
+}{
+	{"Table1Cards", 0, func(r experiments.Runner) *experiments.Figure { return r.Table1(benchCtx) }},
+	{"Fig7Mopt", 6, func(r experiments.Runner) *experiments.Figure { return r.Fig7(benchCtx) }},
+	{"Fig8DeliverySmall", 8, func(r experiments.Runner) *experiments.Figure {
+		fig8, _ := r.SmallNetworks(benchCtx)
+		return fig8
+	}},
+	{"Fig9GoodputSmall", 8, func(r experiments.Runner) *experiments.Figure {
+		_, fig9 := r.SmallNetworks(benchCtx)
+		return fig9
+	}},
+	{"Fig10TransmitEnergy", 4, func(r experiments.Runner) *experiments.Figure { return r.Fig10(benchCtx) }},
+	{"Fig11DeliveryLarge", 7, func(r experiments.Runner) *experiments.Figure {
+		fig11, _ := r.LargeNetworks(benchCtx)
+		return fig11
+	}},
+	{"Fig12GoodputLarge", 7, func(r experiments.Runner) *experiments.Figure {
+		_, fig12 := r.LargeNetworks(benchCtx)
+		return fig12
+	}},
+	{"Table2Density", 4, func(r experiments.Runner) *experiments.Figure { return r.Table2(benchCtx) }},
+	{"Fig13GridPerfectLow", 6, func(r experiments.Runner) *experiments.Figure { return r.GridFigure(benchCtx, 13) }},
+	{"Fig14GridODPMLow", 6, func(r experiments.Runner) *experiments.Figure { return r.GridFigure(benchCtx, 14) }},
+	{"Fig15GridPerfectHigh", 6, func(r experiments.Runner) *experiments.Figure { return r.GridFigure(benchCtx, 15) }},
+	{"Fig16GridODPMHigh", 6, func(r experiments.Runner) *experiments.Figure { return r.GridFigure(benchCtx, 16) }},
 }
 
-func BenchmarkFig7Mopt(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if f := quickRunner().Fig7(benchCtx); len(f.Series) != 6 {
-			b.Fatal("incomplete figure")
-		}
-	}
-}
-
-func BenchmarkFig8DeliverySmall(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		fig8, _ := quickRunner().SmallNetworks(benchCtx)
-		if len(fig8.Series) != 8 {
-			b.Fatal("incomplete figure")
-		}
-	}
-}
-
-func BenchmarkFig9GoodputSmall(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		_, fig9 := quickRunner().SmallNetworks(benchCtx)
-		if len(fig9.Series) != 8 {
-			b.Fatal("incomplete figure")
-		}
-	}
-}
-
-func BenchmarkFig10TransmitEnergy(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if f := quickRunner().Fig10(benchCtx); len(f.Series) != 4 {
-			b.Fatal("incomplete figure")
-		}
-	}
-}
-
-func BenchmarkFig11DeliveryLarge(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		fig11, _ := quickRunner().LargeNetworks(benchCtx)
-		if len(fig11.Series) != 7 {
-			b.Fatal("incomplete figure")
-		}
-	}
-}
-
-func BenchmarkFig12GoodputLarge(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		_, fig12 := quickRunner().LargeNetworks(benchCtx)
-		if len(fig12.Series) != 7 {
-			b.Fatal("incomplete figure")
-		}
-	}
-}
-
-func BenchmarkTable2Density(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if f := quickRunner().Table2(benchCtx); len(f.Series) != 4 {
-			b.Fatal("incomplete table")
-		}
-	}
-}
-
-func BenchmarkFig13GridPerfectLow(b *testing.B) {
-	benchGrid(b, 13)
-}
-
-func BenchmarkFig14GridODPMLow(b *testing.B) {
-	benchGrid(b, 14)
-}
-
-func BenchmarkFig15GridPerfectHigh(b *testing.B) {
-	benchGrid(b, 15)
-}
-
-func BenchmarkFig16GridODPMHigh(b *testing.B) {
-	benchGrid(b, 16)
-}
-
-func benchGrid(b *testing.B, fig int) {
-	b.Helper()
-	for i := 0; i < b.N; i++ {
-		if f := quickRunner().GridFigure(benchCtx, fig); len(f.Series) != 6 {
-			b.Fatalf("incomplete fig%d: %v", fig, f.Notes)
-		}
+func BenchmarkFigures(b *testing.B) {
+	for _, bc := range figureBenches {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f := bc.gen(quickRunner())
+				if bc.series == 0 {
+					if f.Text == "" {
+						b.Fatalf("%s: empty table", bc.name)
+					}
+				} else if len(f.Series) != bc.series {
+					b.Fatalf("%s: %d series, want %d (%v)", bc.name, len(f.Series), bc.series, f.Notes)
+				}
+			}
+		})
 	}
 }
 
@@ -210,6 +168,7 @@ func BenchmarkAblationODPMKeepAlive(b *testing.B) {
 // --- micro benches: simulator hot paths ---
 
 func BenchmarkSimEventLoop(b *testing.B) {
+	b.ReportAllocs()
 	s := sim.New(1)
 	n := 0
 	var tick func()
@@ -226,6 +185,7 @@ func BenchmarkSimEventLoop(b *testing.B) {
 }
 
 func BenchmarkMACUnicastExchange(b *testing.B) {
+	b.ReportAllocs()
 	s := sim.New(1)
 	med := phy.NewMedium(s, phy.Config{RangeAt: radio.Cabletron.RangeAt})
 	coord := mac.NewCoordinator(s, 0, 0)
@@ -261,6 +221,7 @@ func BenchmarkDijkstra(b *testing.B) {
 			}
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		path, _ := g.ShortestPath(0, 399, nil, nil)
@@ -272,6 +233,7 @@ func BenchmarkDijkstra(b *testing.B) {
 
 func BenchmarkSteinerForest(b *testing.B) {
 	g, demands := core.SFGadget(20, 2, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := g.SteinerForest(demands, nil); err != nil {

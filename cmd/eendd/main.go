@@ -3,14 +3,22 @@
 //
 // Usage:
 //
-//	eendd [-addr :8080] [-grace 15s]
+//	eendd [-addr :8080] [-grace 15s] [-cache dir]
 //
 // Endpoints:
 //
 //	POST /v1/scenarios           run a scenario from a JSON body -> eend.Results JSON
 //	GET  /v1/experiments         list experiment and ablation IDs
 //	GET  /v1/experiments/{id}    regenerate a figure (?scale=quick|full) -> eend.Figure JSON
+//	POST /v1/sweeps              start an async parameter sweep -> 202 + job JSON
+//	GET  /v1/sweeps              list sweep jobs
+//	GET  /v1/sweeps/{id}         live progress, cache-hit counts and per-point results
+//	DELETE /v1/sweeps/{id}       cancel a sweep
 //	GET  /healthz                liveness probe
+//
+// Sweeps run asynchronously under the server's lifetime (poll them by id)
+// and, with -cache, reuse the content-addressed result store across runs
+// and restarts.
 //
 // On SIGTERM/SIGINT the server stops accepting connections and gives
 // in-flight simulations -grace to finish; runs still going after that are
@@ -41,6 +49,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("eendd", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	grace := fs.Duration("grace", 15*time.Second, "shutdown grace period for in-flight runs")
+	cacheDir := fs.String("cache", "", "content-addressed sweep result cache directory (empty: no cache)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,7 +64,7 @@ func run(args []string) error {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(),
+		Handler:           newServer(baseCtx, *cacheDir),
 		ReadHeaderTimeout: 10 * time.Second,
 		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 	}

@@ -30,7 +30,7 @@ func post(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRec
 }
 
 func TestHealthz(t *testing.T) {
-	w := get(t, newServer(), "/healthz")
+	w := get(t, newServer(context.Background(), ""), "/healthz")
 	if w.Code != http.StatusOK {
 		t.Fatalf("status = %d, want 200", w.Code)
 	}
@@ -44,7 +44,7 @@ func TestHealthz(t *testing.T) {
 }
 
 func TestListExperiments(t *testing.T) {
-	w := get(t, newServer(), "/v1/experiments")
+	w := get(t, newServer(context.Background(), ""), "/v1/experiments")
 	if w.Code != http.StatusOK {
 		t.Fatalf("status = %d, want 200", w.Code)
 	}
@@ -58,7 +58,7 @@ func TestListExperiments(t *testing.T) {
 }
 
 func TestRunScenario(t *testing.T) {
-	w := post(t, newServer(), "/v1/scenarios", `{
+	w := post(t, newServer(context.Background(), ""), "/v1/scenarios", `{
 		"seed": 7,
 		"field": {"width": 300, "height": 300},
 		"nodes": 10,
@@ -101,7 +101,7 @@ func TestRunScenarioDefaultsApply(t *testing.T) {
 	// An empty body object runs the default scenario, but at 300 s with 50
 	// nodes that is slow for a unit test; pin it down while leaving the
 	// stack defaulted.
-	w := post(t, newServer(), "/v1/scenarios", `{
+	w := post(t, newServer(context.Background(), ""), "/v1/scenarios", `{
 		"nodes": 8, "field": {"width": 250, "height": 250},
 		"duration": "20s", "random_flows": {"count": 1, "rate_bps": 1024}
 	}`)
@@ -120,7 +120,7 @@ func TestRunScenarioDefaultsApply(t *testing.T) {
 func TestRunScenarioPartialODPMTimeout(t *testing.T) {
 	// Each ODPM timeout is individually optional; the omitted one keeps
 	// the paper default.
-	w := post(t, newServer(), "/v1/scenarios", `{
+	w := post(t, newServer(context.Background(), ""), "/v1/scenarios", `{
 		"nodes": 8, "field": {"width": 250, "height": 250},
 		"stack": {"routing": "dsr", "pm": "odpm", "odpm_data_timeout": "2s"},
 		"duration": "20s", "random_flows": {"count": 1, "rate_bps": 1024}
@@ -142,7 +142,7 @@ func TestRunScenarioRejectsBadBodies(t *testing.T) {
 		"negative battery":   `{"battery_j": -100}`,
 		"negative bandwidth": `{"bandwidth_bps": -1}`,
 	} {
-		w := post(t, newServer(), "/v1/scenarios", body)
+		w := post(t, newServer(context.Background(), ""), "/v1/scenarios", body)
 		if w.Code != http.StatusBadRequest {
 			t.Errorf("%s: status = %d, want 400 (body %s)", name, w.Code, w.Body)
 		}
@@ -153,14 +153,14 @@ func TestRunScenarioRejectsWrongContentType(t *testing.T) {
 	req := httptest.NewRequest(http.MethodPost, "/v1/scenarios", strings.NewReader("{}"))
 	req.Header.Set("Content-Type", "text/plain")
 	w := httptest.NewRecorder()
-	newServer().ServeHTTP(w, req)
+	newServer(context.Background(), "").ServeHTTP(w, req)
 	if w.Code != http.StatusUnsupportedMediaType {
 		t.Fatalf("status = %d, want 415", w.Code)
 	}
 }
 
 func TestExperimentEndpoint(t *testing.T) {
-	w := get(t, newServer(), "/v1/experiments/fig7?scale=quick")
+	w := get(t, newServer(context.Background(), ""), "/v1/experiments/fig7?scale=quick")
 	if w.Code != http.StatusOK {
 		t.Fatalf("status = %d, body %s", w.Code, w.Body)
 	}
@@ -174,13 +174,13 @@ func TestExperimentEndpoint(t *testing.T) {
 }
 
 func TestExperimentEndpointUnknownID(t *testing.T) {
-	if w := get(t, newServer(), "/v1/experiments/fig99"); w.Code != http.StatusNotFound {
+	if w := get(t, newServer(context.Background(), ""), "/v1/experiments/fig99"); w.Code != http.StatusNotFound {
 		t.Fatalf("status = %d, want 404", w.Code)
 	}
 }
 
 func TestExperimentEndpointBadScale(t *testing.T) {
-	if w := get(t, newServer(), "/v1/experiments/fig7?scale=enormous"); w.Code != http.StatusBadRequest {
+	if w := get(t, newServer(context.Background(), ""), "/v1/experiments/fig7?scale=enormous"); w.Code != http.StatusBadRequest {
 		t.Fatalf("status = %d, want 400", w.Code)
 	}
 }
@@ -197,7 +197,7 @@ func TestScenarioCancelledByClient(t *testing.T) {
 	req.Header.Set("Content-Type", "application/json")
 	w := httptest.NewRecorder()
 	start := time.Now()
-	newServer().ServeHTTP(w, req)
+	newServer(context.Background(), "").ServeHTTP(w, req)
 	if elapsed := time.Since(start); elapsed > 10*time.Second {
 		t.Fatalf("cancelled run took %v, want prompt abort", elapsed)
 	}

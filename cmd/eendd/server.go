@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -177,12 +178,19 @@ const maxScenarioBody = 1 << 20
 //	POST /v1/scenarios           run a scenario from a JSON body -> eend.Results
 //	GET  /v1/experiments         list experiment and ablation IDs
 //	GET  /v1/experiments/{id}    regenerate a figure (?scale=quick|full) -> eend.Figure
+//	POST /v1/sweeps              start an async parameter sweep -> 202 + job
+//	GET  /v1/sweeps              list sweep jobs
+//	GET  /v1/sweeps/{id}         live progress, cache-hit counts and results
+//	DELETE /v1/sweeps/{id}       cancel a sweep
 //	GET  /healthz                liveness probe
 //
-// Every simulation runs under the request's context, so a dropped client
-// connection (or server shutdown) cancels the run.
-func newServer() http.Handler {
+// Synchronous simulations run under the request's context, so a dropped
+// client connection (or server shutdown) cancels the run. Sweeps are
+// asynchronous: they run under base (the server's lifetime context) and
+// are polled by id, with results cached in cacheDir when it is non-empty.
+func newServer(base context.Context, cacheDir string) http.Handler {
 	mux := http.NewServeMux()
+	newSweepManager(base, cacheDir).register(mux)
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -215,15 +223,8 @@ func newServer() http.Handler {
 	})
 
 	mux.HandleFunc("POST /v1/scenarios", func(w http.ResponseWriter, r *http.Request) {
-		if ct := r.Header.Get("Content-Type"); ct != "" && !strings.HasPrefix(ct, "application/json") {
-			writeError(w, http.StatusUnsupportedMediaType, fmt.Errorf("want application/json, got %q", ct))
-			return
-		}
 		var req scenarioRequest
-		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxScenarioBody))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad scenario body: %w", err))
+		if !decodeJSONBody(w, r, &req) {
 			return
 		}
 		sc, err := scenarioFromRequest(req)
@@ -240,6 +241,23 @@ func newServer() http.Handler {
 	})
 
 	return mux
+}
+
+// decodeJSONBody enforces the JSON content type and size cap, decodes the
+// body strictly into v, and writes the error response itself when it
+// returns false.
+func decodeJSONBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if ct := r.Header.Get("Content-Type"); ct != "" && !strings.HasPrefix(ct, "application/json") {
+		writeError(w, http.StatusUnsupportedMediaType, fmt.Errorf("want application/json, got %q", ct))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxScenarioBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
 }
 
 // writeJSON emits v with the proper content type.

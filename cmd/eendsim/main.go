@@ -48,6 +48,7 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 		dur     = fs.Duration("dur", 300*time.Second, "simulated duration")
 		seed    = fs.Uint64("seed", 1, "random seed")
 		grid    = fs.Int("grid", 0, "if > 0, place nodes on an NxN grid instead of uniformly")
+		topo    = fs.String("topology", "", "placement generator: "+strings.Join(eend.TopologyNames(), "|")+" (default: uniform via the simulator's own stream)")
 		asJSON  = fs.Bool("json", false, "print results as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -86,9 +87,18 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 		eend.WithDuration(*dur),
 		eend.WithRandomFlows(*flows, *rate*1024, 128),
 	}
-	if *grid > 0 {
+	switch {
+	case *topo != "" && *grid > 0:
+		return fmt.Errorf("-topology and -grid are mutually exclusive (use -topology grid)")
+	case *topo != "":
+		t, err := eend.ParseTopology(*topo)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, eend.WithNodes(*nodes), eend.WithTopology(t))
+	case *grid > 0:
 		opts = append(opts, eend.WithGrid(*grid, *grid))
-	} else {
+	default:
 		opts = append(opts, eend.WithNodes(*nodes))
 	}
 

@@ -50,6 +50,27 @@ func TestRunJSONOutput(t *testing.T) {
 	}
 }
 
+func TestRunTopologies(t *testing.T) {
+	for _, topo := range eend.TopologyNames() {
+		err := run(bg, io.Discard, []string{
+			"-nodes", "8", "-field", "250", "-topology", topo, "-proto", "dsr", "-pm", "active",
+			"-flows", "1", "-rate", "2", "-dur", "25s",
+		})
+		if err != nil {
+			t.Fatalf("-topology %s: %v", topo, err)
+		}
+	}
+}
+
+func TestRunRejectsTopologyGridCombo(t *testing.T) {
+	if err := run(bg, io.Discard, []string{"-topology", "cluster", "-grid", "4"}); err == nil {
+		t.Fatal("-topology with -grid should fail")
+	}
+	if err := run(bg, io.Discard, []string{"-topology", "torus"}); err == nil {
+		t.Fatal("unknown topology should fail")
+	}
+}
+
 func TestRunRejectsUnknownProtocol(t *testing.T) {
 	if err := run(bg, io.Discard, []string{"-proto", "ospf"}); err == nil {
 		t.Fatal("unknown protocol should fail")

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const tinyGrid = "nodes=5,7 seed=1 field=200 dur=25s flows=1 rate=2"
+
+func TestRunCSV(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(context.Background(), &out, &errw, []string{"-grid", tinyGrid}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&out).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // header + 2 points
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[0][1] != "nodes" || rows[1][1] != "5" || rows[2][1] != "7" {
+		t.Fatalf("unexpected CSV layout: %v / %v", rows[0], rows[1])
+	}
+	if !strings.Contains(errw.String(), "2/2 done") {
+		t.Fatalf("progress missing from stderr: %q", errw.String())
+	}
+}
+
+func TestRunJSONAndCache(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	var out1, errw bytes.Buffer
+	args := []string{"-grid", tinyGrid, "-format", "json", "-cache", dir, "-quiet"}
+	if err := run(context.Background(), &out1, &errw, args); err != nil {
+		t.Fatal(err)
+	}
+	var first sweepOutput
+	if err := json.Unmarshal(out1.Bytes(), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Progress.CacheHits != 0 || len(first.Results) != 2 {
+		t.Fatalf("first run = %+v", first.Progress)
+	}
+	if errw.Len() != 0 {
+		t.Fatalf("-quiet wrote to stderr: %q", errw.String())
+	}
+
+	var out2 bytes.Buffer
+	if err := run(context.Background(), &out2, &errw, args); err != nil {
+		t.Fatal(err)
+	}
+	var second sweepOutput
+	if err := json.Unmarshal(out2.Bytes(), &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Progress.CacheHits != 2 {
+		t.Fatalf("re-run cache hits = %d, want 2", second.Progress.CacheHits)
+	}
+	for i := range second.Results {
+		if !second.Results[i].Cached {
+			t.Fatalf("point %d not cached on re-run", i)
+		}
+		if second.Results[i].Fingerprint != first.Results[i].Fingerprint {
+			t.Fatalf("fingerprint %d changed across processes' worth of runs", i)
+		}
+	}
+}
+
+func TestRunPositionalGrid(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run(context.Background(), &out, &errw, []string{"-quiet", "nodes=5", "seed=1", "field=200", "dur=25s", "flows=1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fingerprint") {
+		t.Fatal("positional grid produced no CSV header")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	cases := map[string][]string{
+		"no grid":        {"-quiet"},
+		"bad grid":       {"-grid", "antennas=3"},
+		"bad format":     {"-grid", tinyGrid, "-format", "yaml"},
+		"bad axis value": {"-grid", "nodes=ten"},
+	}
+	for name, args := range cases {
+		if err := run(context.Background(), &out, &errw, args); err == nil {
+			t.Errorf("%s: run accepted %v", name, args)
+		}
+	}
+}

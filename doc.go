@@ -23,12 +23,29 @@
 // results as they complete; Results, Figure and the metric series marshal
 // to stable JSON for machine consumption (served over HTTP by cmd/eendd).
 //
+// Beyond the paper's placements and traffic, WithTopology selects a
+// placement generator (uniform, perturbed grid, clustered hotspots,
+// corridor chains) and WithWorkload a traffic generator (CBR, bursty
+// on/off, convergecast), giving single runs and parameter sweeps one
+// shared scenario vocabulary.
+//
+// Every Scenario has a canonical encoding (Canonical) and a content
+// address (Fingerprint, its SHA-256): scenarios that would produce
+// identical Results fingerprint identically, stably across processes and
+// platforms. The eend/sweep package builds on this to expand declarative
+// parameter grids into scenario batches with an on-disk result cache —
+// re-running a sweep with one axis changed simulates only the new points
+// (see cmd/eendsweep and eendd's POST /v1/sweeps).
+//
 // Layout:
 //
 //	eend (root)           public facade: scenarios, options, batches, experiments
 //	design                public facade for the formal design problem (Section 3)
+//	sweep                 parameter grids, grid-spec parser, caching sweep runner
 //	internal/sim          discrete-event kernel (context-aware event loop)
 //	internal/geom         placement geometry
+//	internal/topology     placement generators (uniform, grid, cluster, corridor)
+//	internal/cache        content-addressed on-disk result store
 //	internal/radio        card models (Table 1) + energy meter (Eqs. 1-4)
 //	internal/phy          medium: propagation, collisions, carrier sense
 //	internal/mac          802.11 DCF + PSM (beacons, ATIM windows), TPC
@@ -40,8 +57,9 @@
 //	internal/metrics      means and 95% confidence intervals (JSON-marshalable)
 //	internal/experiments  one runner per paper table/figure
 //	cmd/eendfig           regenerate all tables and figures (-format text|json|csv)
-//	cmd/eendsim           run a single scenario (-json for machine output)
-//	cmd/eendd             HTTP service: run scenarios and figures remotely
+//	cmd/eendsim           run a single scenario (-json, -topology)
+//	cmd/eendsweep         run a parameter grid with the result cache (CSV/JSON)
+//	cmd/eendd             HTTP service: scenarios, figures and async sweeps
 //	cmd/mopt              the Section 5.1 analytical study
 //
 // The benchmarks in bench_test.go regenerate each experiment at Quick

@@ -1,0 +1,119 @@
+package eend_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"eend"
+)
+
+func fpScenario(t *testing.T, opts ...eend.Option) *eend.Scenario {
+	t.Helper()
+	sc, err := eend.NewScenario(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	opts := []eend.Option{
+		eend.WithSeed(7),
+		eend.WithNodes(25),
+		eend.WithStack(eend.TITAN, eend.ODPM, eend.PowerControl()),
+		eend.WithRandomFlows(5, 2048, 128),
+	}
+	a, b := fpScenario(t, opts...), fpScenario(t, opts...)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("equal scenarios fingerprint differently:\n%s\n%s", a.Fingerprint(), b.Fingerprint())
+	}
+	if a.Canonical() != b.Canonical() {
+		t.Fatal("equal scenarios canonicalize differently")
+	}
+}
+
+// TestFingerprintGolden pins the exact digest of a fixed scenario. The
+// hard-coded value is what makes the cross-process stability guarantee
+// testable: any process, any platform, any run must reproduce it. If this
+// test fails because the encoding legitimately changed, bump
+// canonicalVersion — never silently re-pin, or live caches would serve
+// results for the wrong configuration.
+func TestFingerprintGolden(t *testing.T) {
+	sc := fpScenario(t,
+		eend.WithSeed(42),
+		eend.WithField(300, 300),
+		eend.WithNodes(20),
+		eend.WithStack(eend.DSR, eend.ODPM),
+		eend.WithDuration(60*time.Second),
+		eend.WithRandomFlows(3, 2048, 128),
+	)
+	const want = "a2b46a763ce3f3bc7a8c79d81282250830a2ff2c9fc10af475df71ee487c7737"
+	if got := sc.Fingerprint(); got != want {
+		t.Fatalf("golden fingerprint changed:\n got %s\nwant %s\ncanonical:\n%s", got, want, sc.Canonical())
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := func() []eend.Option {
+		return []eend.Option{
+			eend.WithSeed(3),
+			eend.WithNodes(15),
+			eend.WithStack(eend.TITAN, eend.ODPM),
+			eend.WithRandomFlows(2, 2048, 128),
+			eend.WithDuration(90 * time.Second),
+		}
+	}
+	ref := fpScenario(t, base()...).Fingerprint()
+	variants := map[string][]eend.Option{
+		"seed":     append(base(), eend.WithSeed(4)),
+		"nodes":    append(base(), eend.WithNodes(16)),
+		"field":    append(base(), eend.WithField(400, 400)),
+		"stack":    append(base(), eend.WithStack(eend.DSR, eend.ODPM)),
+		"pc":       append(base(), eend.WithStack(eend.TITAN, eend.ODPM, eend.PowerControl())),
+		"duration": append(base(), eend.WithDuration(91*time.Second)),
+		"card":     append(base(), eend.WithCard(eend.Aironet350)),
+		"battery":  append(base(), eend.WithBattery(50)),
+		"bw":       append(base(), eend.WithBandwidth(1e6)),
+		"flows":    append(base(), eend.WithRandomFlows(1, 1024, 64)),
+		"topology": append(base(), eend.WithTopology(eend.ClusterTopology(0, 0))),
+		"workload": append(base(), eend.WithWorkload(eend.NewWorkload(eend.WorkloadBursty, 2, 2048, 128))),
+	}
+	seen := map[string]string{"base": ref}
+	for name, opts := range variants {
+		fp := fpScenario(t, opts...).Fingerprint()
+		for prev, other := range seen {
+			if fp == other {
+				t.Errorf("variant %q collides with %q", name, prev)
+			}
+		}
+		seen[name] = fp
+	}
+}
+
+func TestFingerprintTopologyMaterializesPositions(t *testing.T) {
+	sc := fpScenario(t,
+		eend.WithSeed(5),
+		eend.WithNodes(12),
+		eend.WithTopology(eend.CorridorTopology(0)),
+	)
+	if !strings.Contains(sc.Canonical(), "placement=positions:") {
+		t.Fatalf("topology scenario canonicalizes without materialized positions:\n%s", sc.Canonical())
+	}
+	// Same seed, same topology -> same placement -> same fingerprint.
+	again := fpScenario(t,
+		eend.WithSeed(5),
+		eend.WithNodes(12),
+		eend.WithTopology(eend.CorridorTopology(0)),
+	)
+	if sc.Fingerprint() != again.Fingerprint() {
+		t.Fatal("topology placement not deterministic per seed")
+	}
+}
+
+func TestCanonicalLeadsWithVersion(t *testing.T) {
+	sc := fpScenario(t)
+	if !strings.HasPrefix(sc.Canonical(), "eend.scenario/1\n") {
+		t.Fatalf("canonical encoding is unversioned:\n%s", sc.Canonical())
+	}
+}

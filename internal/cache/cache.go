@@ -1,0 +1,141 @@
+// Package cache is a content-addressed on-disk result store. Values are
+// addressed by the caller's key — in eend, a Scenario fingerprint (the
+// SHA-256 of its canonical encoding) — so a cache entry is valid for
+// exactly one simulation configuration and never goes stale: re-running a
+// sweep with one axis changed re-simulates only the new points.
+//
+// Layout: <dir>/<key[:2]>/<key>.json, one file per entry, sharded by the
+// first two key characters so huge sweeps don't produce huge directories.
+// Writes go through a temp file + rename, so concurrent writers (the sweep
+// worker pool) and crashed processes can never leave a torn entry behind.
+package cache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// Store is a content-addressed blob store rooted at one directory. The
+// zero value is not usable; call Open. All methods are safe for concurrent
+// use.
+type Store struct {
+	dir    string
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	puts   atomic.Uint64
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// validKey rejects keys that could escape the store directory or collide
+// with the shard layout. Fingerprints (lowercase hex) always pass.
+func validKey(key string) error {
+	if len(key) < 4 {
+		return fmt.Errorf("cache: key %q too short", key)
+	}
+	for _, c := range key {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return fmt.Errorf("cache: key %q contains %q", key, c)
+		}
+	}
+	return nil
+}
+
+// path maps a key to its entry file.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key+".json")
+}
+
+// Get returns the value stored under key. A missing entry is (nil, false,
+// nil); only I/O faults (and invalid keys) surface as errors.
+func (s *Store) Get(key string) ([]byte, bool, error) {
+	if err := validKey(key); err != nil {
+		return nil, false, err
+	}
+	data, err := os.ReadFile(s.path(key))
+	switch {
+	case err == nil:
+		s.hits.Add(1)
+		return data, true, nil
+	case os.IsNotExist(err):
+		s.misses.Add(1)
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("cache: %w", err)
+	}
+}
+
+// Put stores value under key, replacing any previous entry. The write is
+// atomic: readers see either the old entry or the complete new one.
+func (s *Store) Put(key string, value []byte) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	dst := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), "."+key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if _, err := tmp.Write(value); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// Stats reports the store's lifetime counters (since Open).
+type Stats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Puts   uint64 `json:"puts"`
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Puts: s.puts.Load()}
+}
+
+// Len walks the store and counts entries (for tools and tests; a sweep
+// never needs it on a hot path).
+func (s *Store) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}

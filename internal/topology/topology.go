@@ -1,0 +1,232 @@
+// Package topology generates node placements beyond the paper's two
+// (uniform random and regular grid): perturbed grids, clustered hotspot
+// deployments and corridor/chain layouts. Every generator is a pure
+// function of (spec, field, n, rng), so placements are deterministic per
+// seed and the same topology vocabulary serves single runs (cmd/eendsim
+// -topology) and parameter sweeps (eend/sweep).
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"eend/internal/geom"
+)
+
+// Kind selects a placement generator.
+type Kind int
+
+// The modelled placement families.
+const (
+	// Uniform places nodes uniformly at random in the field (the paper's
+	// small/large-network methodology).
+	Uniform Kind = iota + 1
+	// Grid places nodes on a near-square lattice of cell centers; Spec.Jitter
+	// perturbs each node within its cell (Jitter 0 is the paper's regular
+	// grid, up to 0.5 reaching the cell edges).
+	Grid
+	// Cluster places nodes in Gaussian hotspots around Spec.Clusters
+	// uniformly drawn centers: dense neighborhoods connected by sparse
+	// gaps, the sensor-deployment shape uniform placement never produces.
+	Cluster
+	// Corridor chains nodes along the horizontal midline of the field in a
+	// band Spec.Band tall: long multi-hop paths with few routing choices.
+	Corridor
+)
+
+// kindNames maps kinds to their short CLI/spec names, in enum order.
+var kindNames = map[Kind]string{
+	Uniform:  "uniform",
+	Grid:     "grid",
+	Cluster:  "cluster",
+	Corridor: "corridor",
+}
+
+// String returns the kind's short name (the one ParseKind accepts).
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind resolves a topology short name (see KindNames).
+func ParseKind(name string) (Kind, error) {
+	for k, n := range kindNames {
+		if n == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("topology: unknown kind %q (want one of %v)", name, KindNames())
+}
+
+// KindNames lists the short names accepted by ParseKind in enum order.
+func KindNames() []string {
+	out := make([]string, 0, len(kindNames))
+	for k := Uniform; k <= Corridor; k++ {
+		out = append(out, kindNames[k])
+	}
+	return out
+}
+
+// Spec fully describes a placement generator. The zero values of the knob
+// fields select the defaults documented on each; Validate rejects values
+// outside their meaningful ranges.
+type Spec struct {
+	Kind Kind
+
+	// Jitter (Grid) displaces each node uniformly within ±Jitter cell
+	// widths/heights of its lattice point; 0 (default) keeps the regular
+	// grid, 0.5 lets nodes reach their cell edges.
+	Jitter float64
+
+	// Clusters (Cluster) is the number of hotspots; default 4.
+	Clusters int
+
+	// Spread (Cluster) is each hotspot's Gaussian standard deviation as a
+	// fraction of the shorter field side; default 0.08.
+	Spread float64
+
+	// Band (Corridor) is the corridor height as a fraction of the field
+	// height; default 0.15.
+	Band float64
+}
+
+// withDefaults resolves the zero-value knobs.
+func (sp Spec) withDefaults() Spec {
+	if sp.Kind == Cluster {
+		if sp.Clusters == 0 {
+			sp.Clusters = 4
+		}
+		if sp.Spread == 0 {
+			sp.Spread = 0.08
+		}
+	}
+	if sp.Kind == Corridor && sp.Band == 0 {
+		sp.Band = 0.15
+	}
+	return sp
+}
+
+// Validate rejects specs the generators would mis-place.
+func (sp Spec) Validate() error {
+	if _, ok := kindNames[sp.Kind]; !ok {
+		return fmt.Errorf("topology: unknown kind %d", int(sp.Kind))
+	}
+	if sp.Jitter < 0 || sp.Jitter > 0.5 {
+		return fmt.Errorf("topology: grid jitter %g outside [0, 0.5]", sp.Jitter)
+	}
+	if sp.Clusters < 0 {
+		return fmt.Errorf("topology: cluster count %d is negative", sp.Clusters)
+	}
+	if sp.Spread < 0 || sp.Spread > 0.5 {
+		return fmt.Errorf("topology: cluster spread %g outside [0, 0.5]", sp.Spread)
+	}
+	if sp.Band < 0 || sp.Band > 1 {
+		return fmt.Errorf("topology: corridor band %g outside [0, 1]", sp.Band)
+	}
+	return nil
+}
+
+// Generate places n nodes in the field according to the spec, drawing all
+// randomness from rng: equal (spec, field, n, seed) always yields the same
+// placement, on any platform. Callers should Validate the spec first; an
+// invalid spec or non-positive n returns nil.
+func Generate(sp Spec, f geom.Field, n int, rng *rand.Rand) []geom.Point {
+	if n <= 0 || sp.Validate() != nil {
+		return nil
+	}
+	sp = sp.withDefaults()
+	switch sp.Kind {
+	case Uniform:
+		return geom.UniformPlacement(f, n, rng)
+	case Grid:
+		return gridPlacement(sp, f, n, rng)
+	case Cluster:
+		return clusterPlacement(sp, f, n, rng)
+	case Corridor:
+		return corridorPlacement(sp, f, n, rng)
+	}
+	return nil
+}
+
+// gridPlacement lays n nodes on a near-square lattice, optionally jittered
+// within their cells. When n is not a perfect lattice, the trailing cells of
+// the last row stay empty; which cells are filled is deterministic.
+func gridPlacement(sp Spec, f geom.Field, n int, rng *rand.Rand) []geom.Point {
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	rows := (n + cols - 1) / cols
+	dx := f.Width / float64(cols)
+	dy := f.Height / float64(rows)
+	pts := make([]geom.Point, 0, n)
+	for i := 0; i < n; i++ {
+		r, c := i/cols, i%cols
+		p := geom.Point{
+			X: (float64(c) + 0.5) * dx,
+			Y: (float64(r) + 0.5) * dy,
+		}
+		if sp.Jitter > 0 {
+			p.X += (rng.Float64()*2 - 1) * sp.Jitter * dx
+			p.Y += (rng.Float64()*2 - 1) * sp.Jitter * dy
+		}
+		pts = append(pts, clamp(p, f))
+	}
+	return pts
+}
+
+// clusterPlacement draws hotspot centers uniformly (kept off the field
+// border by one spread so hotspots are not half clipped), then assigns
+// nodes round-robin to centers with Gaussian scatter.
+func clusterPlacement(sp Spec, f geom.Field, n int, rng *rand.Rand) []geom.Point {
+	k := sp.Clusters
+	if k > n {
+		k = n
+	}
+	sigma := sp.Spread * math.Min(f.Width, f.Height)
+	centers := make([]geom.Point, k)
+	for i := range centers {
+		centers[i] = geom.Point{
+			X: sigma + rng.Float64()*(f.Width-2*sigma),
+			Y: sigma + rng.Float64()*(f.Height-2*sigma),
+		}
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		c := centers[i%k]
+		pts[i] = clamp(geom.Point{
+			X: c.X + rng.NormFloat64()*sigma,
+			Y: c.Y + rng.NormFloat64()*sigma,
+		}, f)
+	}
+	return pts
+}
+
+// corridorPlacement spreads nodes along the horizontal midline: x positions
+// are drawn uniformly and sorted (so node ids follow the chain), y positions
+// stay inside the corridor band.
+func corridorPlacement(sp Spec, f geom.Field, n int, rng *rand.Rand) []geom.Point {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * f.Width
+	}
+	sort.Float64s(xs)
+	half := sp.Band * f.Height / 2
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = clamp(geom.Point{
+			X: xs[i],
+			Y: f.Height/2 + (rng.Float64()*2-1)*half,
+		}, f)
+	}
+	return pts
+}
+
+// clamp pulls a point back inside the field (Gaussian scatter and jitter
+// can overshoot the border).
+func clamp(p geom.Point, f geom.Field) geom.Point {
+	p.X = math.Min(math.Max(p.X, 0), f.Width)
+	p.Y = math.Min(math.Max(p.Y, 0), f.Height)
+	return p
+}

@@ -1,0 +1,226 @@
+package topology
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"eend/internal/geom"
+)
+
+var testField = geom.Field{Width: 500, Height: 500}
+
+func testRNG(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, 7)) }
+
+// allSpecs covers every kind with its non-default knobs exercised.
+func allSpecs() map[string]Spec {
+	return map[string]Spec{
+		"uniform":        {Kind: Uniform},
+		"grid":           {Kind: Grid},
+		"grid-perturbed": {Kind: Grid, Jitter: 0.4},
+		"cluster":        {Kind: Cluster, Clusters: 3, Spread: 0.05},
+		"corridor":       {Kind: Corridor, Band: 0.2},
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for name, sp := range allSpecs() {
+		a := Generate(sp, testField, 80, testRNG(11))
+		b := Generate(sp, testField, 80, testRNG(11))
+		if len(a) != 80 || len(b) != 80 {
+			t.Fatalf("%s: lengths %d/%d, want 80", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: point %d differs across equal seeds: %v vs %v", name, i, a[i], b[i])
+			}
+		}
+		c := Generate(sp, testField, 80, testRNG(12))
+		same := 0
+		for i := range a {
+			if a[i] == c[i] {
+				same++
+			}
+		}
+		if sp.Kind != Grid || sp.Jitter > 0 { // the regular grid is seed-independent by design
+			if same == len(a) {
+				t.Errorf("%s: different seeds produced identical placements", name)
+			}
+		}
+	}
+}
+
+func TestGenerateInsideField(t *testing.T) {
+	for name, sp := range allSpecs() {
+		for _, n := range []int{1, 7, 50, 200} {
+			for _, p := range Generate(sp, testField, n, testRNG(3)) {
+				if !testField.Contains(p) {
+					t.Fatalf("%s n=%d: point %v outside field", name, n, p)
+				}
+			}
+		}
+	}
+}
+
+func TestUniformShape(t *testing.T) {
+	// Each quadrant of the field should receive a fair share of 400 nodes.
+	pts := Generate(Spec{Kind: Uniform}, testField, 400, testRNG(5))
+	var q [4]int
+	for _, p := range pts {
+		i := 0
+		if p.X > testField.Width/2 {
+			i++
+		}
+		if p.Y > testField.Height/2 {
+			i += 2
+		}
+		q[i]++
+	}
+	for i, n := range q {
+		if n < 60 {
+			t.Errorf("quadrant %d has only %d of 400 uniform points", i, n)
+		}
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	// 49 nodes in a square field must form the paper's 7x7 lattice.
+	pts := Generate(Spec{Kind: Grid}, geom.Field{Width: 300, Height: 300}, 49, testRNG(1))
+	want := 300.0 / 7
+	if d := pts[0].Dist(pts[1]); math.Abs(d-want) > 1e-9 {
+		t.Errorf("horizontal spacing = %g, want %g", d, want)
+	}
+	if d := pts[0].Dist(pts[7]); math.Abs(d-want) > 1e-9 {
+		t.Errorf("vertical spacing = %g, want %g", d, want)
+	}
+}
+
+func TestPerturbedGridShape(t *testing.T) {
+	// Jittered nodes must stay within Jitter cell sizes of their lattice
+	// point, and must actually move off it.
+	const n, jitter = 49, 0.3
+	f := geom.Field{Width: 490, Height: 490}
+	regular := Generate(Spec{Kind: Grid}, f, n, testRNG(2))
+	jittered := Generate(Spec{Kind: Grid, Jitter: jitter}, f, n, testRNG(2))
+	cell := 490.0 / 7
+	moved := 0
+	for i := range regular {
+		dx := math.Abs(jittered[i].X - regular[i].X)
+		dy := math.Abs(jittered[i].Y - regular[i].Y)
+		if dx > jitter*cell+1e-9 || dy > jitter*cell+1e-9 {
+			t.Fatalf("node %d jittered (%g,%g) beyond %g", i, dx, dy, jitter*cell)
+		}
+		if dx > 0 || dy > 0 {
+			moved++
+		}
+	}
+	if moved < n/2 {
+		t.Errorf("only %d of %d nodes moved under jitter", moved, n)
+	}
+}
+
+func TestClusterShape(t *testing.T) {
+	// Clustered placements are locally dense: the mean nearest-neighbor
+	// distance must be well below uniform's for the same n and field.
+	nn := func(pts []geom.Point) float64 {
+		var sum float64
+		for i, p := range pts {
+			best := math.Inf(1)
+			for j, q := range pts {
+				if i != j {
+					if d := p.Dist(q); d < best {
+						best = d
+					}
+				}
+			}
+			sum += best
+		}
+		return sum / float64(len(pts))
+	}
+	uni := Generate(Spec{Kind: Uniform}, testField, 100, testRNG(8))
+	clu := Generate(Spec{Kind: Cluster}, testField, 100, testRNG(8))
+	if nn(clu) > nn(uni)*0.6 {
+		t.Errorf("cluster mean NN distance %.1f not well below uniform's %.1f", nn(clu), nn(uni))
+	}
+}
+
+func TestCorridorShape(t *testing.T) {
+	// Nodes must hug the horizontal midline, span most of the width, and be
+	// chain-ordered by id.
+	const band = 0.15
+	pts := Generate(Spec{Kind: Corridor, Band: band}, testField, 60, testRNG(9))
+	half := band * testField.Height / 2
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	for i, p := range pts {
+		if math.Abs(p.Y-testField.Height/2) > half+1e-9 {
+			t.Fatalf("node %d at %v outside the corridor band", i, p)
+		}
+		if i > 0 && p.X < pts[i-1].X {
+			t.Fatalf("corridor nodes not chain-ordered at %d", i)
+		}
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+	}
+	if maxX-minX < 0.8*testField.Width {
+		t.Errorf("corridor spans only %.0f of %.0f m", maxX-minX, testField.Width)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := map[string]Spec{
+		"unknown kind":    {Kind: Kind(99)},
+		"zero kind":       {},
+		"negative jitter": {Kind: Grid, Jitter: -0.1},
+		"huge jitter":     {Kind: Grid, Jitter: 0.6},
+		"neg clusters":    {Kind: Cluster, Clusters: -1},
+		"huge spread":     {Kind: Cluster, Spread: 0.7},
+		"huge band":       {Kind: Corridor, Band: 1.5},
+	}
+	for name, sp := range bad {
+		if sp.Validate() == nil {
+			t.Errorf("%s: Validate accepted %+v", name, sp)
+		}
+		if pts := Generate(sp, testField, 10, testRNG(1)); pts != nil {
+			t.Errorf("%s: Generate placed nodes for an invalid spec", name)
+		}
+	}
+	for name, sp := range allSpecs() {
+		if err := sp.Validate(); err != nil {
+			t.Errorf("%s: Validate rejected a good spec: %v", name, err)
+		}
+	}
+	if Generate(Spec{Kind: Uniform}, testField, 0, testRNG(1)) != nil {
+		t.Error("n=0 should yield nil")
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	names := KindNames()
+	if len(names) != 4 {
+		t.Fatalf("KindNames = %v, want 4 entries", names)
+	}
+	for _, name := range names {
+		k, err := ParseKind(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.String() != name {
+			t.Errorf("kind %q round-trips to %q", name, k.String())
+		}
+	}
+	if _, err := ParseKind("torus"); err == nil {
+		t.Error("ParseKind should reject unknown names")
+	}
+}
+
+func TestClusterMoreClustersThanNodes(t *testing.T) {
+	// k > n must not panic or place empty hotspots outside the field.
+	pts := Generate(Spec{Kind: Cluster, Clusters: 10}, testField, 4, testRNG(4))
+	if len(pts) != 4 {
+		t.Fatalf("len = %d, want 4", len(pts))
+	}
+	for _, p := range pts {
+		if !testField.Contains(p) {
+			t.Fatalf("point %v outside field", p)
+		}
+	}
+}

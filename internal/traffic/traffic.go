@@ -22,6 +22,10 @@ type Flow struct {
 	// StartMin/StartMax bound the random start time (paper: 20-25 s).
 	StartMin time.Duration `json:"start_min_ns"`
 	StartMax time.Duration `json:"start_max_ns"`
+	// Stop, when positive, ends origination at that simulation time instead
+	// of the horizon. Bursty workloads model each on-period as one flow
+	// segment bounded by Stop.
+	Stop time.Duration `json:"stop_ns,omitempty"`
 }
 
 // Interval returns the inter-packet gap.
@@ -44,6 +48,8 @@ func (f Flow) Validate() error {
 		return fmt.Errorf("traffic: flow %d has non-positive packet size", f.ID)
 	case f.StartMax < f.StartMin:
 		return fmt.Errorf("traffic: flow %d has StartMax < StartMin", f.ID)
+	case f.Stop != 0 && f.Stop <= f.StartMax:
+		return fmt.Errorf("traffic: flow %d stops at %v, before its start window ends", f.ID, f.Stop)
 	}
 	return nil
 }
@@ -70,7 +76,7 @@ func RandomFlows(rng *rand.Rand, n, nodes int, rate float64, packetBytes int) []
 		flows[i] = Flow{
 			ID: i + 1, Src: src, Dst: dst,
 			Rate: rate, PacketBytes: packetBytes,
-			StartMin: 20 * time.Second, StartMax: 25 * time.Second,
+			StartMin: startWindowMin, StartMax: startWindowMax,
 		}
 	}
 	return flows
@@ -187,6 +193,9 @@ func (s *Source) Start() {
 
 func (s *Source) emit() {
 	if s.sim.Now() >= s.until {
+		return
+	}
+	if s.flow.Stop > 0 && s.sim.Now() >= s.flow.Stop {
 		return
 	}
 	s.seq++

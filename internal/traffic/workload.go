@@ -1,0 +1,83 @@
+package traffic
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// startWindow is the paper's flow start window (20-25 s into the run).
+const (
+	startWindowMin = 20 * time.Second
+	startWindowMax = 25 * time.Second
+)
+
+// BurstyFlows draws n endpoint pairs with distinct random endpoints among
+// nodes [0, nodes) and gives each pair `bursts` on-periods: burst j of a
+// pair is one flow segment starting at a random time in the first fifth of
+// its on-period and stopping burstLen after the period opens, with periods
+// spaced `period` apart from the paper's 20 s mark. The result is on/off
+// traffic that exercises power-management wake/sleep cycling in a way
+// constant-bit-rate flows never do. Flow IDs are 1-based and contiguous
+// (pair-major), so len(result) == n*bursts.
+func BurstyFlows(rng *rand.Rand, n, nodes int, rate float64, packetBytes, bursts int, burstLen, period time.Duration) []Flow {
+	if n <= 0 || bursts <= 0 {
+		return nil
+	}
+	if nodes < 2 {
+		panic("traffic: BurstyFlows needs at least 2 nodes for distinct endpoints")
+	}
+	if period < burstLen {
+		panic("traffic: BurstyFlows needs period >= burstLen")
+	}
+	flows := make([]Flow, 0, n*bursts)
+	for i := 0; i < n; i++ {
+		src := rng.IntN(nodes)
+		dst := rng.IntN(nodes)
+		for dst == src {
+			dst = rng.IntN(nodes)
+		}
+		for j := 0; j < bursts; j++ {
+			open := startWindowMin + time.Duration(j)*period
+			flows = append(flows, Flow{
+				ID: len(flows) + 1, Src: src, Dst: dst,
+				Rate: rate, PacketBytes: packetBytes,
+				StartMin: open,
+				StartMax: open + burstLen/5,
+				Stop:     open + burstLen,
+			})
+		}
+	}
+	return flows
+}
+
+// ConvergecastFlows draws n distinct random source nodes, all sending to
+// the single sink node — the many-to-one pattern of sensor-network data
+// collection, which concentrates relay load around the sink. Sources are
+// drawn from [0, nodes) excluding the sink, so it needs n <= nodes-1.
+func ConvergecastFlows(rng *rand.Rand, n, nodes, sink int, rate float64, packetBytes int) ([]Flow, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if sink < 0 || sink >= nodes {
+		return nil, fmt.Errorf("traffic: convergecast sink %d out of range [0,%d)", sink, nodes)
+	}
+	if n > nodes-1 {
+		return nil, fmt.Errorf("traffic: convergecast needs %d distinct sources but only %d nodes besides the sink", n, nodes-1)
+	}
+	used := make(map[int]bool, n)
+	flows := make([]Flow, 0, n)
+	for len(flows) < n {
+		src := rng.IntN(nodes)
+		if src == sink || used[src] {
+			continue
+		}
+		used[src] = true
+		flows = append(flows, Flow{
+			ID: len(flows) + 1, Src: src, Dst: sink,
+			Rate: rate, PacketBytes: packetBytes,
+			StartMin: startWindowMin, StartMax: startWindowMax,
+		})
+	}
+	return flows, nil
+}

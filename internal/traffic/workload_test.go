@@ -1,0 +1,125 @@
+package traffic
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"eend/internal/sim"
+)
+
+func workloadRNG(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, 42)) }
+
+func TestFlowStopValidate(t *testing.T) {
+	base := Flow{ID: 1, Src: 0, Dst: 1, Rate: 1024, PacketBytes: 128,
+		StartMin: 20 * time.Second, StartMax: 25 * time.Second}
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ok := base
+	ok.Stop = 40 * time.Second
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := base
+	bad.Stop = 22 * time.Second // inside the start window
+	if bad.Validate() == nil {
+		t.Error("Validate accepted Stop inside the start window")
+	}
+}
+
+func TestSourceHonorsStop(t *testing.T) {
+	s := sim.New(1)
+	flow := Flow{ID: 1, Src: 0, Dst: 1, Rate: 1024, PacketBytes: 128,
+		StartMin: time.Second, StartMax: time.Second, Stop: 5 * time.Second}
+	col := NewCollector()
+	sent := 0
+	src, err := NewSource(s, flow, func(int, int, any, float64) { sent++ }, col, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Start()
+	s.Run(60 * time.Second)
+	// 1 Kbit/s, 128 B packets -> one packet per second; start 1 s, stop 5 s.
+	if sent < 3 || sent > 5 {
+		t.Fatalf("sent %d packets, want ~4 (stopped at 5s, not the 60s horizon)", sent)
+	}
+}
+
+func TestBurstyFlowsShape(t *testing.T) {
+	const (
+		n, nodes, bursts = 3, 20, 4
+		burstLen         = 10 * time.Second
+		period           = 30 * time.Second
+	)
+	flows := BurstyFlows(workloadRNG(7), n, nodes, 2048, 128, bursts, burstLen, period)
+	if len(flows) != n*bursts {
+		t.Fatalf("len = %d, want %d", len(flows), n*bursts)
+	}
+	for i, f := range flows {
+		if f.ID != i+1 {
+			t.Fatalf("flow %d has ID %d, want contiguous 1-based IDs", i, f.ID)
+		}
+		if err := f.Validate(); err != nil {
+			t.Fatalf("flow %d invalid: %v", i, err)
+		}
+		if f.Stop-f.StartMin != burstLen {
+			t.Fatalf("flow %d on-period %v, want %v", i, f.Stop-f.StartMin, burstLen)
+		}
+		// All bursts of one pair share endpoints; periods are spaced apart.
+		pair := i / bursts
+		if f.Src != flows[pair*bursts].Src || f.Dst != flows[pair*bursts].Dst {
+			t.Fatalf("flow %d endpoints differ from its pair's first burst", i)
+		}
+		j := i % bursts
+		if want := 20*time.Second + time.Duration(j)*period; f.StartMin != want {
+			t.Fatalf("flow %d opens at %v, want %v", i, f.StartMin, want)
+		}
+	}
+}
+
+func TestBurstyFlowsDeterministic(t *testing.T) {
+	a := BurstyFlows(workloadRNG(9), 5, 30, 2048, 128, 3, 10*time.Second, 40*time.Second)
+	b := BurstyFlows(workloadRNG(9), 5, 30, 2048, 128, 3, 10*time.Second, 40*time.Second)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flow %d differs across equal seeds", i)
+		}
+	}
+}
+
+func TestConvergecastFlowsShape(t *testing.T) {
+	const n, nodes, sink = 8, 12, 5
+	flows, err := ConvergecastFlows(workloadRNG(3), n, nodes, sink, 2048, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != n {
+		t.Fatalf("len = %d, want %d", len(flows), n)
+	}
+	seen := map[int]bool{}
+	for _, f := range flows {
+		if f.Dst != sink {
+			t.Fatalf("flow %d sinks at %d, want %d", f.ID, f.Dst, sink)
+		}
+		if f.Src == sink {
+			t.Fatalf("flow %d sources at the sink", f.ID)
+		}
+		if seen[f.Src] {
+			t.Fatalf("source %d drawn twice", f.Src)
+		}
+		seen[f.Src] = true
+		if err := f.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestConvergecastFlowsErrors(t *testing.T) {
+	if _, err := ConvergecastFlows(workloadRNG(1), 5, 5, 0, 1024, 128); err == nil {
+		t.Error("accepted more sources than non-sink nodes")
+	}
+	if _, err := ConvergecastFlows(workloadRNG(1), 2, 5, 9, 1024, 128); err == nil {
+		t.Error("accepted an out-of-range sink")
+	}
+}

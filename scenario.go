@@ -2,12 +2,17 @@ package eend
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"eend/internal/geom"
 	"eend/internal/network"
 	"eend/internal/radio"
+	"eend/internal/topology"
 	"eend/internal/traffic"
 )
 
@@ -26,6 +31,8 @@ type Option func(*builder) error
 type builder struct {
 	sc        network.Scenario
 	randFlows []randomFlowSpec
+	topo      *topology.Spec
+	workloads []Workload
 }
 
 // randomFlowSpec defers random-endpoint drawing until the seed and node
@@ -228,6 +235,19 @@ func NewScenario(opts ...Option) (*Scenario, error) {
 			return nil, err
 		}
 	}
+	// Topology placement is materialized first (it only needs the final
+	// seed, field and node count), so the generated positions take part in
+	// flow validation and the canonical encoding below.
+	if b.topo != nil {
+		switch {
+		case b.sc.Positions != nil:
+			return nil, fmt.Errorf("eend: WithTopology conflicts with WithPositions")
+		case b.sc.GridRows > 0 || b.sc.GridCols > 0:
+			return nil, fmt.Errorf("eend: WithTopology conflicts with WithGrid (use eend.GridTopology)")
+		}
+		b.sc.Positions = topology.Generate(*b.topo, b.sc.Field, b.sc.Nodes, topologyRNG(b.sc.Seed))
+		b.sc.Nodes = 0
+	}
 	nodes := b.nodeCount()
 	// Random flows are drawn last so the seed and node count options have
 	// settled, whatever order they were given in.
@@ -247,6 +267,20 @@ func NewScenario(opts ...Option) (*Scenario, error) {
 		}
 		base := len(b.sc.Flows)
 		for i, f := range traffic.RandomFlows(rng, spec.n, limit, spec.rate, spec.packetBytes) {
+			f.ID = base + i + 1
+			b.sc.Flows = append(b.sc.Flows, f)
+		}
+	}
+	// Workloads draw from their own stream so adding one never shifts the
+	// endpoints the random flows above chose.
+	wrng := workloadRNG(b.sc.Seed)
+	for _, w := range b.workloads {
+		flows, err := w.materialize(wrng, nodes)
+		if err != nil {
+			return nil, err
+		}
+		base := len(b.sc.Flows)
+		for i, f := range flows {
 			f.ID = base + i + 1
 			b.sc.Flows = append(b.sc.Flows, f)
 		}
@@ -320,4 +354,66 @@ func (s *Scenario) Duration() time.Duration { return s.sc.Duration }
 // materialized random ones).
 func (s *Scenario) Flows() []Flow {
 	return append([]Flow(nil), s.sc.Flows...)
+}
+
+// canonicalVersion tags the canonical encoding. Bump it whenever a change
+// to the simulator makes equal-looking scenarios produce different results
+// (new Scenario field, changed random-stream derivation, ...), so stale
+// cache entries stop matching instead of being served.
+const canonicalVersion = "eend.scenario/1"
+
+// Canonical returns the scenario's canonical encoding: a versioned,
+// line-oriented text rendering of every field that affects simulation
+// output, with deterministic number formatting. Two Scenarios have equal
+// encodings exactly when they would produce identical Results; the
+// encoding (and therefore Fingerprint) is stable across processes,
+// platforms and repeated runs.
+func (s *Scenario) Canonical() string {
+	var w strings.Builder
+	num := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	fmt.Fprintf(&w, "%s\nseed=%d\nfield=%s,%s\n",
+		canonicalVersion, s.sc.Seed, num(s.sc.Field.Width), num(s.sc.Field.Height))
+	switch {
+	case s.sc.Positions != nil:
+		w.WriteString("placement=positions:")
+		for i, p := range s.sc.Positions {
+			if i > 0 {
+				w.WriteByte(';')
+			}
+			fmt.Fprintf(&w, "%s,%s", num(p.X), num(p.Y))
+		}
+		w.WriteByte('\n')
+	case s.sc.GridRows > 0 && s.sc.GridCols > 0:
+		fmt.Fprintf(&w, "placement=grid:%dx%d\n", s.sc.GridRows, s.sc.GridCols)
+	default:
+		fmt.Fprintf(&w, "placement=uniform:%d\n", s.sc.Nodes)
+	}
+	c := s.sc.Card
+	fmt.Fprintf(&w, "card=%s,%s,%s,%s,%s,%s,%s,%s,%s\n", c.Name,
+		num(c.Idle), num(c.Recv), num(c.Sleep), num(c.Base),
+		num(c.Alpha), num(c.PathLossExp), num(c.Range), num(c.SwitchEnergy))
+	fmt.Fprintf(&w, "bandwidth=%s\n", num(s.sc.Bandwidth))
+	st := s.sc.Stack
+	fmt.Fprintf(&w, "stack=%d,%d,pc=%t,span=%t,perfect=%t,odpm=%d/%d,custom=%t,label=%s\n",
+		st.Routing, st.PM, st.PowerControl, st.AdvertisedWindow, st.PerfectSleep,
+		st.ODPM.DataTimeout.Nanoseconds(), st.ODPM.RouteTimeout.Nanoseconds(),
+		st.Custom != nil, st.Label)
+	fmt.Fprintf(&w, "duration=%d\nbattery=%s\n", s.sc.Duration.Nanoseconds(), num(s.sc.BatteryJ))
+	for _, f := range s.sc.Flows {
+		fmt.Fprintf(&w, "flow=%d,%d,%d,%s,%d,%d,%d,%d\n",
+			f.ID, f.Src, f.Dst, num(f.Rate), f.PacketBytes,
+			f.StartMin.Nanoseconds(), f.StartMax.Nanoseconds(), f.Stop.Nanoseconds())
+	}
+	return w.String()
+}
+
+// Fingerprint returns the hex SHA-256 of the scenario's canonical
+// encoding: a content address under which the scenario's Results can be
+// cached (see eend/sweep) and compared across processes. Scenarios built
+// by NewScenario are always fingerprintable; the internal experiments'
+// custom-protocol stacks are not expressible through the facade and so
+// never reach here.
+func (s *Scenario) Fingerprint() string {
+	sum := sha256.Sum256([]byte(s.Canonical()))
+	return hex.EncodeToString(sum[:])
 }

@@ -71,21 +71,39 @@ func TestNewScenarioOptionOrderIndependence(t *testing.T) {
 
 func TestNewScenarioRejectsBadOptions(t *testing.T) {
 	cases := map[string][]eend.Option{
-		"negative field":     {eend.WithField(-1, 100)},
-		"zero nodes":         {eend.WithNodes(0)},
-		"zero grid":          {eend.WithGrid(0, 3)},
-		"empty positions":    {eend.WithPositions()},
-		"no routing":         {eend.WithStack(eend.ODPM)},
-		"zero duration":      {eend.WithDuration(0)},
-		"zero rate":          {eend.WithRandomFlows(2, 0, 128)},
-		"zero packets":       {eend.WithRandomFlows(2, 2048, 0)},
-		"tiny flow limit":    {eend.WithRandomFlowsAmong(2, 1, 2048, 128)},
-		"limit over nodes":   {eend.WithNodes(40), eend.WithRandomFlowsAmong(8, 60, 2048, 128)},
-		"zero battery":       {eend.WithBattery(0)},
-		"zero bandwidth":     {eend.WithBandwidth(0)},
-		"flow out of range":  {eend.WithNodes(5), eend.WithFlows(eend.Flow{ID: 1, Src: 0, Dst: 9, Rate: 1024, PacketBytes: 128})},
-		"flow src == dst":    {eend.WithFlows(eend.Flow{ID: 1, Src: 2, Dst: 2, Rate: 1024, PacketBytes: 128})},
-		"one-node placement": {eend.WithPositions(eend.Point{X: 1, Y: 1}), eend.WithRandomFlows(1, 1024, 128)},
+		"negative field":         {eend.WithField(-1, 100)},
+		"zero nodes":             {eend.WithNodes(0)},
+		"zero grid":              {eend.WithGrid(0, 3)},
+		"empty positions":        {eend.WithPositions()},
+		"no routing":             {eend.WithStack(eend.ODPM)},
+		"zero duration":          {eend.WithDuration(0)},
+		"zero rate":              {eend.WithRandomFlows(2, 0, 128)},
+		"zero packets":           {eend.WithRandomFlows(2, 2048, 0)},
+		"tiny flow limit":        {eend.WithRandomFlowsAmong(2, 1, 2048, 128)},
+		"limit over nodes":       {eend.WithNodes(40), eend.WithRandomFlowsAmong(8, 60, 2048, 128)},
+		"zero battery":           {eend.WithBattery(0)},
+		"zero bandwidth":         {eend.WithBandwidth(0)},
+		"flow out of range":      {eend.WithNodes(5), eend.WithFlows(eend.Flow{ID: 1, Src: 0, Dst: 9, Rate: 1024, PacketBytes: 128})},
+		"flow negative src":      {eend.WithFlows(eend.Flow{ID: 1, Src: -1, Dst: 2, Rate: 1024, PacketBytes: 128})},
+		"flow src == dst":        {eend.WithFlows(eend.Flow{ID: 1, Src: 2, Dst: 2, Rate: 1024, PacketBytes: 128})},
+		"one-node placement":     {eend.WithPositions(eend.Point{X: 1, Y: 1}), eend.WithRandomFlows(1, 1024, 128)},
+		"negative nodes":         {eend.WithNodes(-3)},
+		"zero-area field":        {eend.WithField(0, 0)},
+		"zero topology":          {eend.WithTopology(eend.Topology{})},
+		"topology+positions":     {eend.WithTopology(eend.UniformTopology()), eend.WithPositions(eend.Point{X: 1, Y: 1}, eend.Point{X: 2, Y: 2})},
+		"topology+grid":          {eend.WithTopology(eend.UniformTopology()), eend.WithGrid(3, 3)},
+		"wild grid jitter":       {eend.WithTopology(eend.GridTopology(0.9))},
+		"zero-kind workload":     {eend.WithWorkload(eend.Workload{Flows: 2, RateBps: 1024, PacketBytes: 128})},
+		"zero-flow workload":     {eend.WithWorkload(eend.NewWorkload(eend.WorkloadCBR, 0, 1024, 128))},
+		"negative-rate workload": {eend.WithWorkload(eend.NewWorkload(eend.WorkloadBursty, 2, -1, 128))},
+		"burst longer than period": {eend.WithWorkload(eend.Workload{
+			Kind: eend.WorkloadBursty, Flows: 1, RateBps: 1024, PacketBytes: 128,
+			Bursts: 2, BurstLen: 30 * time.Second, Period: 10 * time.Second,
+		})},
+		"convergecast sink out of range": {eend.WithNodes(5), eend.WithWorkload(eend.Workload{
+			Kind: eend.WorkloadConvergecast, Flows: 2, RateBps: 1024, PacketBytes: 128, Sink: 7,
+		})},
+		"convergecast too many sources": {eend.WithNodes(4), eend.WithWorkload(eend.NewWorkload(eend.WorkloadConvergecast, 9, 1024, 128))},
 	}
 	for name, opts := range cases {
 		if _, err := eend.NewScenario(opts...); err == nil {

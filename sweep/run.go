@@ -1,0 +1,258 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"eend"
+	"eend/internal/cache"
+)
+
+// Progress is a live snapshot of a sweep run.
+type Progress struct {
+	Total     int `json:"total"`
+	Done      int `json:"done"`
+	CacheHits int `json:"cache_hits"`
+	Errors    int `json:"errors"`
+}
+
+// Result is one completed grid point.
+type Result struct {
+	// Point is the parameter assignment that produced this result.
+	Point Point `json:"point"`
+	// Fingerprint is the scenario's content address (its cache key).
+	Fingerprint string `json:"fingerprint"`
+	// Cached reports that Results came from the cache, not a simulation.
+	Cached bool `json:"cached"`
+	// Results is nil when Err is set.
+	Results *eend.Results `json:"results,omitempty"`
+	// Error mirrors Err for JSON consumers.
+	Error string `json:"error,omitempty"`
+	// Err reports a failed or cancelled run.
+	Err error `json:"-"`
+
+	// Scenario is the materialized scenario (not serialized).
+	Scenario *eend.Scenario `json:"-"`
+}
+
+// Runner executes parameter grids. The zero value runs with GOMAXPROCS
+// workers and no cache.
+type Runner struct {
+	// Workers bounds concurrent simulations (<= 0: GOMAXPROCS), passed
+	// through to eend.RunBatch.
+	Workers int
+	// CacheDir, when non-empty, enables the content-addressed result
+	// cache rooted there: points whose scenario fingerprint is present are
+	// answered from disk without simulating, and fresh results are stored
+	// for the next sweep.
+	CacheDir string
+	// OnProgress, when non-nil, is called after every completed point with
+	// a monotone snapshot. Calls are sequential (never concurrent).
+	OnProgress func(Progress)
+}
+
+// runBatch is swapped by tests to prove that fully cached sweeps never
+// touch the simulator.
+var runBatch = eend.RunBatch
+
+// Run expands the grid, answers cached points from disk, simulates the
+// rest concurrently, and returns every result in grid order along with the
+// final progress. Setup faults (invalid grid, unbuildable scenario,
+// unusable cache directory) fail fast with an error; per-point simulation
+// failures and cancellations are reported in their Result.Err instead, so
+// one failed point cannot discard a thousand finished ones.
+func (r Runner) Run(ctx context.Context, g *Grid) ([]Result, Progress, error) {
+	ch, total, err := r.Stream(ctx, g)
+	if err != nil {
+		return nil, Progress{}, err
+	}
+	results := make([]Result, 0, total)
+	var last Progress
+	for sr := range ch {
+		results = append(results, sr)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Point.Index < results[j].Point.Index })
+	last = tally(total, results)
+	return results, last, nil
+}
+
+// tally recomputes a Progress from delivered results.
+func tally(total int, results []Result) Progress {
+	p := Progress{Total: total, Done: len(results)}
+	for _, sr := range results {
+		if sr.Cached {
+			p.CacheHits++
+		}
+		if sr.Err != nil {
+			p.Errors++
+		}
+	}
+	return p
+}
+
+// Prepared is a validated, fully expanded sweep: every point's Scenario is
+// built and fingerprinted, so starting it cannot fail on configuration.
+// Obtain one with Runner.Prepare; callers that don't need the two-phase
+// split (validate synchronously, execute asynchronously) can use
+// Runner.Stream or Runner.Run directly.
+type Prepared struct {
+	runner  Runner
+	results []Result
+}
+
+// Total returns the number of points the sweep will deliver.
+func (p *Prepared) Total() int { return len(p.results) }
+
+// Prepare expands the grid and materializes every scenario up front: a
+// malformed axis value is a configuration error, not a per-point runtime
+// failure. No cache or simulator work happens yet.
+func (r Runner) Prepare(g *Grid) (*Prepared, error) {
+	pts, err := g.Points()
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(pts))
+	for i, pt := range pts {
+		sc, err := pt.Scenario()
+		if err != nil {
+			return nil, err
+		}
+		results[i] = Result{Point: pt, Scenario: sc, Fingerprint: sc.Fingerprint()}
+	}
+	return &Prepared{runner: r, results: results}, nil
+}
+
+// Stream is Prepare followed by Prepared.Stream.
+func (r Runner) Stream(ctx context.Context, g *Grid) (<-chan Result, int, error) {
+	prep, err := r.Prepare(g)
+	if err != nil {
+		return nil, 0, err
+	}
+	ch, err := prep.Stream(ctx)
+	return ch, prep.Total(), err
+}
+
+// Stream starts the sweep and returns a channel delivering each point's
+// result as it completes (cache hits first, then simulations in completion
+// order; use Result.Point.Index to correlate). The channel is buffered for
+// the whole sweep and closed when every deliverable result is in;
+// cancelling ctx stops dispatching and aborts in-flight simulations, so
+// undispatched points simply never appear. Stream consumes the Prepared
+// sweep: call it at most once.
+func (p *Prepared) Stream(ctx context.Context) (<-chan Result, error) {
+	r := p.runner
+	results := p.results
+	var store *cache.Store
+	if r.CacheDir != "" {
+		var err error
+		if store, err = cache.Open(r.CacheDir); err != nil {
+			return nil, err
+		}
+	}
+
+	out := make(chan Result, len(results))
+	progress := Progress{Total: len(results)}
+	emit := func(sr Result) {
+		progress.Done++
+		if sr.Cached {
+			progress.CacheHits++
+		}
+		if sr.Err != nil {
+			sr.Error = sr.Err.Error()
+			progress.Errors++
+		}
+		out <- sr
+		if r.OnProgress != nil {
+			r.OnProgress(progress)
+		}
+	}
+
+	// Answer cache hits immediately; collect the misses for the batch.
+	var misses []int
+	var scenarios []*eend.Scenario
+	for i := range results {
+		if data, ok := cacheGet(store, results[i].Fingerprint); ok {
+			var res eend.Results
+			if err := json.Unmarshal(data, &res); err == nil {
+				results[i].Cached = true
+				results[i].Results = &res
+				emit(results[i])
+				continue
+			}
+			// A corrupt entry is a miss; the fresh result overwrites it.
+		}
+		misses = append(misses, i)
+		scenarios = append(scenarios, results[i].Scenario)
+	}
+	if len(misses) == 0 {
+		close(out)
+		return out, nil
+	}
+
+	batch := runBatch(ctx, scenarios, eend.Workers(r.Workers))
+	go func() {
+		defer close(out)
+		for br := range batch {
+			sr := results[misses[br.Index]]
+			sr.Results, sr.Err = br.Results, br.Err
+			if sr.Err == nil && store != nil {
+				if data, err := json.Marshal(sr.Results); err == nil {
+					// A failed write only costs a future re-simulation.
+					_ = store.Put(sr.Fingerprint, data)
+				}
+			}
+			emit(sr)
+		}
+	}()
+	return out, nil
+}
+
+// cacheGet is a nil-tolerant store read; I/O faults degrade to misses.
+func cacheGet(store *cache.Store, key string) ([]byte, bool) {
+	if store == nil {
+		return nil, false
+	}
+	data, ok, err := store.Get(key)
+	if err != nil || !ok {
+		return nil, false
+	}
+	return data, true
+}
+
+// CSVHeader returns the column names cmd/eendsweep writes for a grid: the
+// axes in declaration order, then the point metadata and headline metrics.
+func CSVHeader(g *Grid) []string {
+	cols := []string{"index"}
+	for _, a := range g.Axes() {
+		cols = append(cols, a.Name)
+	}
+	return append(cols,
+		"fingerprint", "cached", "error",
+		"stack_label", "sent", "delivered", "delivery_ratio",
+		"energy_j", "energy_goodput_bit_per_j", "tx_energy_j", "tx_amp_energy_j", "relays")
+}
+
+// CSVRow renders one result in CSVHeader order.
+func CSVRow(g *Grid, sr Result) []string {
+	row := []string{fmt.Sprint(sr.Point.Index)}
+	for _, a := range g.Axes() {
+		row = append(row, sr.Point.Params[a.Name])
+	}
+	row = append(row, sr.Fingerprint, fmt.Sprint(sr.Cached), sr.Error)
+	if sr.Results == nil {
+		return append(row, "", "", "", "", "", "", "", "", "")
+	}
+	res := sr.Results
+	return append(row,
+		res.Stack,
+		fmt.Sprint(res.Sent),
+		fmt.Sprint(res.Delivered),
+		fmt.Sprintf("%.6f", res.DeliveryRatio),
+		fmt.Sprintf("%.6f", res.Energy.Total()),
+		fmt.Sprintf("%.3f", res.EnergyGoodput),
+		fmt.Sprintf("%.6f", res.TxEnergy),
+		fmt.Sprintf("%.6f", res.TxAmpEnergy),
+		fmt.Sprint(res.Relays))
+}

@@ -1,0 +1,206 @@
+package sweep
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"eend"
+)
+
+// testGrid is small but multi-axis: 2 nodes values x 2 seeds = 4 points,
+// each a short cheap run (flows start at 20 s; the 25 s horizon keeps the
+// simulated traffic tiny).
+func testGrid(t *testing.T) *Grid {
+	t.Helper()
+	g, err := ParseGrid("nodes=5,8 seed=1..2 field=200 dur=25s flows=1 rate=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// countingRunner wraps eend.RunBatch and counts dispatched scenarios.
+func countingRunner(calls *int) func(context.Context, []*eend.Scenario, ...eend.BatchOption) <-chan eend.BatchResult {
+	return func(ctx context.Context, scs []*eend.Scenario, opts ...eend.BatchOption) <-chan eend.BatchResult {
+		*calls += len(scs)
+		return eend.RunBatch(ctx, scs, opts...)
+	}
+}
+
+func TestRunWithoutCache(t *testing.T) {
+	var r Runner
+	results, prog, err := r.Run(context.Background(), testGrid(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 || prog.Done != 4 || prog.Total != 4 {
+		t.Fatalf("results/progress = %d/%+v, want 4 points", len(results), prog)
+	}
+	if prog.CacheHits != 0 || prog.Errors != 0 {
+		t.Fatalf("progress = %+v, want no hits and no errors", prog)
+	}
+	for i, sr := range results {
+		if sr.Point.Index != i {
+			t.Fatalf("results not in grid order at %d", i)
+		}
+		if sr.Results == nil || sr.Err != nil {
+			t.Fatalf("point %d failed: %v", i, sr.Err)
+		}
+		if sr.Cached {
+			t.Fatalf("point %d claims a cache hit without a cache", i)
+		}
+		if len(sr.Fingerprint) != 64 {
+			t.Fatalf("point %d fingerprint %q is not a sha256 hex", i, sr.Fingerprint)
+		}
+	}
+}
+
+// TestRerunIsFullyCached is the subsystem's core guarantee: re-running an
+// unchanged grid completes with 100% cache hits and zero simulator
+// invocations — proven by swapping the batch runner for one that fails the
+// test if it is ever handed a scenario.
+func TestRerunIsFullyCached(t *testing.T) {
+	dir := t.TempDir()
+	r := Runner{CacheDir: dir}
+
+	first, prog, err := r.Run(context.Background(), testGrid(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.CacheHits != 0 {
+		t.Fatalf("first run had %d cache hits, want 0", prog.CacheHits)
+	}
+
+	orig := runBatch
+	defer func() { runBatch = orig }()
+	invoked := 0
+	runBatch = func(ctx context.Context, scs []*eend.Scenario, opts ...eend.BatchOption) <-chan eend.BatchResult {
+		invoked += len(scs)
+		return orig(ctx, scs, opts...)
+	}
+
+	second, prog2, err := r.Run(context.Background(), testGrid(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if invoked != 0 {
+		t.Fatalf("re-run invoked the simulator for %d scenarios, want 0", invoked)
+	}
+	if prog2.CacheHits != prog2.Total || prog2.Done != prog2.Total {
+		t.Fatalf("re-run progress = %+v, want 100%% cache hits", prog2)
+	}
+	for i := range second {
+		if !second[i].Cached {
+			t.Fatalf("point %d not served from cache", i)
+		}
+		if second[i].Fingerprint != first[i].Fingerprint {
+			t.Fatalf("point %d fingerprint changed across runs", i)
+		}
+		a, b := first[i].Results, second[i].Results
+		if a.Sent != b.Sent || a.Delivered != b.Delivered || a.Energy != b.Energy {
+			t.Fatalf("point %d cached results differ from simulated ones", i)
+		}
+	}
+}
+
+func TestChangedAxisSimulatesOnlyNewPoints(t *testing.T) {
+	dir := t.TempDir()
+	r := Runner{CacheDir: dir}
+	if _, _, err := r.Run(context.Background(), testGrid(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	orig := runBatch
+	defer func() { runBatch = orig }()
+	invoked := 0
+	runBatch = countingRunner(&invoked)
+
+	// One more nodes value: 2 new points (x 2 seeds), 4 old ones cached.
+	wider, err := ParseGrid("nodes=5,8,12 seed=1..2 field=200 dur=25s flows=1 rate=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, prog, err := r.Run(context.Background(), wider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if invoked != 2 {
+		t.Fatalf("simulated %d points, want only the 2 new ones", invoked)
+	}
+	if prog.CacheHits != 4 || prog.Done != 6 {
+		t.Fatalf("progress = %+v, want 4 hits of 6 points", prog)
+	}
+}
+
+func TestStreamProgressMonotone(t *testing.T) {
+	var snaps []Progress
+	r := Runner{OnProgress: func(p Progress) { snaps = append(snaps, p) }}
+	_, _, err := r.Run(context.Background(), testGrid(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 4 {
+		t.Fatalf("got %d progress snapshots, want 4", len(snaps))
+	}
+	for i, p := range snaps {
+		if p.Done != i+1 || p.Total != 4 {
+			t.Fatalf("snapshot %d = %+v, want done=%d/4", i, p, i+1)
+		}
+	}
+}
+
+func TestRunFailsFastOnBadGrid(t *testing.T) {
+	var r Runner
+	if _, _, err := r.Run(context.Background(), NewGrid()); err == nil {
+		t.Fatal("empty grid should fail fast")
+	}
+	// 9 convergecast sources cannot fit in a 3-node network.
+	bad, err := ParseGrid("nodes=3 workload=convergecast flows=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Run(context.Background(), bad); err == nil {
+		t.Fatal("unbuildable scenario should fail fast")
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := Runner{Workers: 1}
+	results, prog, err := r.Run(ctx, testGrid(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pre-cancelled context dispatches nothing (or aborts immediately);
+	// whatever arrives must carry the cancellation, and nothing may hang.
+	for _, sr := range results {
+		if sr.Err == nil {
+			t.Fatalf("point %d succeeded under a cancelled context", sr.Point.Index)
+		}
+	}
+	if prog.Done != len(results) {
+		t.Fatalf("progress done = %d, results = %d", prog.Done, len(results))
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	g := testGrid(t)
+	r := Runner{}
+	results, _, err := r.Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := CSVHeader(g)
+	row := CSVRow(g, results[0])
+	if len(header) != len(row) {
+		t.Fatalf("header has %d columns, row has %d", len(header), len(row))
+	}
+	joined := strings.Join(header, ",")
+	for _, col := range []string{"nodes", "seed", "fingerprint", "cached", "delivery_ratio", "energy_goodput_bit_per_j"} {
+		if !strings.Contains(joined, col) {
+			t.Errorf("header %q missing column %q", joined, col)
+		}
+	}
+}

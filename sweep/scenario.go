@@ -1,0 +1,214 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"eend"
+)
+
+// pointConfig accumulates one point's parsed parameters before they become
+// facade options. Traffic parameters are gathered separately because one
+// WithWorkload option is built from up to four axes.
+type pointConfig struct {
+	opts []eend.Option
+
+	workload    eend.WorkloadKind
+	flows       int
+	rateKbps    float64
+	packetBytes int
+}
+
+// axisRegistry maps axis names to their value parsers. Every axis mirrors
+// a facade option (or, for the traffic axes, a field of the generated
+// workload), so the sweep vocabulary and the programmatic API stay one.
+var axisRegistry = map[string]func(*pointConfig, string) error{
+	"seed": func(c *pointConfig, v string) error {
+		seed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad seed %q", v)
+		}
+		c.opts = append(c.opts, eend.WithSeed(seed))
+		return nil
+	},
+	"nodes": func(c *pointConfig, v string) error {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("bad node count %q", v)
+		}
+		c.opts = append(c.opts, eend.WithNodes(n))
+		return nil
+	},
+	"field": func(c *pointConfig, v string) error {
+		// Either a square side ("500") or an explicit "WxH" ("600x300").
+		ws, hs, ok := strings.Cut(v, "x")
+		if !ok {
+			hs = ws
+		}
+		w, err1 := strconv.ParseFloat(ws, 64)
+		h, err2 := strconv.ParseFloat(hs, 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad field %q", v)
+		}
+		c.opts = append(c.opts, eend.WithField(w, h))
+		return nil
+	},
+	"stack": func(c *pointConfig, v string) error {
+		stack, err := ParseStack(v)
+		if err != nil {
+			return err
+		}
+		c.opts = append(c.opts, eend.WithStack(stack...))
+		return nil
+	},
+	"topology": func(c *pointConfig, v string) error {
+		topo, err := eend.ParseTopology(v)
+		if err != nil {
+			return err
+		}
+		c.opts = append(c.opts, eend.WithTopology(topo))
+		return nil
+	},
+	"workload": func(c *pointConfig, v string) error {
+		kind, err := eend.ParseWorkloadKind(v)
+		if err != nil {
+			return err
+		}
+		c.workload = kind
+		return nil
+	},
+	"flows": func(c *pointConfig, v string) error {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("bad flow count %q", v)
+		}
+		c.flows = n
+		return nil
+	},
+	"rate": func(c *pointConfig, v string) error {
+		r, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return fmt.Errorf("bad rate %q (Kbit/s)", v)
+		}
+		c.rateKbps = r
+		return nil
+	},
+	"packet": func(c *pointConfig, v string) error {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("bad packet size %q", v)
+		}
+		c.packetBytes = n
+		return nil
+	},
+	"dur": func(c *pointConfig, v string) error {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return fmt.Errorf("bad duration %q", v)
+		}
+		c.opts = append(c.opts, eend.WithDuration(d))
+		return nil
+	},
+	"card": func(c *pointConfig, v string) error {
+		card, err := eend.ParseCard(v)
+		if err != nil {
+			return err
+		}
+		c.opts = append(c.opts, eend.WithCard(card))
+		return nil
+	},
+	"battery": func(c *pointConfig, v string) error {
+		j, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return fmt.Errorf("bad battery %q (J)", v)
+		}
+		c.opts = append(c.opts, eend.WithBattery(j))
+		return nil
+	},
+	"bandwidth": func(c *pointConfig, v string) error {
+		bps, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return fmt.Errorf("bad bandwidth %q (bit/s)", v)
+		}
+		c.opts = append(c.opts, eend.WithBandwidth(bps))
+		return nil
+	},
+}
+
+// AxisNames lists the axes a grid may declare, sorted.
+func AxisNames() []string {
+	out := make([]string, 0, len(axisRegistry))
+	for name := range axisRegistry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseStack parses the sweep stack syntax routing[-pc][-span][-perfect]/pm,
+// e.g. "titan-pc/odpm", "dsr/active", "dsdvh-pc-span/odpm". Modifier
+// suffixes are stripped right-to-left, so routing names that themselves
+// contain dashes ("dsrh-rate") parse unambiguously.
+func ParseStack(v string) ([]eend.StackOption, error) {
+	routingPart, pmPart, ok := strings.Cut(v, "/")
+	if !ok {
+		return nil, fmt.Errorf("sweep: stack %q is not routing/pm", v)
+	}
+	var mods []eend.StackOption
+	for {
+		switch {
+		case strings.HasSuffix(routingPart, "-pc"):
+			routingPart = strings.TrimSuffix(routingPart, "-pc")
+			mods = append(mods, eend.PowerControl())
+		case strings.HasSuffix(routingPart, "-span"):
+			routingPart = strings.TrimSuffix(routingPart, "-span")
+			mods = append(mods, eend.Span())
+		case strings.HasSuffix(routingPart, "-perfect"):
+			routingPart = strings.TrimSuffix(routingPart, "-perfect")
+			mods = append(mods, eend.PerfectSleep())
+		default:
+			routing, err := eend.ParseRouting(routingPart)
+			if err != nil {
+				return nil, err
+			}
+			pm, err := eend.ParsePM(pmPart)
+			if err != nil {
+				return nil, err
+			}
+			return append([]eend.StackOption{routing, pm}, mods...), nil
+		}
+	}
+}
+
+// Scenario translates a point into a validated eend.Scenario. Traffic
+// defaults mirror cmd/eendsim: 10 CBR flows at 2 Kbit/s with 128 B packets
+// when the grid declares no traffic axes.
+func (p Point) Scenario() (*eend.Scenario, error) {
+	c := pointConfig{
+		workload:    eend.WorkloadCBR,
+		flows:       10,
+		rateKbps:    2,
+		packetBytes: 128,
+	}
+	// Axes apply in sorted-name order; the facade's options are
+	// order-independent, so any deterministic order works.
+	for _, name := range AxisNames() {
+		v, ok := p.Params[name]
+		if !ok {
+			continue
+		}
+		if err := axisRegistry[name](&c, v); err != nil {
+			return nil, fmt.Errorf("sweep: point %d: axis %s: %w", p.Index, name, err)
+		}
+	}
+	c.opts = append(c.opts, eend.WithWorkload(
+		eend.NewWorkload(c.workload, c.flows, c.rateKbps*1024, c.packetBytes)))
+	sc, err := eend.NewScenario(c.opts...)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: point %d: %w", p.Index, err)
+	}
+	return sc, nil
+}

@@ -1,0 +1,86 @@
+package eend
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"eend/internal/topology"
+)
+
+// Topology selects a node-placement generator for WithTopology. Build one
+// with UniformTopology, GridTopology, ClusterTopology or CorridorTopology,
+// or parse a short name with ParseTopology; the zero value is invalid.
+//
+// Placements are drawn from a dedicated random stream derived from the
+// scenario seed (decoupled from the simulator's and the flow-endpoint
+// streams), so the same (topology, seed, field, nodes) always yields the
+// same node positions and changing the topology never shifts other
+// randomness.
+type Topology struct {
+	spec topology.Spec
+}
+
+// UniformTopology places nodes uniformly at random in the field — the
+// paper's small/large-network methodology, as a sweepable vocabulary item.
+func UniformTopology() Topology {
+	return Topology{spec: topology.Spec{Kind: topology.Uniform}}
+}
+
+// GridTopology places nodes on a near-square lattice; jitter in [0, 0.5]
+// perturbs each node within that fraction of its cell (0 is the paper's
+// regular grid).
+func GridTopology(jitter float64) Topology {
+	return Topology{spec: topology.Spec{Kind: topology.Grid, Jitter: jitter}}
+}
+
+// ClusterTopology places nodes in Gaussian hotspots around `clusters`
+// randomly drawn centers with the given standard deviation as a fraction
+// of the shorter field side; zero values take the defaults (4 hotspots,
+// spread 0.08).
+func ClusterTopology(clusters int, spread float64) Topology {
+	return Topology{spec: topology.Spec{Kind: topology.Cluster, Clusters: clusters, Spread: spread}}
+}
+
+// CorridorTopology chains nodes along the field's horizontal midline in a
+// band of the given height fraction (0 takes the default 0.15), producing
+// long multi-hop paths with few routing choices.
+func CorridorTopology(band float64) Topology {
+	return Topology{spec: topology.Spec{Kind: topology.Corridor, Band: band}}
+}
+
+// ParseTopology resolves a topology short name with its default knobs
+// (see TopologyNames).
+func ParseTopology(name string) (Topology, error) {
+	k, err := topology.ParseKind(name)
+	if err != nil {
+		return Topology{}, fmt.Errorf("eend: unknown topology %q (want one of %v)", name, TopologyNames())
+	}
+	return Topology{spec: topology.Spec{Kind: k}}, nil
+}
+
+// TopologyNames lists the short names accepted by ParseTopology.
+func TopologyNames() []string { return topology.KindNames() }
+
+// String returns the topology's short name.
+func (t Topology) String() string { return t.spec.Kind.String() }
+
+// topologyRNG is the dedicated placement stream for a seed.
+func topologyRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 0x709f01a7))
+}
+
+// WithTopology places the scenario's nodes with a generator from the
+// topology vocabulary instead of the default uniform draw. The node count
+// comes from WithNodes (or its default); combining WithTopology with
+// WithPositions or WithGrid is an error. Positions are materialized when
+// NewScenario returns, so they are part of the scenario's canonical
+// encoding and Fingerprint.
+func WithTopology(t Topology) Option {
+	return func(b *builder) error {
+		if err := t.spec.Validate(); err != nil {
+			return fmt.Errorf("eend: %w", err)
+		}
+		b.topo = &t.spec
+		return nil
+	}
+}

@@ -1,0 +1,145 @@
+package eend_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"eend"
+)
+
+func TestWithWorkloadConvergecast(t *testing.T) {
+	sc, err := eend.NewScenario(
+		eend.WithSeed(2),
+		eend.WithNodes(10),
+		eend.WithWorkload(eend.Workload{
+			Kind: eend.WorkloadConvergecast, Flows: 6, RateBps: 2048, PacketBytes: 128, Sink: 3,
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := sc.Flows()
+	if len(flows) != 6 {
+		t.Fatalf("flows = %d, want 6", len(flows))
+	}
+	for _, f := range flows {
+		if f.Dst != 3 {
+			t.Fatalf("flow %d sinks at %d, want 3", f.ID, f.Dst)
+		}
+	}
+}
+
+func TestWithWorkloadBurstySegments(t *testing.T) {
+	sc, err := eend.NewScenario(
+		eend.WithNodes(8),
+		eend.WithWorkload(eend.Workload{
+			Kind: eend.WorkloadBursty, Flows: 2, RateBps: 2048, PacketBytes: 128,
+			Bursts: 3, BurstLen: 10 * time.Second, Period: 30 * time.Second,
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := sc.Flows()
+	if len(flows) != 6 { // 2 pairs x 3 bursts
+		t.Fatalf("flows = %d, want 6", len(flows))
+	}
+	for _, f := range flows {
+		if f.Stop == 0 {
+			t.Fatalf("bursty segment %d has no stop time", f.ID)
+		}
+	}
+}
+
+func TestWithWorkloadComposesAfterRandomFlows(t *testing.T) {
+	// Workload flows are numbered after random flows, and adding a workload
+	// must not shift the endpoints the random flows drew.
+	plain, err := eend.NewScenario(eend.WithSeed(6), eend.WithNodes(12),
+		eend.WithRandomFlows(3, 2048, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := eend.NewScenario(eend.WithSeed(6), eend.WithNodes(12),
+		eend.WithRandomFlows(3, 2048, 128),
+		eend.WithWorkload(eend.NewWorkload(eend.WorkloadCBR, 2, 1024, 128)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, bf := plain.Flows(), both.Flows()
+	if len(bf) != 5 {
+		t.Fatalf("flows = %d, want 5", len(bf))
+	}
+	for i := range pf {
+		if pf[i] != bf[i] {
+			t.Fatalf("random flow %d shifted by adding a workload: %+v vs %+v", i, pf[i], bf[i])
+		}
+	}
+	for i, f := range bf {
+		if f.ID != i+1 {
+			t.Fatalf("flow %d has ID %d, want contiguous numbering", i, f.ID)
+		}
+	}
+}
+
+func TestWithWorkloadRunsEndToEnd(t *testing.T) {
+	sc, err := eend.NewScenario(
+		eend.WithSeed(4),
+		eend.WithField(300, 300),
+		eend.WithNodes(10),
+		eend.WithTopology(eend.ClusterTopology(2, 0.1)),
+		eend.WithWorkload(eend.Workload{
+			Kind: eend.WorkloadBursty, Flows: 1, RateBps: 2048, PacketBytes: 128,
+			Bursts: 2, BurstLen: 5 * time.Second, Period: 15 * time.Second,
+		}),
+		eend.WithDuration(45*time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 {
+		t.Fatal("bursty workload originated no packets")
+	}
+}
+
+func TestWithTopologyPlacesRequestedNodes(t *testing.T) {
+	for _, name := range eend.TopologyNames() {
+		topo, err := eend.ParseTopology(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := eend.NewScenario(eend.WithNodes(17), eend.WithTopology(topo))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sc.NodeCount() != 17 {
+			t.Fatalf("%s: node count = %d, want 17", name, sc.NodeCount())
+		}
+	}
+}
+
+func TestWorkloadParseRoundTrip(t *testing.T) {
+	names := eend.WorkloadKindNames()
+	if len(names) != 3 {
+		t.Fatalf("WorkloadKindNames = %v, want 3 entries", names)
+	}
+	for _, name := range names {
+		k, err := eend.ParseWorkloadKind(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.String() != name {
+			t.Errorf("workload %q round-trips to %q", name, k.String())
+		}
+	}
+	if _, err := eend.ParseWorkloadKind("poisson"); err == nil {
+		t.Error("ParseWorkloadKind should reject unknown names")
+	}
+	if _, err := eend.ParseTopology("torus"); err == nil {
+		t.Error("ParseTopology should reject unknown names")
+	}
+}
