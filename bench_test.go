@@ -165,6 +165,37 @@ func BenchmarkAblationODPMKeepAlive(b *testing.B) {
 	}
 }
 
+// BenchmarkScenarioEndToEnd measures one complete fixed-seed run — build,
+// event loop, metrics — of a mid-sized TITAN-PC/ODPM scenario. Its
+// allocs/op is the headline number for kernel allocation work: the slab
+// engine plus pre-bound timer callbacks cut it by more than half against
+// the original container/heap kernel.
+func BenchmarkScenarioEndToEnd(b *testing.B) {
+	b.ReportAllocs()
+	sc := network.Scenario{
+		Seed:  9,
+		Field: geom.Field{Width: 400, Height: 400},
+		Nodes: 20,
+		Card:  radio.Cabletron,
+		Stack: network.Stack{Routing: network.ProtoTITAN, PM: network.PMODPM, PowerControl: true},
+		Flows: []traffic.Flow{
+			{ID: 1, Src: 0, Dst: 19, Rate: 2048, PacketBytes: 128, StartMin: 5 * time.Second, StartMax: 6 * time.Second},
+			{ID: 2, Src: 3, Dst: 17, Rate: 2048, PacketBytes: 128, StartMin: 5 * time.Second, StartMax: 6 * time.Second},
+			{ID: 3, Src: 8, Dst: 12, Rate: 2048, PacketBytes: 128, StartMin: 5 * time.Second, StartMax: 6 * time.Second},
+		},
+		Duration: 30 * time.Second,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := network.Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Delivered == 0 {
+			b.Fatal("nothing delivered")
+		}
+	}
+}
+
 // --- micro benches: simulator hot paths ---
 
 func BenchmarkSimEventLoop(b *testing.B) {

@@ -97,6 +97,41 @@ func TestRunScenario(t *testing.T) {
 	}
 }
 
+func TestRunScenarioReplicated(t *testing.T) {
+	w := post(t, newServer(context.Background(), ""), "/v1/scenarios", `{
+		"seed": 7,
+		"field": {"width": 300, "height": 300},
+		"nodes": 10,
+		"stack": {"routing": "dsr", "pm": "active"},
+		"duration": "30s",
+		"random_flows": {"count": 2, "rate_bps": 2048},
+		"replicates": 3
+	}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	var res eend.Results
+	if err := json.Unmarshal(w.Body.Bytes(), &res); err != nil {
+		t.Fatalf("response is not results JSON: %v", err)
+	}
+	rep := res.Replicates
+	if rep == nil || rep.N != 3 || len(rep.Seeds) != 3 {
+		t.Fatalf("replicate summary missing or wrong: %+v", rep)
+	}
+	if rep.Seeds[0] != 7 {
+		t.Fatalf("first replicate seed = %d, want the base seed 7", rep.Seeds[0])
+	}
+	if rep.DeliveryRatio.Mean <= 0 {
+		t.Fatalf("mean delivery ratio %g", rep.DeliveryRatio.Mean)
+	}
+
+	// An invalid count is a 400, not a failed run.
+	w = post(t, newServer(context.Background(), ""), "/v1/scenarios", `{"replicates": -1}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("bad replicates status = %d, want 400", w.Code)
+	}
+}
+
 func TestRunScenarioDefaultsApply(t *testing.T) {
 	// An empty body object runs the default scenario, but at 300 s with 50
 	// nodes that is slow for a unit test; pin it down while leaving the

@@ -38,6 +38,9 @@ type scenarioRequest struct {
 	} `json:"random_flows,omitempty"`
 	BatteryJ     float64 `json:"battery_j,omitempty"`
 	BandwidthBps float64 `json:"bandwidth_bps,omitempty"`
+	// Replicates > 1 averages that many seed-derived runs; the response's
+	// "replicates" object then carries mean/CI95 per headline metric.
+	Replicates int `json:"replicates,omitempty"`
 }
 
 // stackSpec selects the protocol stack by short names (see eend.RoutingNames,
@@ -119,6 +122,9 @@ func scenarioFromRequest(req scenarioRequest) (*eend.Scenario, error) {
 	}
 	if req.BandwidthBps != 0 {
 		opts = append(opts, eend.WithBandwidth(req.BandwidthBps))
+	}
+	if req.Replicates != 0 {
+		opts = append(opts, eend.WithReplicates(req.Replicates))
 	}
 	return eend.NewScenario(opts...)
 }

@@ -34,6 +34,28 @@ func waitDone(t *testing.T, h http.Handler, id string) sweepStatus {
 	return sweepStatus{}
 }
 
+// TestSweepReplicatedGrid runs a replicates axis through the HTTP surface:
+// the finished sweep's results must carry the per-point mean/CI summary.
+func TestSweepReplicatedGrid(t *testing.T) {
+	h := newServer(context.Background(), t.TempDir())
+	w := post(t, h, "/v1/sweeps", `{"grid": "nodes=5 seed=1 field=200 dur=25s flows=1 rate=2 replicates=3"}`)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	var created sweepStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &created); err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, h, created.ID)
+	if st.Status != "done" || len(st.Results) != 1 {
+		t.Fatalf("final status = %+v", st)
+	}
+	rep := st.Results[0].Results.Replicates
+	if rep == nil || rep.N != 3 {
+		t.Fatalf("replicated sweep point has no summary: %+v", rep)
+	}
+}
+
 func TestSweepLifecycle(t *testing.T) {
 	h := newServer(context.Background(), t.TempDir())
 

@@ -6,6 +6,8 @@
 //	eendsim -nodes 50 -field 500 -proto titan -pm odpm -pc -flows 10 -rate 4 -dur 300s
 //
 // -json prints the run's eend.Results as JSON instead of the text summary.
+// -replicates N averages N seed-derived runs (the paper's 5-10 runs per
+// point) and reports each headline metric as mean ± 95% CI.
 package main
 
 import (
@@ -47,6 +49,7 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 		rate    = fs.Float64("rate", 2, "per-flow rate (Kbit/s, 128 B packets)")
 		dur     = fs.Duration("dur", 300*time.Second, "simulated duration")
 		seed    = fs.Uint64("seed", 1, "random seed")
+		reps    = fs.Int("replicates", 1, "run the scenario over N seed-derived replicates and report mean ± 95% CI")
 		grid    = fs.Int("grid", 0, "if > 0, place nodes on an NxN grid instead of uniformly")
 		topo    = fs.String("topology", "", "placement generator: "+strings.Join(eend.TopologyNames(), "|")+" (default: uniform via the simulator's own stream)")
 		asJSON  = fs.Bool("json", false, "print results as JSON")
@@ -86,6 +89,7 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 		eend.WithStack(stack...),
 		eend.WithDuration(*dur),
 		eend.WithRandomFlows(*flows, *rate*1024, 128),
+		eend.WithReplicates(*reps),
 	}
 	switch {
 	case *topo != "" && *grid > 0:

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"strings"
 	"testing"
 
 	"eend"
@@ -94,5 +95,43 @@ func TestRunCancelledContext(t *testing.T) {
 	cancel()
 	if err := run(ctx, io.Discard, []string{"-nodes", "10", "-flows", "2", "-dur", "30s"}); err == nil {
 		t.Fatal("cancelled context should abort the run")
+	}
+}
+
+func TestRunReplicates(t *testing.T) {
+	var out bytes.Buffer
+	err := run(bg, &out, []string{
+		"-nodes", "10", "-field", "300", "-proto", "dsr", "-pm", "active",
+		"-flows", "2", "-rate", "2", "-dur", "30s", "-replicates", "3", "-json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res eend.Results
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("output is not valid results JSON: %v", err)
+	}
+	if res.Replicates == nil || res.Replicates.N != 3 {
+		t.Fatalf("replicate summary missing: %+v", res.Replicates)
+	}
+
+	// The text summary must surface the mean ± CI block.
+	out.Reset()
+	err = run(bg, &out, []string{
+		"-nodes", "10", "-field", "300", "-proto", "dsr", "-pm", "active",
+		"-flows", "2", "-rate", "2", "-dur", "30s", "-replicates", "3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "replicates:      3") {
+		t.Fatalf("text summary has no replicate block:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadReplicates(t *testing.T) {
+	err := run(bg, io.Discard, []string{"-nodes", "10", "-replicates", "0", "-dur", "20s"})
+	if err == nil {
+		t.Fatal("-replicates 0 accepted")
 	}
 }

@@ -10,9 +10,11 @@
 // The grid syntax is whitespace-separated name=v1,v2,... axes; integer
 // spans may be written lo..hi. Axes: see eend/sweep.AxisNames (nodes,
 // seed, field, stack, topology, workload, flows, rate, packet, dur, card,
-// battery, bandwidth). Re-running with an unchanged grid answers every
-// point from the cache without simulating; widening one axis simulates
-// only the new points.
+// battery, bandwidth, replicates). Re-running with an unchanged grid
+// answers every point from the cache without simulating; widening one
+// axis simulates only the new points. A replicates=N axis averages N
+// seed-derived runs per point — cached per seed, so widening N re-uses
+// the seeds already simulated — and adds mean/CI95 columns to the output.
 package main
 
 import (

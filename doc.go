@@ -23,6 +23,25 @@
 // results as they complete; Results, Figure and the metric series marshal
 // to stable JSON for machine consumption (served over HTTP by cmd/eendd).
 //
+// WithReplicates(n) reproduces the paper's methodology of averaging 5-10
+// independent runs per point: the scenario executes once per derived seed
+// (ReplicateSeed; replicate 0 is the base seed, so replicated and single
+// runs agree bit-for-bit on their scalar metrics) and Results.Replicates
+// carries the mean and 95% confidence interval of every headline metric,
+// JSON-tagged for the HTTP and CSV surfaces. Replicates fingerprint
+// individually, so sweeps cache them per seed — widening a replicates
+// axis simulates only the new seeds.
+//
+// The event kernel under all of this is allocation-free on its hot path:
+// events live in a value slab threaded with a free list, the queue is a
+// hand-rolled 4-ary heap of slot indices, and timer handles are
+// generation-checked values, so scheduling or firing a pooled event costs
+// zero heap allocations and cancellation removes in O(log n). Events are
+// totally ordered by (time, scheduling sequence), which makes runs
+// bit-reproducible regardless of heap internals — pinned by golden
+// fingerprint tests and a differential test against the original
+// container/heap kernel.
+//
 // Beyond the paper's placements and traffic, WithTopology selects a
 // placement generator (uniform, perturbed grid, clustered hotspots,
 // corridor chains) and WithWorkload a traffic generator (CBR, bursty
@@ -42,7 +61,7 @@
 //	eend (root)           public facade: scenarios, options, batches, experiments
 //	design                public facade for the formal design problem (Section 3)
 //	sweep                 parameter grids, grid-spec parser, caching sweep runner
-//	internal/sim          discrete-event kernel (context-aware event loop)
+//	internal/sim          discrete-event kernel (allocation-free slab + 4-ary heap)
 //	internal/geom         placement geometry
 //	internal/topology     placement generators (uniform, grid, cluster, corridor)
 //	internal/cache        content-addressed on-disk result store

@@ -38,6 +38,11 @@ type (
 	Series = metrics.Series
 	// Sample accumulates observations of one measured quantity.
 	Sample = metrics.Sample
+	// Summary is the mean/CI95 aggregate of a replicated run (set on
+	// Results.Replicates by WithReplicates).
+	Summary = metrics.Summary
+	// Stat is one metric's mean and 95% CI half-width within a Summary.
+	Stat = metrics.Stat
 )
 
 // The modelled radio cards (paper Table 1).

@@ -48,7 +48,7 @@ func TestFingerprintGolden(t *testing.T) {
 		eend.WithDuration(60*time.Second),
 		eend.WithRandomFlows(3, 2048, 128),
 	)
-	const want = "a2b46a763ce3f3bc7a8c79d81282250830a2ff2c9fc10af475df71ee487c7737"
+	const want = "5e0565660bb8f84b23c80718f398a732fb3e2a8d0d541e43efffcab3eb0d8da3"
 	if got := sc.Fingerprint(); got != want {
 		t.Fatalf("golden fingerprint changed:\n got %s\nwant %s\ncanonical:\n%s", got, want, sc.Canonical())
 	}
@@ -113,7 +113,7 @@ func TestFingerprintTopologyMaterializesPositions(t *testing.T) {
 
 func TestCanonicalLeadsWithVersion(t *testing.T) {
 	sc := fpScenario(t)
-	if !strings.HasPrefix(sc.Canonical(), "eend.scenario/1\n") {
+	if !strings.HasPrefix(sc.Canonical(), "eend.scenario/2\n") {
 		t.Fatalf("canonical encoding is unversioned:\n%s", sc.Canonical())
 	}
 }

@@ -1,0 +1,102 @@
+package eend
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// goldenRuns pins fixed-seed scenario outcomes across kernel refactors: the
+// expected values are Results.Fingerprint() hashes captured on the original
+// container/heap event kernel. The slab-based engine (and any future
+// scheduler change) must reproduce them bit-identically — same event order,
+// same RNG draws, same metrics. If a change legitimately alters simulation
+// behaviour (a model fix, a new random stream), recapture the values and
+// say so in the commit; if only the scheduler changed, a mismatch here is a
+// determinism bug.
+var goldenRuns = []struct {
+	name        string
+	fingerprint string
+	opts        []Option
+}{
+	{
+		name:        "titan-pc-odpm",
+		fingerprint: "854c60443834a06dacba6ca868cae355f7ef2fe19b002e5dc065d9cda5d625ed",
+		opts: []Option{
+			WithSeed(1),
+			WithField(300, 300),
+			WithNodes(20),
+			WithStack(TITAN, ODPM, PowerControl()),
+			WithRandomFlows(5, 2048, 128),
+			WithDuration(60 * time.Second),
+		},
+	},
+	{
+		name:        "dsdvh-span-grid",
+		fingerprint: "6a1b4f2c99bfc2c1b6d61ae95516c7590203f8bf402b6afff560e530bbe013ca",
+		opts: []Option{
+			WithSeed(7),
+			WithField(400, 400),
+			WithGrid(4, 4),
+			WithStack(DSDVH, ODPM, Span()),
+			WithRandomFlows(4, 4096, 128),
+			WithDuration(60 * time.Second),
+		},
+	},
+	{
+		name:        "dsr-active-battery",
+		fingerprint: "9320763a994219f316e181772edb63bbc1b658e4d7bd0d8fc1eb53d3c8d56bec",
+		opts: []Option{
+			WithSeed(3),
+			WithField(350, 350),
+			WithNodes(25),
+			WithStack(DSR, AlwaysActive),
+			WithRandomFlows(6, 2048, 128),
+			WithBattery(5),
+			WithDuration(60 * time.Second),
+		},
+	},
+}
+
+func TestGoldenFingerprints(t *testing.T) {
+	for _, g := range goldenRuns {
+		t.Run(g.name, func(t *testing.T) {
+			sc, err := NewScenario(g.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sc.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fp := res.Fingerprint(); fp != g.fingerprint {
+				t.Errorf("results fingerprint = %s, want %s", fp, g.fingerprint)
+			}
+		})
+	}
+}
+
+// TestGoldenRunsAreReproducible proves the fingerprints above are properties
+// of the scenario, not of one process: two fresh runs in this process must
+// agree with each other.
+func TestGoldenRunsAreReproducible(t *testing.T) {
+	for _, g := range goldenRuns {
+		t.Run(g.name, func(t *testing.T) {
+			var fps [2]string
+			for i := range fps {
+				sc, err := NewScenario(g.opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sc.Run(context.Background())
+				if err != nil {
+					t.Fatal(err)
+				}
+				fps[i] = res.Fingerprint()
+			}
+			if fps[0] != fps[1] {
+				t.Errorf("two runs disagree: %s vs %s", fps[0], fps[1])
+			}
+		})
+	}
+}

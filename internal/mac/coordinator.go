@@ -20,6 +20,12 @@ type Coordinator struct {
 	window bool
 	iv     uint64   // current beacon interval index, starts at 1
 	start  sim.Time // start time of the current interval
+
+	// The beacon callbacks are pre-bound once: the schedule repeats every
+	// interval for the whole run and must not allocate a fresh method
+	// value each time.
+	beaconFn    func()
+	windowEndFn func()
 }
 
 // NewCoordinator creates the beacon scheduler. Call Start before running the
@@ -31,12 +37,15 @@ func NewCoordinator(s *sim.Simulator, beaconInterval, atimWindow time.Duration) 
 	if atimWindow <= 0 || atimWindow >= beaconInterval {
 		atimWindow = DefaultATIMWindow
 	}
-	return &Coordinator{
+	c := &Coordinator{
 		sim:  s,
 		bi:   beaconInterval,
 		atim: atimWindow,
 		byID: make(map[int]*MAC),
 	}
+	c.beaconFn = c.onBeacon
+	c.windowEndFn = c.onWindowEnd
+	return c
 }
 
 // register attaches a MAC (called from mac.New).
@@ -50,7 +59,7 @@ func (c *Coordinator) mac(id int) *MAC { return c.byID[id] }
 
 // Start schedules the repeating beacon. The first beacon fires immediately.
 func (c *Coordinator) Start() {
-	c.sim.Schedule(0, c.onBeacon)
+	c.sim.Schedule(0, c.beaconFn)
 }
 
 func (c *Coordinator) onBeacon() {
@@ -60,8 +69,8 @@ func (c *Coordinator) onBeacon() {
 	for _, m := range c.macs {
 		m.onBeacon()
 	}
-	c.sim.Schedule(c.atim, c.onWindowEnd)
-	c.sim.Schedule(c.bi, c.onBeacon)
+	c.sim.Schedule(c.atim, c.windowEndFn)
+	c.sim.Schedule(c.bi, c.beaconFn)
 }
 
 func (c *Coordinator) onWindowEnd() {

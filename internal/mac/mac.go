@@ -259,10 +259,11 @@ type MAC struct {
 	navUntil  sim.Time
 	queue     []*job
 	current   *job
-	pending   *sim.Timer // backoff / retry timer for current
-	respTimer *sim.Timer // scheduled CTS/ACK/ATIMACK response
-	await     frameType  // frame type current is waiting for (CTS/ACK/ATIMAck)
-	awaitTmr  *sim.Timer
+	pending   sim.Timer // backoff / retry timer for current
+	respTimer sim.Timer // scheduled CTS/ACK/ATIMACK response
+	await     frameType // frame type current is waiting for (CTS/ACK/ATIMAck)
+	awaitTmr  sim.Timer
+	attemptFn func() // attempt pre-bound once so rescheduling never allocates
 	seq       uint64
 	lastSeq   map[int]uint64 // duplicate filter per sender
 
@@ -300,6 +301,7 @@ func New(s *sim.Simulator, med *phy.Medium, coord *Coordinator, id int, pos geom
 		announcedTo: make(map[int]uint64),
 		announcedBy: make(map[int]bool),
 	}
+	m.attemptFn = m.attempt
 	med.Attach(m)
 	coord.register(m)
 	return m

@@ -124,7 +124,7 @@ func (m *MAC) scheduleAttempt() {
 	j := m.current
 	slots := m.sim.RNG().IntN(j.cw + 1)
 	delay := m.cfg.DIFS + sim.Time(slots)*m.cfg.SlotTime
-	m.pending = m.sim.Schedule(delay, m.attempt)
+	m.pending = m.sim.Schedule(delay, m.attemptFn)
 }
 
 // attempt performs the carrier-sense check and transmits the next frame of
@@ -146,7 +146,7 @@ func (m *MAC) attempt() {
 
 	// Defer to our own in-flight frame or pending CTS/ACK response.
 	if m.radio.Transmitting() || m.respTimer.Pending() {
-		m.pending = m.sim.Schedule(m.cfg.SIFS+m.airtime(sizeCTS)+m.cfg.DIFS, m.attempt)
+		m.pending = m.sim.Schedule(m.cfg.SIFS+m.airtime(sizeCTS)+m.cfg.DIFS, m.attemptFn)
 		return
 	}
 
@@ -162,7 +162,7 @@ func (m *MAC) attempt() {
 	}
 	if busyFor > 0 {
 		slots := m.sim.RNG().IntN(j.cw + 1)
-		m.pending = m.sim.Schedule(busyFor+m.cfg.DIFS+sim.Time(slots)*m.cfg.SlotTime, m.attempt)
+		m.pending = m.sim.Schedule(busyFor+m.cfg.DIFS+sim.Time(slots)*m.cfg.SlotTime, m.attemptFn)
 		return
 	}
 

@@ -1,0 +1,40 @@
+package metrics
+
+// Stat is the aggregate of one metric over replicated runs: the sample
+// mean and the half-width of its 95% confidence interval (Student-t, the
+// same machinery the figure series use). With a single replicate the CI is
+// zero and the mean is the observation itself.
+type Stat struct {
+	Mean float64 `json:"mean"`
+	CI95 float64 `json:"ci95"`
+}
+
+// NewStat computes a Stat from raw per-replicate observations.
+func NewStat(values []float64) Stat {
+	var s Sample
+	for _, v := range values {
+		s.Add(v)
+	}
+	return Stat{Mean: s.Mean(), CI95: s.CI95()}
+}
+
+// Summary aggregates the headline metrics of n replicated simulation runs
+// of one scenario — the paper's figures average 5-10 such runs per point.
+// The JSON field names are part of the machine-readable contract served by
+// cmd/eendd and cmd/eendsweep; keep them stable.
+type Summary struct {
+	// N is the number of replicates aggregated.
+	N int `json:"n"`
+	// Seeds lists the derived per-replicate seeds in replicate order.
+	Seeds []uint64 `json:"seeds"`
+
+	DeliveryRatio Stat `json:"delivery_ratio"`
+	EnergyGoodput Stat `json:"energy_goodput"`
+	EnergyTotal   Stat `json:"energy_j"`
+	TxEnergy      Stat `json:"tx_energy_j"`
+	TxAmpEnergy   Stat `json:"tx_amp_energy_j"`
+	Sent          Stat `json:"sent"`
+	Delivered     Stat `json:"delivered"`
+	Relays        Stat `json:"relays"`
+	Events        Stat `json:"events"`
+}

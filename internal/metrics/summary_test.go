@@ -1,0 +1,47 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestNewStat(t *testing.T) {
+	s := NewStat([]float64{2, 4, 6})
+	if s.Mean != 4 {
+		t.Fatalf("mean = %g, want 4", s.Mean)
+	}
+	// StdDev = 2, t(2 dof) = 4.303 -> CI = 4.303 * 2 / sqrt(3).
+	want := 4.303 * 2 / math.Sqrt(3)
+	if math.Abs(s.CI95-want) > 1e-9 {
+		t.Fatalf("ci95 = %g, want %g", s.CI95, want)
+	}
+
+	if one := NewStat([]float64{7}); one.Mean != 7 || one.CI95 != 0 {
+		t.Fatalf("single observation stat = %+v", one)
+	}
+	if empty := NewStat(nil); empty.Mean != 0 || empty.CI95 != 0 {
+		t.Fatalf("empty stat = %+v", empty)
+	}
+}
+
+func TestSummaryJSONShape(t *testing.T) {
+	sum := Summary{N: 2, Seeds: []uint64{1, 99}, DeliveryRatio: NewStat([]float64{0.5, 0.7})}
+	data, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"n", "seeds", "delivery_ratio", "energy_goodput", "energy_j", "sent", "delivered", "relays", "events"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("summary JSON missing %q: %s", key, data)
+		}
+	}
+	dr := m["delivery_ratio"].(map[string]any)
+	if dr["mean"].(float64) != 0.6 {
+		t.Fatalf("delivery_ratio = %v", dr)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"eend/internal/geom"
 	"eend/internal/mac"
+	"eend/internal/metrics"
 	"eend/internal/phy"
 	"eend/internal/power"
 	"eend/internal/radio"
@@ -142,6 +143,12 @@ type Results struct {
 
 	// Lifetime is non-nil when Scenario.BatteryJ was set.
 	Lifetime *Lifetime `json:"lifetime,omitempty"`
+
+	// Replicates is non-nil when the run was replicated over derived
+	// seeds (eend.WithReplicates): mean and 95% CI of every headline
+	// metric across the replicate set. The scalar fields above then hold
+	// the first replicate's (base seed's) values.
+	Replicates *metrics.Summary `json:"replicates,omitempty"`
 
 	// PerNode holds per-node outcomes, indexed by node id.
 	PerNode []NodeResults `json:"per_node,omitempty"`
@@ -397,9 +404,11 @@ func (nw *Network) ExecuteContext(ctx context.Context) (Results, error) {
 	return res, nil
 }
 
-// Summary renders the headline metrics as a human-readable block.
+// Summary renders the headline metrics as a human-readable block. For a
+// replicated run the block ends with the cross-replicate mean ± CI95 of
+// the headline metrics.
 func (r Results) Summary() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"stack:           %s\n"+
 			"duration:        %v\n"+
 			"sent/delivered:  %d/%d (delivery ratio %.3f)\n"+
@@ -418,6 +427,18 @@ func (r Results) Summary() string {
 		r.Routing.UpdatesSent, r.Routing.DataForwarded, r.Routing.DataDropped,
 		r.MAC.UnicastSent, r.MAC.UnicastFailed, r.MAC.BroadcastSent,
 		r.MAC.ATIMSent, r.MAC.Retries, r.MAC.QueueDrops, r.MAC.CollisionsSeen)
+	if rep := r.Replicates; rep != nil {
+		s += fmt.Sprintf(
+			"replicates:      %d (seeds %v)\n"+
+				"  delivery:      %.3f ± %.3f\n"+
+				"  goodput:       %.1f ± %.1f bit/J\n"+
+				"  energy:        %.2f ± %.2f J\n",
+			rep.N, rep.Seeds,
+			rep.DeliveryRatio.Mean, rep.DeliveryRatio.CI95,
+			rep.EnergyGoodput.Mean, rep.EnergyGoodput.CI95,
+			rep.EnergyTotal.Mean, rep.EnergyTotal.CI95)
+	}
+	return s
 }
 
 // Node returns the id-th node's MAC (for tests and inspection tools).

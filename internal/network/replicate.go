@@ -1,0 +1,48 @@
+package network
+
+import (
+	"eend/internal/metrics"
+)
+
+// ReplicateSeed derives the seed of replicate k (0-based) from a
+// scenario's base seed. Replicate 0 is the base seed itself, so a
+// replicated run's first replicate is bit-identical to the unreplicated
+// run; later replicates pass (base, k) through a splitmix64 finalizer so
+// that neighbouring base seeds never share derived seeds. The derivation
+// is part of the reproducibility contract: changing it changes every
+// replicated result, so treat it like the canonical-encoding version.
+func ReplicateSeed(base uint64, k int) uint64 {
+	if k == 0 {
+		return base
+	}
+	z := base + uint64(k)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// AggregateReplicates folds the Results of replicated runs (in replicate
+// order, with their derived seeds) into the mean/CI95 summary the paper's
+// figures report per point.
+func AggregateReplicates(seeds []uint64, runs []*Results) *metrics.Summary {
+	stat := func(get func(*Results) float64) metrics.Stat {
+		values := make([]float64, len(runs))
+		for i, r := range runs {
+			values[i] = get(r)
+		}
+		return metrics.NewStat(values)
+	}
+	return &metrics.Summary{
+		N:             len(runs),
+		Seeds:         append([]uint64(nil), seeds...),
+		DeliveryRatio: stat(func(r *Results) float64 { return r.DeliveryRatio }),
+		EnergyGoodput: stat(func(r *Results) float64 { return r.EnergyGoodput }),
+		EnergyTotal:   stat(func(r *Results) float64 { return r.Energy.Total() }),
+		TxEnergy:      stat(func(r *Results) float64 { return r.TxEnergy }),
+		TxAmpEnergy:   stat(func(r *Results) float64 { return r.TxAmpEnergy }),
+		Sent:          stat(func(r *Results) float64 { return float64(r.Sent) }),
+		Delivered:     stat(func(r *Results) float64 { return float64(r.Delivered) }),
+		Relays:        stat(func(r *Results) float64 { return float64(r.Relays) }),
+		Events:        stat(func(r *Results) float64 { return float64(r.Events) }),
+	}
+}

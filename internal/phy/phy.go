@@ -77,6 +77,22 @@ type transmission struct {
 	pos    geom.Point
 }
 
+// finisher is a pooled end-of-frame callback: fn is bound to run exactly
+// once when the finisher is created, so scheduling a frame's completion
+// costs no closure allocation after the pool warms up.
+type finisher struct {
+	m  *Medium
+	f  *Frame
+	fn func()
+}
+
+func (fin *finisher) run() {
+	f := fin.f
+	fin.f = nil
+	fin.m.freeFin = append(fin.m.freeFin, fin)
+	fin.m.finish(f)
+}
+
 // Medium is the shared channel. It is driven entirely by the simulation
 // kernel and is not safe for concurrent use.
 type Medium struct {
@@ -87,6 +103,13 @@ type Medium struct {
 
 	active map[*Frame]*transmission      // ongoing transmissions
 	rx     map[int]map[*Frame]*reception // per-listener ongoing receptions
+
+	// Free lists recycling the per-frame bookkeeping objects. A busy run
+	// transmits millions of frames, each overheard by every in-range
+	// listener; without pooling these dominate the allocation profile.
+	freeRx  []*reception
+	freeTx  []*transmission
+	freeFin []*finisher
 
 	frames uint64
 }
@@ -182,7 +205,7 @@ func (m *Medium) Transmit(f *Frame) sim.Time {
 	m.frames++
 
 	radius := m.cfg.RangeAt(f.Power)
-	tx := &transmission{frame: f, radius: radius, pos: src.Pos()}
+	tx := m.newTransmission(f, radius, src.Pos())
 	m.active[f] = tx
 
 	// The transmitter stops listening: corrupt its ongoing receptions.
@@ -203,7 +226,7 @@ func (m *Medium) Transmit(f *Frame) sim.Time {
 			continue
 		}
 		inbox := m.rx[l.NodeID()]
-		r := &reception{frame: f}
+		r := m.newReception(f)
 		if len(inbox) > 0 {
 			r.corrupted = true
 			for _, other := range inbox {
@@ -214,14 +237,57 @@ func (m *Medium) Transmit(f *Frame) sim.Time {
 		l.RxBegin(f)
 	}
 
-	m.sim.ScheduleAt(f.End, func() { m.finish(f) })
+	fin := m.newFinisher(f)
+	m.sim.ScheduleAt(f.End, fin.fn)
 	return f.End
+}
+
+// newReception takes a reception from the pool (or allocates the pool's
+// next entry).
+func (m *Medium) newReception(f *Frame) *reception {
+	if n := len(m.freeRx); n > 0 {
+		r := m.freeRx[n-1]
+		m.freeRx = m.freeRx[:n-1]
+		r.frame = f
+		r.corrupted = false
+		return r
+	}
+	return &reception{frame: f}
+}
+
+// newTransmission takes a transmission from the pool.
+func (m *Medium) newTransmission(f *Frame, radius float64, pos geom.Point) *transmission {
+	if n := len(m.freeTx); n > 0 {
+		t := m.freeTx[n-1]
+		m.freeTx = m.freeTx[:n-1]
+		t.frame, t.radius, t.pos = f, radius, pos
+		return t
+	}
+	return &transmission{frame: f, radius: radius, pos: pos}
+}
+
+// newFinisher takes an end-of-frame callback from the pool; its bound fn
+// recycles it after running.
+func (m *Medium) newFinisher(f *Frame) *finisher {
+	if n := len(m.freeFin); n > 0 {
+		fin := m.freeFin[n-1]
+		m.freeFin = m.freeFin[:n-1]
+		fin.f = f
+		return fin
+	}
+	fin := &finisher{m: m, f: f}
+	fin.fn = fin.run
+	return fin
 }
 
 // finish removes the transmission and completes all its receptions.
 // Listeners are visited in attach order so that runs are deterministic.
 func (m *Medium) finish(f *Frame) {
-	delete(m.active, f)
+	if tx, ok := m.active[f]; ok {
+		delete(m.active, f)
+		tx.frame = nil
+		m.freeTx = append(m.freeTx, tx)
+	}
 	for _, l := range m.listeners {
 		inbox := m.rx[l.NodeID()]
 		r, ok := inbox[f]
@@ -229,7 +295,10 @@ func (m *Medium) finish(f *Frame) {
 			continue
 		}
 		delete(inbox, f)
-		l.RxEnd(f, !r.corrupted)
+		corrupted := r.corrupted
+		r.frame = nil
+		m.freeRx = append(m.freeRx, r)
+		l.RxEnd(f, !corrupted)
 	}
 }
 

@@ -88,7 +88,8 @@ type ODPM struct {
 	node     ModeSetter
 	cfg      ODPMConfig
 	deadline sim.Time
-	timer    *sim.Timer
+	timer    sim.Timer
+	expireFn func() // pre-bound expire so re-arming never allocates
 	notify   NotifyFunc
 }
 
@@ -96,7 +97,9 @@ var _ Manager = (*ODPM)(nil)
 
 // NewODPM creates an on-demand power manager for the node.
 func NewODPM(s *sim.Simulator, node ModeSetter, cfg ODPMConfig) *ODPM {
-	return &ODPM{sim: s, node: node, cfg: cfg.withDefaults()}
+	o := &ODPM{sim: s, node: node, cfg: cfg.withDefaults()}
+	o.expireFn = o.expire
+	return o
 }
 
 // SetNotify registers a callback fired after each actual mode change.
@@ -133,13 +136,13 @@ func (o *ODPM) arm() {
 		}
 	}
 	o.timer.Cancel()
-	o.timer = o.sim.ScheduleAt(o.deadline, o.expire)
+	o.timer = o.sim.ScheduleAt(o.deadline, o.expireFn)
 }
 
 func (o *ODPM) expire() {
 	now := o.sim.Now()
 	if now < o.deadline {
-		o.timer = o.sim.ScheduleAt(o.deadline, o.expire)
+		o.timer = o.sim.ScheduleAt(o.deadline, o.expireFn)
 		return
 	}
 	o.setMode(mac.PSM)

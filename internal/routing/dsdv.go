@@ -50,10 +50,11 @@ type DSDV struct {
 	// PowerControl transmits data at learned minimum power.
 	powerControl bool
 
-	table    map[int]*dsdvEntry
-	mySeq    uint64
-	lastTrig sim.Time
-	trigArm  *sim.Timer
+	table      map[int]*dsdvEntry
+	mySeq      uint64
+	lastTrig   sim.Time
+	trigArm    sim.Timer
+	periodicFn func() // pre-bound periodic so the repeating dump never allocates
 
 	stats Stats
 }
@@ -93,15 +94,16 @@ func (d *DSDV) Stats() Stats { return d.stats }
 // full-table dumps at a phase chosen randomly to desynchronize nodes.
 func (d *DSDV) Start() {
 	d.table[d.env.ID] = &dsdvEntry{next: d.env.ID, metric: 0, seq: 0}
+	d.periodicFn = d.periodic
 	first := jitter(d.env.RNG(), dsdvPeriod)
-	d.env.Sim.Schedule(first, d.periodic)
+	d.env.Sim.Schedule(first, d.periodicFn)
 }
 
 func (d *DSDV) periodic() {
 	d.mySeq += 2
 	d.table[d.env.ID].seq = d.mySeq
 	d.broadcastFull()
-	d.env.Sim.Schedule(dsdvPeriod, d.periodic)
+	d.env.Sim.Schedule(dsdvPeriod, d.periodicFn)
 }
 
 func (d *DSDV) broadcastFull() {

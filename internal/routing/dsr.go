@@ -90,7 +90,7 @@ type cachedRoute struct {
 
 type discovery struct {
 	tries  int
-	timer  *sim.Timer
+	timer  sim.Timer
 	buffer []*dataPacket
 }
 

@@ -5,10 +5,32 @@
 // bit-reproducible for a fixed seed. All randomness used by higher layers
 // must come from the simulator's RNG so that a Scenario seed fully
 // determines the outcome.
+//
+// # Engine internals
+//
+// The queue is allocation-free on the steady-state hot path. Events live in
+// a value-based slab ([]event) threaded with a free list, so scheduling a
+// new event reuses the slot of a fired one instead of heap-allocating; the
+// priority queue itself is a hand-rolled 4-ary heap of int32 slot indices
+// (no interface boxing, no pointer chasing across the heap array). Timer
+// handles are small values carrying a slot index and a generation counter:
+// a slot's generation is bumped every time it is recycled, so a stale
+// handle to a fired or cancelled event can never reach a reused slot.
+// Cancel removes the event from the heap immediately — O(log n) via the
+// heap position each slab slot maintains — so cancelled events never linger
+// in the queue and Pending is an exact live count.
+//
+// # Determinism contract
+//
+// Events are totally ordered by (time, schedule sequence); the sequence
+// number is unique, so the firing order is independent of the heap's
+// internal shape. Swapping the binary container/heap kernel for this slab
+// engine therefore changes no simulation outcome: fixed-seed runs are
+// bit-identical (pinned by the golden fingerprint tests in the eend root
+// package and the differential test in this package).
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math/rand/v2"
@@ -18,85 +40,62 @@ import (
 // Time is a virtual timestamp measured from the start of the simulation.
 type Time = time.Duration
 
-// Event is a scheduled callback. It is owned by the simulator after
-// scheduling; use the returned *Timer to cancel it.
+// event is one slab slot. While queued, pos is the slot's index in the
+// 4-ary heap (kept current by every sift, which is what makes Cancel's
+// O(log n) removal possible); while the slot sits on the free list, pos is
+// reused as the next-free link.
 type event struct {
-	at   Time
-	seq  uint64
-	fn   func()
-	dead bool
-	idx  int
+	at  Time
+	seq uint64
+	fn  func()
+	gen uint32
+	pos int32
 }
 
-// eventQueue implements heap.Interface ordered by (at, seq).
-type eventQueue []*event
+// freeEnd terminates the slab's free list.
+const freeEnd = -1
 
-func (q eventQueue) Len() int { return len(q) }
+// heapArity is the fan-out of the event heap. Four children per node
+// halves the tree depth of a binary heap and keeps each node's children in
+// one cache line of the index array.
+const heapArity = 4
 
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.idx = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1
-	*q = old[:n-1]
-	return ev
-}
-
-// Timer is a handle to a scheduled event.
+// Timer is a value handle to a scheduled event. The zero Timer is valid
+// and behaves like a handle to an already-fired event: Pending is false,
+// Cancel is a no-op, At is zero.
 type Timer struct {
-	ev  *event
-	sim *Simulator
+	s    *Simulator
+	slot int32
+	gen  uint32
+	at   Time
 }
 
-// Cancel stops the timer. Cancelling an already-fired or already-cancelled
-// timer is a no-op. Cancel reports whether the event was still pending.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.dead {
+// Cancel stops the timer, removing the event from the queue immediately.
+// Cancelling an already-fired or already-cancelled timer is a no-op.
+// Cancel reports whether the event was still pending.
+func (t Timer) Cancel() bool {
+	if t.s == nil {
 		return false
 	}
-	t.ev.dead = true
-	t.ev.fn = nil
-	return true
+	return t.s.cancel(t.slot, t.gen)
 }
 
 // Pending reports whether the timer has neither fired nor been cancelled.
-func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.dead
+func (t Timer) Pending() bool {
+	return t.s != nil && t.s.slab[t.slot].gen == t.gen
 }
 
 // At returns the virtual time the timer is (or was) scheduled to fire.
-func (t *Timer) At() Time {
-	if t == nil || t.ev == nil {
-		return 0
-	}
-	return t.ev.at
-}
+func (t Timer) At() Time { return t.at }
 
 // Simulator is a single-threaded discrete-event scheduler.
 type Simulator struct {
-	now     Time
-	seq     uint64
-	queue   eventQueue
+	now  Time
+	seq  uint64
+	slab []event // event storage; slots are recycled through free
+	free int32   // head of the free-slot list (freeEnd: none)
+	heap []int32 // 4-ary min-heap of slab indices ordered by (at, seq)
+
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
@@ -105,7 +104,8 @@ type Simulator struct {
 // New returns a simulator whose RNG is seeded from seed.
 func New(seed uint64) *Simulator {
 	return &Simulator{
-		rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		free: freeEnd,
+		rng:  rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
 	}
 }
 
@@ -119,31 +119,144 @@ func (s *Simulator) RNG() *rand.Rand { return s.rng }
 // Events returns the number of events fired so far.
 func (s *Simulator) Events() uint64 { return s.fired }
 
-// Pending returns the number of events still queued (including cancelled
-// events not yet drained).
-func (s *Simulator) Pending() int { return len(s.queue) }
+// Pending returns the number of events still queued. Cancelled events are
+// removed from the queue at Cancel time, so the count is exact.
+func (s *Simulator) Pending() int { return len(s.heap) }
 
 // Schedule runs fn after delay of virtual time. A negative delay is an error
 // in the model; it panics to surface the bug immediately.
-func (s *Simulator) Schedule(delay Time, fn func()) *Timer {
+func (s *Simulator) Schedule(delay Time, fn func()) Timer {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
 	return s.ScheduleAt(s.now+delay, fn)
 }
 
-// ScheduleAt runs fn at absolute virtual time at.
-func (s *Simulator) ScheduleAt(at Time, fn func()) *Timer {
+// ScheduleAt runs fn at absolute virtual time at. Steady state it performs
+// no heap allocation: the event reuses a recycled slab slot and the
+// returned Timer is a plain value.
+func (s *Simulator) ScheduleAt(at Time, fn func()) Timer {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: schedule in the past: at=%v now=%v", at, s.now))
 	}
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	ev := &event{at: at, seq: s.seq, fn: fn}
+	var slot int32
+	if s.free != freeEnd {
+		slot = s.free
+		s.free = s.slab[slot].pos
+	} else {
+		slot = int32(len(s.slab))
+		s.slab = append(s.slab, event{})
+	}
+	ev := &s.slab[slot]
+	ev.at = at
+	ev.seq = s.seq
+	ev.fn = fn
 	s.seq++
-	heap.Push(&s.queue, ev)
-	return &Timer{ev: ev, sim: s}
+	s.heap = append(s.heap, slot)
+	s.siftUp(len(s.heap) - 1)
+	return Timer{s: s, slot: slot, gen: ev.gen, at: at}
+}
+
+// less orders two slab slots by (at, seq). seq is unique, so this is a
+// total order and the firing sequence does not depend on heap shape.
+func (s *Simulator) less(a, b int32) bool {
+	ea, eb := &s.slab[a], &s.slab[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+// siftUp restores the heap invariant for the element at index i by moving
+// it toward the root, updating slab positions as it goes.
+func (s *Simulator) siftUp(i int) {
+	h := s.heap
+	slot := h[i]
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !s.less(slot, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		s.slab[h[i]].pos = int32(i)
+		i = parent
+	}
+	h[i] = slot
+	s.slab[slot].pos = int32(i)
+}
+
+// siftDown restores the heap invariant for the element at index i by moving
+// it toward the leaves.
+func (s *Simulator) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	slot := h[i]
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + heapArity
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if s.less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !s.less(h[best], slot) {
+			break
+		}
+		h[i] = h[best]
+		s.slab[h[i]].pos = int32(i)
+		i = best
+	}
+	h[i] = slot
+	s.slab[slot].pos = int32(i)
+}
+
+// removeAt deletes the heap element at index i, preserving the invariant.
+func (s *Simulator) removeAt(i int) {
+	h := s.heap
+	n := len(h) - 1
+	if i == n {
+		s.heap = h[:n]
+		return
+	}
+	moved := h[n]
+	h[i] = moved
+	s.slab[moved].pos = int32(i)
+	s.heap = h[:n]
+	s.siftDown(i)
+	if s.heap[i] == moved {
+		s.siftUp(i)
+	}
+}
+
+// freeSlot recycles a slab slot: the generation bump invalidates every
+// outstanding Timer handle to it before it can be reused.
+func (s *Simulator) freeSlot(slot int32) {
+	ev := &s.slab[slot]
+	ev.gen++
+	ev.fn = nil
+	ev.pos = s.free
+	s.free = slot
+}
+
+// cancel implements Timer.Cancel.
+func (s *Simulator) cancel(slot int32, gen uint32) bool {
+	ev := &s.slab[slot]
+	if ev.gen != gen {
+		return false
+	}
+	s.removeAt(int(ev.pos))
+	s.freeSlot(slot)
+	return true
 }
 
 // Stop halts Run after the current event returns.
@@ -176,30 +289,29 @@ func (s *Simulator) RunContext(ctx context.Context, until Time) (Time, error) {
 	}
 	s.stopped = false
 	batch := 0
-	for len(s.queue) > 0 && !s.stopped {
-		ev := s.queue[0]
-		if ev.at > until {
+	for len(s.heap) > 0 && !s.stopped {
+		top := s.heap[0]
+		at := s.slab[top].at
+		if at > until {
 			break
-		}
-		heap.Pop(&s.queue)
-		if ev.dead {
-			continue
 		}
 		if done != nil {
 			if batch++; batch >= ctxCheckBatch {
 				batch = 0
 				select {
 				case <-done:
-					heap.Push(&s.queue, ev)
 					return s.now, ctx.Err()
 				default:
 				}
 			}
 		}
-		s.now = ev.at
-		fn := ev.fn
-		ev.dead = true
-		ev.fn = nil
+		s.removeAt(0)
+		fn := s.slab[top].fn
+		// Recycle before firing so that, inside its own callback, the
+		// event reads as no longer pending (and a Timer reschedule there
+		// can reuse the slot).
+		s.freeSlot(top)
+		s.now = at
 		s.fired++
 		fn()
 	}

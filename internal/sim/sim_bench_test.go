@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkScheduleFire is the kernel's headline micro-bench: one pooled
+// event scheduled and fired per op. Must report 0 allocs/op (also enforced
+// by TestScheduleFireDoesNotAllocate).
+func BenchmarkScheduleFire(b *testing.B) {
+	b.ReportAllocs()
+	s := New(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		s.Schedule(time.Microsecond, tick)
+	}
+	s.Schedule(0, tick)
+	b.ResetTimer()
+	s.Run(time.Duration(b.N) * time.Microsecond)
+	if n < b.N {
+		b.Fatalf("fired %d events, want >= %d", n, b.N)
+	}
+}
+
+// BenchmarkScheduleCancel measures the O(log n) eager removal path.
+func BenchmarkScheduleCancel(b *testing.B) {
+	b.ReportAllocs()
+	s := New(1)
+	// Keep a standing population so cancels remove from mid-heap.
+	for i := 0; i < 1024; i++ {
+		s.Schedule(time.Duration(i+1)*time.Hour, func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := s.Schedule(time.Minute, func() {})
+		tm.Cancel()
+	}
+}
+
+// BenchmarkDeepHeap schedules and fires through a standing queue of 4096
+// events, exercising sift depth on the 4-ary heap.
+func BenchmarkDeepHeap(b *testing.B) {
+	b.ReportAllocs()
+	s := New(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		s.Schedule(time.Microsecond, tick)
+	}
+	for i := 0; i < 4096; i++ {
+		s.Schedule(time.Duration(i+1)*time.Hour, func() { n++ })
+	}
+	s.Schedule(0, tick)
+	b.ResetTimer()
+	s.Run(time.Duration(b.N) * time.Microsecond)
+	if n < b.N {
+		b.Fatalf("fired %d events, want >= %d", n, b.N)
+	}
+}

@@ -1,0 +1,324 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// ---- timer-handle semantics on the slab engine ----
+
+func TestTimerAt(t *testing.T) {
+	s := New(1)
+	tm := s.Schedule(3*time.Second, func() {})
+	if tm.At() != 3*time.Second {
+		t.Fatalf("At = %v, want 3s", tm.At())
+	}
+	s.Run(10 * time.Second)
+	// At survives firing: the handle carries the scheduled time by value.
+	if tm.At() != 3*time.Second {
+		t.Fatalf("At after fire = %v, want 3s", tm.At())
+	}
+	if tm.Pending() {
+		t.Fatal("fired timer still pending")
+	}
+}
+
+func TestZeroTimer(t *testing.T) {
+	var tm Timer
+	if tm.Pending() {
+		t.Fatal("zero Timer pending")
+	}
+	if tm.Cancel() {
+		t.Fatal("zero Timer cancelled something")
+	}
+	if tm.At() != 0 {
+		t.Fatalf("zero Timer At = %v, want 0", tm.At())
+	}
+}
+
+// TestRescheduleAfterFire covers the slot-recycling path: a fired event's
+// slab slot is reused by the next Schedule, and the stale handle to the
+// fired event must not alias the new one.
+func TestRescheduleAfterFire(t *testing.T) {
+	s := New(1)
+	first := s.Schedule(time.Second, func() {})
+	s.Run(2 * time.Second)
+	if first.Pending() {
+		t.Fatal("fired timer reads pending")
+	}
+
+	fired := false
+	second := s.Schedule(time.Second, func() { fired = true })
+	if !second.Pending() {
+		t.Fatal("rescheduled timer not pending")
+	}
+	// The stale handle must stay dead even though its slot was recycled.
+	if first.Pending() {
+		t.Fatal("stale handle became pending after slot reuse")
+	}
+	if first.Cancel() {
+		t.Fatal("stale handle cancelled the recycled slot's event")
+	}
+	s.Run(4 * time.Second)
+	if !fired {
+		t.Fatal("rescheduled event did not fire (stale Cancel leaked through?)")
+	}
+}
+
+// TestCancelInsideOwnCallback pins the recycle-before-fire ordering: while
+// an event's callback runs, its own handle already reads as not pending.
+func TestCancelInsideOwnCallback(t *testing.T) {
+	s := New(1)
+	var tm Timer
+	ran := false
+	tm = s.Schedule(time.Second, func() {
+		ran = true
+		if tm.Pending() {
+			t.Error("event pending inside its own callback")
+		}
+		if tm.Cancel() {
+			t.Error("event cancellable inside its own callback")
+		}
+	})
+	s.Run(2 * time.Second)
+	if !ran {
+		t.Fatal("event did not fire")
+	}
+}
+
+// TestCancelRemovesImmediately pins the O(log n) removal: a cancelled event
+// leaves the queue at Cancel time, not lazily at pop time.
+func TestCancelRemovesImmediately(t *testing.T) {
+	s := New(1)
+	timers := make([]Timer, 100)
+	for i := range timers {
+		timers[i] = s.Schedule(Time(i+1)*time.Millisecond, func() {})
+	}
+	if s.Pending() != 100 {
+		t.Fatalf("Pending = %d, want 100", s.Pending())
+	}
+	for i := 0; i < 100; i += 2 {
+		if !timers[i].Cancel() {
+			t.Fatalf("Cancel(%d) = false", i)
+		}
+	}
+	if s.Pending() != 50 {
+		t.Fatalf("Pending after cancels = %d, want 50 (removal must be eager)", s.Pending())
+	}
+	s.Drain()
+	if s.Events() != 50 {
+		t.Fatalf("Events = %d, want 50", s.Events())
+	}
+}
+
+// TestCancelInterleavedWithFiring stresses heap removal from arbitrary
+// positions while the queue drains.
+func TestCancelInterleavedWithFiring(t *testing.T) {
+	s := New(99)
+	const n = 500
+	timers := make([]Timer, 0, n)
+	fired := 0
+	for i := 0; i < n; i++ {
+		d := Time(s.RNG().IntN(1000)) * time.Millisecond
+		timers = append(timers, s.Schedule(d, func() { fired++ }))
+	}
+	cancelled := 0
+	s.Schedule(250*time.Millisecond, func() {
+		for i := 0; i < n; i += 3 {
+			if timers[i].Cancel() {
+				cancelled++
+			}
+		}
+	})
+	s.Drain()
+	if fired+cancelled != n {
+		t.Fatalf("fired %d + cancelled %d != %d", fired, cancelled, n)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain", s.Pending())
+	}
+}
+
+// TestScheduleFireDoesNotAllocate enforces the engine's headline property
+// in the test suite (not just benchmarks): once the slab is warm,
+// scheduling and firing a pooled event performs zero heap allocations.
+func TestScheduleFireDoesNotAllocate(t *testing.T) {
+	s := New(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		s.Schedule(time.Microsecond, tick)
+	}
+	s.Schedule(0, tick)
+	s.Run(100 * time.Microsecond) // warm the slab and heap
+
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Run(s.Now() + 10*time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule/fire allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+// ---- differential test against the original container/heap kernel ----
+
+// refEvent / refQueue / refSim reimplement the pre-slab kernel (a binary
+// container/heap of *event pointers with lazy cancellation) as a reference
+// model. The slab engine must fire the same events at the same virtual
+// times in the same order for any operation sequence.
+type refEvent struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool
+}
+
+type refQueue []*refEvent
+
+func (q refQueue) Len() int { return len(q) }
+func (q refQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q refQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *refQueue) Push(x any)   { *q = append(*q, x.(*refEvent)) }
+func (q *refQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+type refSim struct {
+	now   Time
+	seq   uint64
+	queue refQueue
+}
+
+func (s *refSim) schedule(delay Time, fn func()) *refEvent {
+	ev := &refEvent{at: s.now + delay, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+func (s *refSim) run(until Time) {
+	for len(s.queue) > 0 {
+		ev := s.queue[0]
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&s.queue)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		ev.dead = true
+		ev.fn()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// firing records one observed event execution.
+type firing struct {
+	id int
+	at Time
+}
+
+// TestDifferentialAgainstReferenceKernel drives the slab engine and the
+// reference kernel with identical randomized workloads — schedules at
+// coinciding instants, nested reschedules, and cancellations from inside
+// events — and requires bit-identical firing sequences.
+func TestDifferentialAgainstReferenceKernel(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		seedRNG := rand.New(rand.NewPCG(uint64(trial), 0xdeadbeef))
+
+		// One shared operation script, derived once so both kernels see
+		// exactly the same structure.
+		const ops = 200
+		type op struct {
+			delayMs int
+			repeat  int  // nested reschedules from inside the event
+			cancels bool // this event cancels a previously scheduled one
+			victim  int
+		}
+		script := make([]op, ops)
+		for i := range script {
+			script[i] = op{
+				delayMs: seedRNG.IntN(50),
+				repeat:  seedRNG.IntN(3),
+				cancels: seedRNG.IntN(4) == 0,
+				victim:  seedRNG.IntN(ops),
+			}
+		}
+
+		runSlab := func() []firing {
+			var log []firing
+			s := New(1)
+			timers := make([]Timer, ops)
+			for i, o := range script {
+				i, o := i, o
+				var fn func()
+				rep := 0
+				fn = func() {
+					log = append(log, firing{id: i, at: s.Now()})
+					if o.cancels {
+						timers[o.victim].Cancel()
+					}
+					if rep < o.repeat {
+						rep++
+						s.Schedule(Time(o.delayMs)*time.Millisecond, fn)
+					}
+				}
+				timers[i] = s.Schedule(Time(o.delayMs)*time.Millisecond, fn)
+			}
+			s.Run(10 * time.Second)
+			return log
+		}
+
+		runRef := func() []firing {
+			var log []firing
+			s := &refSim{}
+			events := make([]*refEvent, ops)
+			for i, o := range script {
+				i, o := i, o
+				var fn func()
+				rep := 0
+				fn = func() {
+					log = append(log, firing{id: i, at: s.now})
+					if o.cancels {
+						if ev := events[o.victim]; ev != nil && !ev.dead {
+							ev.dead = true
+						}
+					}
+					if rep < o.repeat {
+						rep++
+						s.schedule(Time(o.delayMs)*time.Millisecond, fn)
+					}
+				}
+				events[i] = s.schedule(Time(o.delayMs)*time.Millisecond, fn)
+			}
+			s.run(10 * time.Second)
+			return log
+		}
+
+		got, want := runSlab(), runRef()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: slab fired %d events, reference %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: firing %d diverges: slab %+v, reference %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -163,12 +163,13 @@ func (c *Collector) FlowDeliveryRatio(flow int) float64 {
 // Source drives one CBR flow: it schedules packet origination on the
 // simulator until the horizon and reports each send to the collector.
 type Source struct {
-	sim   *sim.Simulator
-	flow  Flow
-	send  SendFunc
-	col   *Collector
-	until sim.Time
-	seq   uint64
+	sim    *sim.Simulator
+	flow   Flow
+	send   SendFunc
+	col    *Collector
+	until  sim.Time
+	seq    uint64
+	emitFn func() // pre-bound emit so per-packet rescheduling never allocates
 }
 
 // NewSource creates a CBR source; Start must be called to begin.
@@ -179,7 +180,9 @@ func NewSource(s *sim.Simulator, flow Flow, send SendFunc, col *Collector, until
 	if send == nil {
 		return nil, fmt.Errorf("traffic: flow %d has nil send func", flow.ID)
 	}
-	return &Source{sim: s, flow: flow, send: send, col: col, until: until}, nil
+	src := &Source{sim: s, flow: flow, send: send, col: col, until: until}
+	src.emitFn = src.emit
+	return src, nil
 }
 
 // Start schedules the first packet at a random time in the start window.
@@ -188,7 +191,7 @@ func (s *Source) Start() {
 	if w := s.flow.StartMax - s.flow.StartMin; w > 0 {
 		start += time.Duration(s.sim.RNG().Int64N(int64(w)))
 	}
-	s.sim.Schedule(start, s.emit)
+	s.sim.Schedule(start, s.emitFn)
 }
 
 func (s *Source) emit() {
@@ -203,7 +206,7 @@ func (s *Source) emit() {
 		s.col.OnSend(s.flow.ID)
 	}
 	s.send(s.flow.Dst, s.flow.PacketBytes, &Datum{Flow: s.flow.ID, Seq: s.seq}, s.flow.Rate)
-	s.sim.Schedule(s.flow.Interval(), s.emit)
+	s.sim.Schedule(s.flow.Interval(), s.emitFn)
 }
 
 // Sent returns the number of packets this source has originated.

@@ -1,0 +1,206 @@
+package eend
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+func repOpts(extra ...Option) []Option {
+	base := []Option{
+		WithSeed(11),
+		WithField(250, 250),
+		WithNodes(12),
+		WithStack(TITAN, ODPM),
+		WithRandomFlows(2, 2048, 128),
+		WithDuration(30 * time.Second),
+	}
+	return append(base, extra...)
+}
+
+func TestWithReplicatesValidates(t *testing.T) {
+	if _, err := NewScenario(repOpts(WithReplicates(0))...); err == nil {
+		t.Fatal("WithReplicates(0) accepted")
+	}
+	if _, err := NewScenario(repOpts(WithReplicates(-2))...); err == nil {
+		t.Fatal("WithReplicates(-2) accepted")
+	}
+}
+
+func TestReplicateSeedDerivation(t *testing.T) {
+	if ReplicateSeed(42, 0) != 42 {
+		t.Fatal("replicate 0 must run the base seed")
+	}
+	seen := map[uint64]int{}
+	for base := uint64(1); base <= 4; base++ {
+		for k := 0; k < 8; k++ {
+			s := ReplicateSeed(base, k)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: %d appears twice (prev key %d)", s, prev)
+			}
+			seen[s] = int(base)<<8 | k
+		}
+	}
+}
+
+func TestReplicatedRunAggregates(t *testing.T) {
+	const n = 3
+	sc, err := NewScenario(repOpts(WithReplicates(n))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Replicates() != n {
+		t.Fatalf("Replicates = %d, want %d", sc.Replicates(), n)
+	}
+	res, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Replicates
+	if rep == nil {
+		t.Fatal("replicated run returned no summary")
+	}
+	if rep.N != n || len(rep.Seeds) != n {
+		t.Fatalf("summary N=%d seeds=%v, want %d replicates", rep.N, rep.Seeds, n)
+	}
+	for k, seed := range rep.Seeds {
+		if want := ReplicateSeed(11, k); seed != want {
+			t.Errorf("seed[%d] = %d, want %d", k, seed, want)
+		}
+	}
+
+	// The scalar fields are the first replicate's, bit-identical to an
+	// unreplicated run of the base seed.
+	single, err := NewScenario(repOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := single.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped := *res
+	stripped.Replicates = nil
+	if stripped.Fingerprint() != sres.Fingerprint() {
+		t.Fatal("replicated run's scalar results differ from the base-seed run")
+	}
+
+	// The summary mean must be the arithmetic mean of the per-replicate
+	// metric, recomputed here from standalone replicate runs.
+	var sum float64
+	for k := 0; k < n; k++ {
+		r, err := sc.Replicate(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Replicates() != 1 {
+			t.Fatalf("replicate %d is itself replicated (%d)", k, r.Replicates())
+		}
+		rres, err := r.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += rres.DeliveryRatio
+	}
+	if got, want := rep.DeliveryRatio.Mean, sum/n; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("delivery mean = %g, want %g", got, want)
+	}
+	if rep.DeliveryRatio.CI95 < 0 {
+		t.Fatalf("negative CI %g", rep.DeliveryRatio.CI95)
+	}
+}
+
+func TestReplicatedRunDeterministic(t *testing.T) {
+	fps := [2]string{}
+	for i := range fps {
+		sc, err := NewScenario(repOpts(WithReplicates(4))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sc.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps[i] = res.Fingerprint()
+	}
+	if fps[0] != fps[1] {
+		t.Fatalf("replicated runs diverge: %s vs %s", fps[0], fps[1])
+	}
+}
+
+func TestReplicateOutOfRange(t *testing.T) {
+	sc, err := NewScenario(repOpts(WithReplicates(2))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Replicate(2); err == nil {
+		t.Fatal("Replicate(2) of a 2-replicate scenario accepted")
+	}
+	if _, err := sc.Replicate(-1); err == nil {
+		t.Fatal("Replicate(-1) accepted")
+	}
+}
+
+// TestReplicateFingerprintsDiffer pins the cache-sharding property: each
+// replicate is its own content address, distinct from the replicated
+// point's own fingerprint.
+func TestReplicateFingerprintsDiffer(t *testing.T) {
+	sc, err := NewScenario(repOpts(WithReplicates(3))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{"point": sc.Fingerprint()}
+	for k := 0; k < 3; k++ {
+		r, err := sc.Replicate(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := r.Fingerprint()
+		for name, other := range seen {
+			if fp == other {
+				t.Fatalf("replicate %d fingerprint collides with %s", k, name)
+			}
+		}
+		seen[fmt.Sprintf("replicate-%d", k)] = fp
+	}
+}
+
+func TestReplicatedJSONRoundTrip(t *testing.T) {
+	sc, err := NewScenario(repOpts(WithReplicates(2))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Results
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Replicates == nil || back.Replicates.N != 2 {
+		t.Fatalf("replicate summary lost in round trip: %+v", back.Replicates)
+	}
+	if back.Replicates.DeliveryRatio != res.Replicates.DeliveryRatio {
+		t.Fatal("delivery stat changed in round trip")
+	}
+}
+
+func TestReplicatedRunCancels(t *testing.T) {
+	sc, err := NewScenario(repOpts(WithReplicates(3))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sc.Run(ctx); err == nil {
+		t.Fatal("cancelled replicated run returned no error")
+	}
+}

@@ -22,6 +22,11 @@ import (
 // independent simulator).
 type Scenario struct {
 	sc network.Scenario
+	// opts is the option list the scenario was built from, retained so
+	// Replicate can re-apply it under a derived seed.
+	opts []Option
+	// replicates is the seed-replication factor (>= 1; see WithReplicates).
+	replicates int
 }
 
 // Option configures a Scenario under construction.
@@ -29,10 +34,11 @@ type Option func(*builder) error
 
 // builder accumulates options before validation.
 type builder struct {
-	sc        network.Scenario
-	randFlows []randomFlowSpec
-	topo      *topology.Spec
-	workloads []Workload
+	sc         network.Scenario
+	randFlows  []randomFlowSpec
+	topo       *topology.Spec
+	workloads  []Workload
+	replicates int
 }
 
 // randomFlowSpec defers random-endpoint drawing until the seed and node
@@ -288,7 +294,15 @@ func NewScenario(opts ...Option) (*Scenario, error) {
 	if err := b.validate(nodes); err != nil {
 		return nil, err
 	}
-	return &Scenario{sc: b.sc}, nil
+	replicates := b.replicates
+	if replicates <= 0 {
+		replicates = 1
+	}
+	return &Scenario{
+		sc:         b.sc,
+		opts:       append([]Option(nil), opts...),
+		replicates: replicates,
+	}, nil
 }
 
 // nodeCount resolves the effective node count of the placement options.
@@ -326,8 +340,13 @@ func (b *builder) validate(nodes int) error {
 // Run wires the network and executes the scenario to its horizon.
 // Cancellation is polled between event batches, so a cancelled ctx aborts
 // even an hour-long Full-scale run promptly and returns the context's
-// error.
+// error. A scenario built with WithReplicates(n > 1) runs once per derived
+// seed and returns the first replicate's Results with the cross-replicate
+// mean/CI95 summary attached (see Results.Replicates).
 func (s *Scenario) Run(ctx context.Context) (*Results, error) {
+	if s.Replicates() > 1 {
+		return s.runReplicated(ctx)
+	}
 	res, err := network.RunContext(ctx, s.sc)
 	if err != nil {
 		return nil, err
@@ -360,7 +379,7 @@ func (s *Scenario) Flows() []Flow {
 // to the simulator makes equal-looking scenarios produce different results
 // (new Scenario field, changed random-stream derivation, ...), so stale
 // cache entries stop matching instead of being served.
-const canonicalVersion = "eend.scenario/1"
+const canonicalVersion = "eend.scenario/2"
 
 // Canonical returns the scenario's canonical encoding: a versioned,
 // line-oriented text rendering of every field that affects simulation
@@ -398,7 +417,8 @@ func (s *Scenario) Canonical() string {
 		st.Routing, st.PM, st.PowerControl, st.AdvertisedWindow, st.PerfectSleep,
 		st.ODPM.DataTimeout.Nanoseconds(), st.ODPM.RouteTimeout.Nanoseconds(),
 		st.Custom != nil, st.Label)
-	fmt.Fprintf(&w, "duration=%d\nbattery=%s\n", s.sc.Duration.Nanoseconds(), num(s.sc.BatteryJ))
+	fmt.Fprintf(&w, "duration=%d\nbattery=%s\nreplicates=%d\n",
+		s.sc.Duration.Nanoseconds(), num(s.sc.BatteryJ), s.Replicates())
 	for _, f := range s.sc.Flows {
 		fmt.Fprintf(&w, "flow=%d,%d,%d,%s,%d,%d,%d,%d\n",
 			f.ID, f.Src, f.Dst, num(f.Rate), f.PacketBytes,

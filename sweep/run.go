@@ -134,6 +134,36 @@ func (r Runner) Stream(ctx context.Context, g *Grid) (<-chan Result, int, error)
 	return ch, prep.Total(), err
 }
 
+// pointState tracks one grid point's replicate set while the sweep runs.
+// Each replicate is cached and simulated independently under its own
+// derived-seed fingerprint; the point completes when every replicate is in.
+type pointState struct {
+	seeds   []uint64        // derived seed per replicate
+	runs    []*eend.Results // filled per replicate (cache or simulation)
+	cached  int             // replicates answered from the cache
+	missing int             // replicates still being simulated
+	err     error           // first replicate failure, if any
+}
+
+// finish folds a completed replicate set into the point's Result: the
+// first replicate's Results, with the mean/CI95 Summary attached when the
+// point is replicated. Cached is true only when every replicate came from
+// the cache — a fully cached sweep re-run touches the simulator zero
+// times even for replicated grids.
+func (st *pointState) finish(sr Result) Result {
+	if st.err != nil {
+		sr.Err = st.err
+		return sr
+	}
+	res := *st.runs[0]
+	if len(st.runs) > 1 {
+		res.Replicates = eend.AggregateReplicates(st.seeds, st.runs)
+	}
+	sr.Results = &res
+	sr.Cached = st.cached == len(st.runs)
+	return sr
+}
+
 // Stream starts the sweep and returns a channel delivering each point's
 // result as it completes (cache hits first, then simulations in completion
 // order; use Result.Point.Index to correlate). The channel is buffered for
@@ -141,6 +171,12 @@ func (r Runner) Stream(ctx context.Context, g *Grid) (<-chan Result, int, error)
 // cancelling ctx stops dispatching and aborts in-flight simulations, so
 // undispatched points simply never appear. Stream consumes the Prepared
 // sweep: call it at most once.
+//
+// Replicated points (a grid with a replicates axis, or scenarios built
+// with eend.WithReplicates) are decomposed into their per-seed replicates:
+// each replicate is answered from the cache under its own fingerprint or
+// simulated on the batch pool, so re-running a sweep with a widened
+// replicates axis simulates only the new seeds.
 func (p *Prepared) Stream(ctx context.Context) (<-chan Result, error) {
 	r := p.runner
 	results := p.results
@@ -169,24 +205,49 @@ func (p *Prepared) Stream(ctx context.Context) (<-chan Result, error) {
 		}
 	}
 
-	// Answer cache hits immediately; collect the misses for the batch.
-	var misses []int
+	// Expand every point into replicates, answer what the cache has, and
+	// collect the missing replicate scenarios for the batch. missPoint
+	// and missFP parallel the batch's scenario slice.
+	states := make([]*pointState, len(results))
+	var missPoint []int
+	var missRep []int
+	var missFP []string
 	var scenarios []*eend.Scenario
 	for i := range results {
-		if data, ok := cacheGet(store, results[i].Fingerprint); ok {
-			var res eend.Results
-			if err := json.Unmarshal(data, &res); err == nil {
-				results[i].Cached = true
-				results[i].Results = &res
-				emit(results[i])
-				continue
+		sc := results[i].Scenario
+		n := sc.Replicates()
+		st := &pointState{seeds: make([]uint64, n), runs: make([]*eend.Results, n)}
+		states[i] = st
+		for k := 0; k < n; k++ {
+			rep, err := sc.Replicate(k)
+			if err != nil {
+				// Cannot happen for grid-built points (Prepare validated
+				// them), but guard facade-built edge cases.
+				st.err = err
+				break
 			}
-			// A corrupt entry is a miss; the fresh result overwrites it.
+			st.seeds[k] = rep.Seed()
+			fp := rep.Fingerprint()
+			if data, ok := cacheGet(store, fp); ok {
+				var res eend.Results
+				if err := json.Unmarshal(data, &res); err == nil {
+					st.runs[k] = &res
+					st.cached++
+					continue
+				}
+				// A corrupt entry is a miss; the fresh result overwrites it.
+			}
+			st.missing++
+			missPoint = append(missPoint, i)
+			missRep = append(missRep, k)
+			missFP = append(missFP, fp)
+			scenarios = append(scenarios, rep)
 		}
-		misses = append(misses, i)
-		scenarios = append(scenarios, results[i].Scenario)
+		if st.missing == 0 {
+			emit(st.finish(results[i]))
+		}
 	}
-	if len(misses) == 0 {
+	if len(scenarios) == 0 {
 		close(out)
 		return out, nil
 	}
@@ -195,15 +256,24 @@ func (p *Prepared) Stream(ctx context.Context) (<-chan Result, error) {
 	go func() {
 		defer close(out)
 		for br := range batch {
-			sr := results[misses[br.Index]]
-			sr.Results, sr.Err = br.Results, br.Err
-			if sr.Err == nil && store != nil {
-				if data, err := json.Marshal(sr.Results); err == nil {
-					// A failed write only costs a future re-simulation.
-					_ = store.Put(sr.Fingerprint, data)
+			i := missPoint[br.Index]
+			st := states[i]
+			if br.Err != nil {
+				if st.err == nil {
+					st.err = br.Err
+				}
+			} else {
+				st.runs[missRep[br.Index]] = br.Results
+				if store != nil {
+					if data, err := json.Marshal(br.Results); err == nil {
+						// A failed write only costs a future re-simulation.
+						_ = store.Put(missFP[br.Index], data)
+					}
 				}
 			}
-			emit(sr)
+			if st.missing--; st.missing == 0 {
+				emit(st.finish(results[i]))
+			}
 		}
 	}()
 	return out, nil
@@ -231,7 +301,11 @@ func CSVHeader(g *Grid) []string {
 	return append(cols,
 		"fingerprint", "cached", "error",
 		"stack_label", "sent", "delivered", "delivery_ratio",
-		"energy_j", "energy_goodput_bit_per_j", "tx_energy_j", "tx_amp_energy_j", "relays")
+		"energy_j", "energy_goodput_bit_per_j", "tx_energy_j", "tx_amp_energy_j", "relays",
+		"replicates",
+		"delivery_ratio_mean", "delivery_ratio_ci95",
+		"energy_goodput_mean", "energy_goodput_ci95",
+		"energy_j_mean", "energy_j_ci95")
 }
 
 // CSVRow renders one result in CSVHeader order.
@@ -242,10 +316,10 @@ func CSVRow(g *Grid, sr Result) []string {
 	}
 	row = append(row, sr.Fingerprint, fmt.Sprint(sr.Cached), sr.Error)
 	if sr.Results == nil {
-		return append(row, "", "", "", "", "", "", "", "", "")
+		return append(row, "", "", "", "", "", "", "", "", "", "", "", "", "", "", "", "")
 	}
 	res := sr.Results
-	return append(row,
+	row = append(row,
 		res.Stack,
 		fmt.Sprint(res.Sent),
 		fmt.Sprint(res.Delivered),
@@ -255,4 +329,17 @@ func CSVRow(g *Grid, sr Result) []string {
 		fmt.Sprintf("%.6f", res.TxEnergy),
 		fmt.Sprintf("%.6f", res.TxAmpEnergy),
 		fmt.Sprint(res.Relays))
+	// The replicate-aggregate columns stay empty for unreplicated points,
+	// so a reader can tell "single run" from "mean over one replicate".
+	if rep := res.Replicates; rep != nil {
+		return append(row,
+			fmt.Sprint(rep.N),
+			fmt.Sprintf("%.6f", rep.DeliveryRatio.Mean),
+			fmt.Sprintf("%.6f", rep.DeliveryRatio.CI95),
+			fmt.Sprintf("%.3f", rep.EnergyGoodput.Mean),
+			fmt.Sprintf("%.3f", rep.EnergyGoodput.CI95),
+			fmt.Sprintf("%.6f", rep.EnergyTotal.Mean),
+			fmt.Sprintf("%.6f", rep.EnergyTotal.CI95))
+	}
+	return append(row, "1", "", "", "", "", "", "")
 }

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"context"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -130,6 +131,84 @@ func TestChangedAxisSimulatesOnlyNewPoints(t *testing.T) {
 	}
 	if prog.CacheHits != 4 || prog.Done != 6 {
 		t.Fatalf("progress = %+v, want 4 hits of 6 points", prog)
+	}
+}
+
+// TestReplicatedPointsCachePerSeed pins the replication layer's cache
+// contract: a replicated point is cached one derived seed at a time, so an
+// unchanged grid re-runs from cache alone and widening the replicates axis
+// simulates only the new seeds.
+func TestReplicatedPointsCachePerSeed(t *testing.T) {
+	dir := t.TempDir()
+	r := Runner{CacheDir: dir}
+	grid := func(reps int) *Grid {
+		g, err := ParseGrid("nodes=5 seed=1..2 field=200 dur=25s flows=1 rate=2 replicates=" + strconv.Itoa(reps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+
+	orig := runBatch
+	defer func() { runBatch = orig }()
+	invoked := 0
+	runBatch = countingRunner(&invoked)
+
+	// 2 points x 3 replicates = 6 simulations.
+	results, prog, err := r.Run(context.Background(), grid(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if invoked != 6 {
+		t.Fatalf("first run simulated %d scenarios, want 6", invoked)
+	}
+	if prog.Done != 2 || prog.CacheHits != 0 {
+		t.Fatalf("first run progress = %+v, want 2 fresh points", prog)
+	}
+	for _, sr := range results {
+		if sr.Err != nil {
+			t.Fatal(sr.Err)
+		}
+		rep := sr.Results.Replicates
+		if rep == nil || rep.N != 3 {
+			t.Fatalf("point %d missing 3-replicate summary: %+v", sr.Point.Index, rep)
+		}
+	}
+
+	// Unchanged grid: all 6 replicate results come from the cache.
+	invoked = 0
+	again, prog2, err := r.Run(context.Background(), grid(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if invoked != 0 {
+		t.Fatalf("re-run simulated %d scenarios, want 0", invoked)
+	}
+	if prog2.CacheHits != 2 {
+		t.Fatalf("re-run progress = %+v, want both points cached", prog2)
+	}
+	for i := range again {
+		if !again[i].Cached {
+			t.Fatalf("point %d not served from cache", i)
+		}
+		if again[i].Results.Replicates.DeliveryRatio != results[i].Results.Replicates.DeliveryRatio {
+			t.Fatalf("point %d cached aggregate differs", i)
+		}
+	}
+
+	// Widening 3 -> 5 replicates simulates only the 2x2 new seeds.
+	invoked = 0
+	_, prog3, err := r.Run(context.Background(), grid(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if invoked != 4 {
+		t.Fatalf("widened run simulated %d scenarios, want only the 4 new seeds", invoked)
+	}
+	// The points themselves are partially fresh, so they do not count as
+	// cache hits even though 6 of 10 replicates were.
+	if prog3.Done != 2 || prog3.CacheHits != 0 {
+		t.Fatalf("widened run progress = %+v", prog3)
 	}
 }
 

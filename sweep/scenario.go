@@ -26,6 +26,14 @@ type pointConfig struct {
 // a facade option (or, for the traffic axes, a field of the generated
 // workload), so the sweep vocabulary and the programmatic API stay one.
 var axisRegistry = map[string]func(*pointConfig, string) error{
+	"replicates": func(c *pointConfig, v string) error {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("bad replicate count %q", v)
+		}
+		c.opts = append(c.opts, eend.WithReplicates(n))
+		return nil
+	},
 	"seed": func(c *pointConfig, v string) error {
 		seed, err := strconv.ParseUint(v, 10, 64)
 		if err != nil {

@@ -1,0 +1,100 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a stable JSON document mapping benchmark name to its
+// measurements — ns/op, B/op, allocs/op and any custom ReportMetric units.
+// CI's bench-smoke job pipes the kernel benchmarks through it to publish
+// BENCH_kernel.json as a build artifact, so every PR leaves a machine-
+// readable point on the performance trajectory.
+//
+//	go test -run=- -bench . -benchmem -benchtime=100000x ./internal/sim | go run ./tools/benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Measurements is one benchmark's parsed result line.
+type Measurements struct {
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom units from b.ReportMetric (e.g. "bit/J").
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// procSuffix strips the trailing GOMAXPROCS marker ("-8") go test appends
+// to benchmark names, so keys stay stable across runner shapes.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads `go test -bench` output and returns the benchmarks in
+// encounter order (the map carries the data; order only matters for
+// duplicate handling, where the last run wins).
+func Parse(r io.Reader) (map[string]Measurements, error) {
+	out := make(map[string]Measurements)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		m := Measurements{Iterations: iters}
+		valid := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = v
+				valid = true
+			case "B/op":
+				b := v
+				m.BytesPerOp = &b
+			case "allocs/op":
+				a := v
+				m.AllocsPerOp = &a
+			default:
+				if m.Extra == nil {
+					m.Extra = make(map[string]float64)
+				}
+				m.Extra[fields[i+1]] = v
+			}
+		}
+		if valid {
+			out[procSuffix.ReplaceAllString(fields[0], "")] = m
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	benches, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(map[string]any{"benchmarks": benches}); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

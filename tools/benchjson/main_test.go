@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: eend/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkScheduleFire-4   	  100000	        21.24 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDeepHeap-4       	  100000	        73.35 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAblationODPMKeepAlive/5s-10s-4 	       1	  36144116 ns/op	      9165 bit/J
+PASS
+ok  	eend/internal/sim	0.021s
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+
+	sf, ok := got["BenchmarkScheduleFire"]
+	if !ok {
+		t.Fatalf("proc suffix not stripped: %v", got)
+	}
+	if sf.NsPerOp != 21.24 || sf.Iterations != 100000 {
+		t.Fatalf("ScheduleFire = %+v", sf)
+	}
+	if sf.AllocsPerOp == nil || *sf.AllocsPerOp != 0 {
+		t.Fatalf("ScheduleFire allocs = %v, want 0", sf.AllocsPerOp)
+	}
+	if sf.BytesPerOp == nil || *sf.BytesPerOp != 0 {
+		t.Fatalf("ScheduleFire bytes = %v, want 0", sf.BytesPerOp)
+	}
+
+	ab, ok := got["BenchmarkAblationODPMKeepAlive/5s-10s"]
+	if !ok {
+		t.Fatalf("sub-benchmark name mangled: %v", got)
+	}
+	if ab.Extra["bit/J"] != 9165 {
+		t.Fatalf("custom metric lost: %+v", ab)
+	}
+	if ab.AllocsPerOp != nil {
+		t.Fatal("allocs reported for a bench without -benchmem fields")
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	got, err := Parse(strings.NewReader("BenchmarkBroken abc def\nnot a bench line\nBenchmarkNoFields\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("garbage parsed as benchmarks: %v", got)
+	}
+}
