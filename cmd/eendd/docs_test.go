@@ -1,0 +1,75 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docRouteRE matches the endpoint headings of docs/http-api.md, e.g.
+// "### `POST /v1/optimize`".
+var docRouteRE = regexp.MustCompile("(?m)^### `(GET|POST|PUT|DELETE) (/[^`]*)`$")
+
+// TestDocumentedRoutesExist parses docs/http-api.md and asserts that every
+// documented method+path is actually routed by the server mux: the probe
+// request must be answered by one of our JSON handlers, never by
+// net/http's plain-text 404/405 fallbacks. Requests are crafted to fail
+// fast (strict decoding rejects the probe body) so no simulation runs.
+func TestDocumentedRoutesExist(t *testing.T) {
+	data, err := os.ReadFile("../../docs/http-api.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches := docRouteRE.FindAllStringSubmatch(string(data), -1)
+	if len(matches) < 10 {
+		t.Fatalf("docs/http-api.md documents only %d routes; the heading format may have drifted", len(matches))
+	}
+
+	h := newServer(context.Background(), "")
+	for _, m := range matches {
+		method, path := m[1], m[2]
+		// Substitute path parameters with a value no job will ever have.
+		probe := strings.NewReplacer("{id}", "doc-probe").Replace(path)
+		var body *strings.Reader
+		if method == http.MethodPost {
+			// An unknown field makes the strict decoder reject the request
+			// immediately (400), proving the route exists without running it.
+			body = strings.NewReader(`{"doc_probe_unknown_field": true}`)
+		} else {
+			body = strings.NewReader("")
+		}
+		req := httptest.NewRequest(method, probe, body)
+		if method == http.MethodPost {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+
+		if w.Code == http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: 405 — documented method not routed", method, path)
+			continue
+		}
+		ct := w.Header().Get("Content-Type")
+		if !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("%s %s: answered with content-type %q status %d — documented route missing from the mux",
+				method, path, ct, w.Code)
+		}
+	}
+}
+
+// TestUndocumentedRouteFails is the probe's control: a path the server
+// does not route must NOT look like a routed one, or the test above would
+// prove nothing.
+func TestUndocumentedRouteFails(t *testing.T) {
+	h := newServer(context.Background(), "")
+	req := httptest.NewRequest(http.MethodGet, "/v1/no-such-route", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if strings.HasPrefix(w.Header().Get("Content-Type"), "application/json") {
+		t.Fatal("unrouted path produced a JSON response; the documented-route probe is unsound")
+	}
+}

@@ -1,0 +1,336 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"eend/opt"
+)
+
+// maxRetainedOptimizes bounds how many finished optimize jobs the manager
+// keeps for polling; the oldest finished jobs are evicted first. Running
+// jobs are never evicted.
+const maxRetainedOptimizes = 32
+
+// optimizeRequest is the JSON body of POST /v1/optimize. The scenario
+// describes the deployment the design problem is derived from: its flows
+// become the demands, its (generated) topology the graph. A scenario with
+// no topology gets the uniform generator so positions materialize; grid
+// placement (which never materializes positions) is rejected — request
+// topology "grid" instead. scenario.replicates > 1 averages that many
+// simulations per candidate when the objective is "sim".
+type optimizeRequest struct {
+	Scenario scenarioRequest `json:"scenario"`
+	// Heuristic is the design method (default "anneal"): a Section 4
+	// heuristic (comm-first, joint, idle-first) or a search algorithm
+	// (greedy, anneal, restart).
+	Heuristic string `json:"heuristic,omitempty"`
+	// Objective scores candidates: "analytic" (closed-form Enetwork,
+	// default) or "sim" (full simulator runs, cached content-addressed).
+	Objective string `json:"objective,omitempty"`
+	// Iterations bounds objective evaluations (0: the algorithm default).
+	Iterations int `json:"iterations,omitempty"`
+	// Restarts is the restart count for heuristic "restart".
+	Restarts int `json:"restarts,omitempty"`
+	// OptSeed drives the search's randomness (default 1); a fixed seed
+	// reproduces the exact trajectory.
+	OptSeed uint64 `json:"opt_seed,omitempty"`
+	// Trace includes the full accept/reject trajectory in the result.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// optProgress is the live view of a running search.
+type optProgress struct {
+	Iterations int     `json:"iterations"`
+	Total      int     `json:"total"` // iteration budget
+	Initial    float64 `json:"initial_energy,omitempty"`
+	BestEnergy float64 `json:"best_energy,omitempty"` // best-so-far
+	Accepted   int     `json:"accepted"`
+	Rejected   int     `json:"rejected"`
+	// Sim carries the simulator objective's counters (nil for analytic).
+	// Its fields never use omitempty: "sim_runs": 0 on a warm-cache job is
+	// the number that proves no simulator was invoked.
+	Sim *opt.SimStats `json:"sim,omitempty"`
+}
+
+// optStatus is the JSON representation of an optimize job.
+type optStatus struct {
+	ID        string      `json:"id"`
+	Status    string      `json:"status"` // running | done | cancelled | failed
+	Heuristic string      `json:"heuristic"`
+	Objective string      `json:"objective"`
+	Progress  optProgress `json:"progress"`
+	Created   time.Time   `json:"created"`
+	// Error is set when Status is "failed".
+	Error string `json:"error,omitempty"`
+	// Result is the search outcome (the best-so-far for cancelled jobs),
+	// omitted from the list endpoint.
+	Result *opt.Result `json:"result,omitempty"`
+}
+
+// optJob is one asynchronous design search.
+type optJob struct {
+	id        string
+	seq       int
+	heuristic string
+	objective string
+	created   time.Time
+	cancel    context.CancelFunc
+
+	mu       sync.Mutex
+	status   string
+	errText  string
+	progress optProgress
+	result   *opt.Result
+}
+
+// finished reports whether the job has left the running state.
+func (j *optJob) finished() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status != "running"
+}
+
+// snapshot renders the job, optionally with its result.
+func (j *optJob) snapshot(withResult bool) optStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := optStatus{
+		ID: j.id, Status: j.status, Heuristic: j.heuristic, Objective: j.objective,
+		Progress: j.progress, Created: j.created, Error: j.errText,
+	}
+	if withResult {
+		st.Result = j.result
+	}
+	return st
+}
+
+// optimizeManager owns the server's asynchronous optimize jobs, mirroring
+// the sweep manager: jobs run under the server's base context, clients
+// poll by id.
+type optimizeManager struct {
+	base     context.Context
+	cacheDir string
+	clock    func() time.Time
+
+	mu   sync.Mutex
+	seq  int
+	jobs map[string]*optJob
+}
+
+func newOptimizeManager(base context.Context, cacheDir string) *optimizeManager {
+	return &optimizeManager{
+		base:     base,
+		cacheDir: cacheDir,
+		clock:    time.Now,
+		jobs:     make(map[string]*optJob),
+	}
+}
+
+// start validates the request synchronously (configuration errors are
+// 400s, not failed jobs) and launches the search in the background.
+func (m *optimizeManager) start(req optimizeRequest) (*optJob, error) {
+	if req.Heuristic == "" {
+		req.Heuristic = "anneal"
+	}
+	if !opt.ValidMethod(req.Heuristic) {
+		return nil, fmt.Errorf("unknown heuristic %q (want one of %v)", req.Heuristic, opt.Methods())
+	}
+	// The design problem needs materialized positions, which grid
+	// placement never produces (it is drawn inside the engine at run
+	// time); reject it up front with an HTTP-sized message instead of
+	// letting opt.FromScenario fail with facade advice.
+	if req.Scenario.Grid != nil {
+		return nil, fmt.Errorf("optimize does not support grid placement; use \"topology\" (e.g. \"grid\") instead")
+	}
+	if req.Scenario.Topology == "" {
+		req.Scenario.Topology = "uniform"
+	}
+	replicates := req.Scenario.Replicates
+	req.Scenario.Replicates = 0 // replication belongs to the objective, not the base deployment
+	sc, err := scenarioFromRequest(req.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	p, err := opt.FromScenario(sc)
+	if err != nil {
+		return nil, err
+	}
+	var obj opt.Objective
+	var sim *opt.Simulated
+	switch req.Objective {
+	case "", "analytic":
+		req.Objective = "analytic"
+		obj = p.Analytic()
+	case "sim":
+		if sim, err = p.Simulated(opt.SimConfig{CacheDir: m.cacheDir, Replicates: replicates}); err != nil {
+			return nil, err
+		}
+		obj = sim
+	default:
+		return nil, fmt.Errorf("unknown objective %q (want analytic|sim)", req.Objective)
+	}
+
+	total := req.Iterations
+	if total <= 0 {
+		total = 600 // the search's own default budget
+	}
+	if _, err := opt.ParseAlgorithm(req.Heuristic); err != nil {
+		total = 1 // a Section 4 approach is a single evaluation
+	}
+
+	ctx, cancel := context.WithCancel(m.base)
+	m.mu.Lock()
+	m.seq++
+	job := &optJob{
+		id:        fmt.Sprintf("opt-%d", m.seq),
+		seq:       m.seq,
+		heuristic: req.Heuristic,
+		objective: req.Objective,
+		created:   m.clock(),
+		cancel:    cancel,
+		status:    "running",
+	}
+	job.progress.Total = total
+	m.jobs[job.id] = job
+	m.evictLocked()
+	m.mu.Unlock()
+
+	onStep := func(s opt.Step) {
+		job.mu.Lock()
+		job.progress.Iterations = s.Iter
+		job.progress.BestEnergy = s.Best
+		if s.Accepted {
+			job.progress.Accepted++
+		} else {
+			job.progress.Rejected++
+		}
+		if sim != nil {
+			st := sim.Stats()
+			job.progress.Sim = &st
+		}
+		job.mu.Unlock()
+	}
+
+	go func() {
+		defer cancel()
+		res, err := p.SearchMethod(ctx, req.Heuristic, obj, opt.Options{
+			Seed:       req.OptSeed,
+			Iterations: req.Iterations,
+			Restarts:   req.Restarts,
+			Trace:      req.Trace,
+			OnStep:     onStep,
+		})
+		job.mu.Lock()
+		defer job.mu.Unlock()
+		job.result = res
+		if res != nil {
+			job.progress.Iterations = res.Iterations
+			job.progress.Initial = res.Initial
+			job.progress.BestEnergy = res.BestEnergy
+			if res.Sim != nil {
+				job.progress.Sim = res.Sim
+			}
+		}
+		switch {
+		case err == nil:
+			job.status = "done"
+		case ctx.Err() != nil:
+			job.status = "cancelled"
+		default:
+			job.status, job.errText = "failed", err.Error()
+		}
+	}()
+	return job, nil
+}
+
+// evictLocked drops the oldest finished jobs beyond the retention cap.
+// Callers hold m.mu.
+func (m *optimizeManager) evictLocked() {
+	if len(m.jobs) <= maxRetainedOptimizes {
+		return
+	}
+	jobs := make([]*optJob, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq < jobs[k].seq })
+	excess := len(jobs) - maxRetainedOptimizes
+	for _, j := range jobs {
+		if excess == 0 {
+			break
+		}
+		if j.finished() {
+			delete(m.jobs, j.id)
+			excess--
+		}
+	}
+}
+
+// get returns a job by id.
+func (m *optimizeManager) get(id string) (*optJob, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// list returns every job, newest first.
+func (m *optimizeManager) list() []optStatus {
+	m.mu.Lock()
+	jobs := make([]*optJob, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq > jobs[k].seq })
+	out := make([]optStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.snapshot(false)
+	}
+	return out
+}
+
+// register installs the optimize endpoints on mux.
+func (m *optimizeManager) register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/optimize", func(w http.ResponseWriter, r *http.Request) {
+		var req optimizeRequest
+		if !decodeJSONBody(w, r, &req) {
+			return
+		}
+		job, err := m.start(req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		w.Header().Set("Location", "/v1/optimize/"+job.id)
+		writeJSON(w, http.StatusAccepted, job.snapshot(false))
+	})
+
+	mux.HandleFunc("GET /v1/optimize", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string][]optStatus{"optimizations": m.list()})
+	})
+
+	mux.HandleFunc("GET /v1/optimize/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown optimization %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, job.snapshot(true))
+	})
+
+	mux.HandleFunc("DELETE /v1/optimize/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown optimization %q", r.PathValue("id")))
+			return
+		}
+		job.cancel()
+		writeJSON(w, http.StatusOK, job.snapshot(false))
+	})
+}

@@ -26,6 +26,11 @@ type scenarioRequest struct {
 		Rows int `json:"rows"`
 		Cols int `json:"cols"`
 	} `json:"grid,omitempty"`
+	// Topology selects a placement generator (see eend.TopologyNames);
+	// generated positions are materialized at build time, so they take
+	// part in the scenario's fingerprint (and optimize jobs can derive
+	// design problems from them).
+	Topology    string      `json:"topology,omitempty"`
 	Card        string      `json:"card,omitempty"`
 	Stack       *stackSpec  `json:"stack,omitempty"`
 	Duration    string      `json:"duration,omitempty"` // Go syntax, e.g. "300s"
@@ -78,6 +83,13 @@ func scenarioFromRequest(req scenarioRequest) (*eend.Scenario, error) {
 	}
 	if req.Grid != nil {
 		opts = append(opts, eend.WithGrid(req.Grid.Rows, req.Grid.Cols))
+	}
+	if req.Topology != "" {
+		topo, err := eend.ParseTopology(req.Topology)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, eend.WithTopology(topo))
 	}
 	if req.Card != "" {
 		card, err := eend.ParseCard(req.Card)
@@ -188,15 +200,23 @@ const maxScenarioBody = 1 << 20
 //	GET  /v1/sweeps              list sweep jobs
 //	GET  /v1/sweeps/{id}         live progress, cache-hit counts and results
 //	DELETE /v1/sweeps/{id}       cancel a sweep
+//	POST /v1/optimize            start an async design search -> 202 + job
+//	GET  /v1/optimize            list optimize jobs
+//	GET  /v1/optimize/{id}       live best-so-far, iterations, cache hits; result when done
+//	DELETE /v1/optimize/{id}     cancel an optimization
 //	GET  /healthz                liveness probe
 //
+// The full request/response reference lives in docs/http-api.md.
+//
 // Synchronous simulations run under the request's context, so a dropped
-// client connection (or server shutdown) cancels the run. Sweeps are
-// asynchronous: they run under base (the server's lifetime context) and
-// are polled by id, with results cached in cacheDir when it is non-empty.
+// client connection (or server shutdown) cancels the run. Sweeps and
+// optimizations are asynchronous: they run under base (the server's
+// lifetime context) and are polled by id, with results cached in cacheDir
+// when it is non-empty.
 func newServer(base context.Context, cacheDir string) http.Handler {
 	mux := http.NewServeMux()
 	newSweepManager(base, cacheDir).register(mux)
+	newOptimizeManager(base, cacheDir).register(mux)
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})

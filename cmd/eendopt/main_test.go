@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"eend/opt"
+)
+
+// TestDefaultAnnealBeatsSection4 is the acceptance criterion on the CLI
+// surface: bare `eendopt -heuristic anneal` (the defaults: 20-node
+// clustered topology) must find a design with strictly lower Enetwork than
+// the best Section 4 heuristic.
+func TestDefaultAnnealBeatsSection4(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(context.Background(), &out, &errw, []string{"-heuristic", "anneal", "-format", "json"}); err != nil {
+		t.Fatalf("%v\n%s", err, errw.String())
+	}
+	var res opt.Result
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	best := math.Inf(1)
+	for _, e := range res.Heuristics {
+		best = math.Min(best, e)
+	}
+	if !(res.BestEnergy < best) {
+		t.Fatalf("anneal best %g not strictly below best Section 4 heuristic %g", res.BestEnergy, best)
+	}
+	if res.BestFingerprint == "" || len(res.BestRoutes) == 0 {
+		t.Fatalf("result lacks the winning design: %+v", res)
+	}
+}
+
+func TestTextOutput(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(context.Background(), &out, &errw, []string{"-heuristic", "greedy"}); err != nil {
+		t.Fatalf("%v\n%s", err, errw.String())
+	}
+	for _, want := range []string{"Section 4 heuristics", "greedy (analytic objective)", "best design"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("text output lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestCSVTrajectory(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(context.Background(), &out, &errw,
+		[]string{"-heuristic", "anneal", "-iterations", "50", "-format", "csv"}); err != nil {
+		t.Fatalf("%v\n%s", err, errw.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if lines[0] != "iter,move,energy,best,accepted,temp" {
+		t.Fatalf("bad CSV header %q", lines[0])
+	}
+	if len(lines) < 10 {
+		t.Fatalf("trajectory has %d rows, want ~50", len(lines)-1)
+	}
+}
+
+// TestBaselineMethod: a plain Section 4 approach runs as a single
+// evaluation with the baselines attached.
+func TestBaselineMethod(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(context.Background(), &out, &errw, []string{"-heuristic", "idle-first", "-format", "json"}); err != nil {
+		t.Fatalf("%v\n%s", err, errw.String())
+	}
+	var res opt.Result
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "idle-first" || res.Iterations != 1 {
+		t.Fatalf("baseline run reported %+v", res)
+	}
+	if res.BestEnergy != res.Heuristics["idle-first"] {
+		t.Fatalf("idle-first scored %g, baseline map says %g", res.BestEnergy, res.Heuristics["idle-first"])
+	}
+}
+
+// TestSimObjectiveCLI exercises the simulator-in-the-loop path end to end
+// with a tiny instance, twice, proving the warm re-run touches the
+// simulator zero times.
+func TestSimObjectiveCLI(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{
+		"-nodes", "10", "-field", "400", "-flows", "2", "-dur", "40s",
+		"-topology", "cluster", "-seed", "3",
+		"-heuristic", "anneal", "-iterations", "8",
+		"-objective", "sim", "-cache", dir, "-format", "json",
+	}
+	parse := func() opt.Result {
+		var out, errw bytes.Buffer
+		if err := run(context.Background(), &out, &errw, args); err != nil {
+			t.Fatalf("%v\n%s", err, errw.String())
+		}
+		var res opt.Result
+		if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cold := parse()
+	if cold.Sim == nil || cold.Sim.SimRuns == 0 {
+		t.Fatalf("cold run reported no simulations: %+v", cold.Sim)
+	}
+	warm := parse()
+	if warm.Sim == nil || warm.Sim.SimRuns != 0 {
+		t.Fatalf("warm re-run performed %+v simulations, want 0", warm.Sim)
+	}
+	if warm.BestFingerprint != cold.BestFingerprint {
+		t.Fatal("warm re-run found a different design")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	for name, args := range map[string][]string{
+		"objective": {"-objective", "nope"},
+		"heuristic": {"-heuristic", "nope"},
+		"format":    {"-heuristic", "greedy", "-format", "nope"},
+		"topology":  {"-topology", "nope"},
+		"card":      {"-card", "nope"},
+		"field":     {"-field", "abc"},
+	} {
+		var out, errw bytes.Buffer
+		if err := run(context.Background(), &out, &errw, args); err == nil {
+			t.Errorf("%s: bad flag accepted", name)
+		}
+	}
+}

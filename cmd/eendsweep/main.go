@@ -10,11 +10,15 @@
 // The grid syntax is whitespace-separated name=v1,v2,... axes; integer
 // spans may be written lo..hi. Axes: see eend/sweep.AxisNames (nodes,
 // seed, field, stack, topology, workload, flows, rate, packet, dur, card,
-// battery, bandwidth, replicates). Re-running with an unchanged grid
-// answers every point from the cache without simulating; widening one
-// axis simulates only the new points. A replicates=N axis averages N
-// seed-derived runs per point — cached per seed, so widening N re-uses
-// the seeds already simulated — and adds mean/CI95 columns to the output.
+// battery, bandwidth, replicates, heuristic). Re-running with an
+// unchanged grid answers every point from the cache without simulating;
+// widening one axis simulates only the new points. A replicates=N axis
+// averages N seed-derived runs per point — cached per seed, so widening N
+// re-uses the seeds already simulated — and adds mean/CI95 columns to the
+// output. A heuristic axis (comm-first, joint, idle-first, greedy,
+// anneal, restart) pins a static design produced by that method instead
+// of running a reactive protocol, putting Section 4 designs and eend/opt
+// searches in the same grid as the protocol stacks.
 package main
 
 import (

@@ -1,10 +1,11 @@
 // Package design exposes the energy-efficient network design problem in its
 // static, formal form (paper Section 3): node-weighted graphs, the
 // Enetwork objective (Eq. 5), the Steiner gadget analyses (Figs. 1-6, Eqs.
-// 6-9), the three heuristic solution approaches of Section 4, and the
-// Section 5.1 analytical characteristic-hop-count study. It is the public
-// facade over the internal solver; all types are aliases, so values
-// interoperate with the rest of the module.
+// 6-9), the three heuristic solution approaches of Section 4, the
+// Section 5.1 analytical characteristic-hop-count study, and Optimize —
+// metaheuristic search over the design space (see eend/opt). It is the
+// public facade over the internal solver; all types are aliases, so
+// values interoperate with the rest of the module.
 package design
 
 import (

@@ -1,0 +1,24 @@
+package design
+
+import (
+	"context"
+
+	"eend/opt"
+)
+
+// Optimize searches the design space of (g, demands) with the eend/opt
+// metaheuristics under the closed-form Enetwork objective (Eq. 5): it
+// seeds from the best Section 4 heuristic (recorded in Result.Heuristics)
+// and improves the design with route swaps, node power-downs and
+// Steiner-style rewiring. Options.Algorithm selects greedy improvement,
+// simulated annealing (the default) or random-restart local search; a
+// fixed Options.Seed makes the whole trajectory reproducible.
+//
+// For simulator-in-the-loop objectives — scoring candidates by running
+// them through the packet-level simulator — use eend/opt directly:
+// opt.FromScenario ties a problem to a deployment and Problem.Simulated
+// evaluates designs with cached simulations.
+func Optimize(ctx context.Context, g *Graph, demands []Demand, cfg EvalConfig, o opt.Options) (*opt.Result, error) {
+	p := &opt.Problem{Graph: g, Demands: demands, Eval: cfg}
+	return p.Search(ctx, p.Analytic(), o)
+}

@@ -56,11 +56,25 @@
 // re-running a sweep with one axis changed simulates only the new points
 // (see cmd/eendsweep and eendd's POST /v1/sweeps).
 //
+// The eend/opt package closes the design↔simulation loop: it derives the
+// formal design problem from a deployment (opt.FromScenario), improves
+// designs with metaheuristic search (greedy, simulated annealing,
+// random restarts over route-swap, power-down and rewire moves), and
+// scores candidates either with the closed-form Enetwork (Eq. 5) or by
+// running them through the simulator with their routes pinned
+// (WithStack(StaticRoutes(...))). Pinned routes join the canonical
+// encoding, so simulated candidates are content-addressed by (deployment,
+// design) and cached evaluations are never repeated. Entry points:
+// design.Optimize, cmd/eendopt, the sweep heuristic axis, and eendd's
+// POST /v1/optimize. ARCHITECTURE.md maps the layers and the paper→code
+// correspondence; docs/http-api.md documents the HTTP surface.
+//
 // Layout:
 //
 //	eend (root)           public facade: scenarios, options, batches, experiments
 //	design                public facade for the formal design problem (Section 3)
 //	sweep                 parameter grids, grid-spec parser, caching sweep runner
+//	opt                   design-space search: moves, anneal/greedy/restart, objectives
 //	internal/sim          discrete-event kernel (allocation-free slab + 4-ary heap)
 //	internal/geom         placement geometry
 //	internal/topology     placement generators (uniform, grid, cluster, corridor)
@@ -78,8 +92,10 @@
 //	cmd/eendfig           regenerate all tables and figures (-format text|json|csv)
 //	cmd/eendsim           run a single scenario (-json, -topology)
 //	cmd/eendsweep         run a parameter grid with the result cache (CSV/JSON)
-//	cmd/eendd             HTTP service: scenarios, figures and async sweeps
+//	cmd/eendopt           design-space search with CSV/JSON trajectories
+//	cmd/eendd             HTTP service: scenarios, figures, sweeps, optimizations
 //	cmd/mopt              the Section 5.1 analytical study
+//	tools/linkcheck       markdown cross-reference checker (the CI docs job)
 //
 // The benchmarks in bench_test.go regenerate each experiment at Quick
 // scale; run cmd/eendfig -scale full for the paper-sized versions.

@@ -34,6 +34,38 @@ func ExampleNewScenario() {
 	// delivery ratio: 1.00
 }
 
+// ExampleWithReplicates reproduces the paper's methodology of averaging
+// independent runs per point: the scenario executes once per derived seed
+// (replicate 0 is the base seed itself) and Results.Replicates carries the
+// mean and 95% confidence interval of every headline metric. The derived
+// seeds come from ReplicateSeed, so the output is stable.
+func ExampleWithReplicates() {
+	sc, err := eend.NewScenario(
+		eend.WithSeed(1),
+		eend.WithField(300, 300),
+		eend.WithNodes(10),
+		eend.WithStack(eend.TITAN, eend.ODPM, eend.PowerControl()),
+		eend.WithRandomFlows(2, 2048, 128),
+		eend.WithDuration(30*time.Second),
+		eend.WithReplicates(3),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sc.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := res.Replicates
+	fmt.Printf("replicates: %d\n", rep.N)
+	fmt.Printf("delivery: %.2f +/- %.2f\n", rep.DeliveryRatio.Mean, rep.DeliveryRatio.CI95)
+	fmt.Printf("replicate 0 seed: %d\n", rep.Seeds[0])
+	// Output:
+	// replicates: 3
+	// delivery: 1.00 +/- 0.00
+	// replicate 0 seed: 1
+}
+
 // ExampleRunBatch sweeps one scenario family over three seeds concurrently.
 // Results stream in completion order; BatchResult.Index correlates them
 // back to their scenarios.

@@ -12,6 +12,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Graph is an undirected graph with node weights c(v) (idle power of keeping
@@ -239,8 +240,17 @@ func (g *Graph) Enetwork(demands []Demand, d *Design, cfg EvalConfig) float64 {
 		endpoints[dm.Src] = true
 		endpoints[dm.Dst] = true
 	}
+	// Summation order is fixed (ascending node id) so the float64 result is
+	// bit-identical across runs: the opt subsystem's fixed-seed trajectories
+	// compare these values against each other and against golden digests.
+	active := d.Active()
+	ids := make([]int, 0, len(active))
+	for v := range active {
+		ids = append(ids, v)
+	}
+	sort.Ints(ids)
 	var total float64
-	for v := range d.Active() {
+	for _, v := range ids {
 		if endpoints[v] {
 			continue // c(si) = c(di) = 0
 		}

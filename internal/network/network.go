@@ -42,6 +42,10 @@ const (
 	ProtoDSDV
 	ProtoDSDVH
 	ProtoTITAN
+	// ProtoStatic pins every route at construction time (Stack.Routes): the
+	// protocol the opt subsystem uses to put static designs in front of the
+	// simulator.
+	ProtoStatic
 )
 
 // PMKind selects the power-management policy.
@@ -71,6 +75,9 @@ type Stack struct {
 	// (used by the ablation experiments to run protocol variants that have
 	// no ProtocolKind).
 	Custom func(env *routing.Env) routing.Protocol
+	// Routes holds the pinned node paths of a ProtoStatic stack (one per
+	// demand of the design under evaluation); ignored by every other kind.
+	Routes [][]int
 }
 
 // Name returns the stack's display label.
@@ -82,6 +89,7 @@ func (st Stack) Name() string {
 		ProtoDSR: "DSR", ProtoMTPR: "MTPR", ProtoMTPRPlus: "MTPR+",
 		ProtoDSRHRate: "DSRH(rate)", ProtoDSRHNoRate: "DSRH(norate)",
 		ProtoDSDV: "DSDV", ProtoDSDVH: "DSDVH", ProtoTITAN: "TITAN",
+		ProtoStatic: "Static",
 	}[st.Routing]
 	switch st.PM {
 	case PMODPM:
@@ -294,6 +302,8 @@ func buildProtocol(n *node, env *routing.Env, st Stack) error {
 		n.proto = p
 	case ProtoTITAN:
 		n.proto = routing.NewTITAN(env, st.PowerControl)
+	case ProtoStatic:
+		n.proto = routing.NewStatic(env, st.Routes, st.PowerControl)
 	default:
 		return fmt.Errorf("network: unknown protocol kind %d", st.Routing)
 	}

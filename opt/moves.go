@@ -1,0 +1,211 @@
+package opt
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// The local moves of the search. Every move proposes a full candidate
+// design (a deep copy — the current design is never mutated) and reports
+// whether it actually changed anything; degenerate proposals are rejected
+// here so the drivers never waste an objective evaluation on a no-op.
+//
+// All randomness flows through the driver's seeded rng and all tie-breaks
+// are deterministic, so a fixed Options.Seed replays the exact move
+// sequence.
+
+// moveName labels trajectory steps.
+const (
+	moveRewire    = "rewire"
+	moveSwap      = "swap"
+	movePowerDown = "powerdown"
+)
+
+// activeExcept returns which nodes appear on routes other than demand skip
+// (skip < 0 considers every route), plus the endpoints of every demand —
+// the nodes whose idling the design is already paying for (or never pays
+// for, in the endpoints' case) when demand skip is rerouted.
+func (p *Problem) activeExcept(d *Design, skip int) []bool {
+	act := make([]bool, p.Graph.Len())
+	for i, r := range d.Routes {
+		if i == skip {
+			continue
+		}
+		for _, v := range r {
+			act[v] = true
+		}
+	}
+	for _, dm := range p.Demands {
+		act[dm.Src] = true
+		act[dm.Dst] = true
+	}
+	return act
+}
+
+// reroute computes the marginal-cost optimal route for demand i given the
+// rest of the design: edges are priced at their exact Eq. 5 traffic
+// contribution, nodes at their exact idling contribution — zero for nodes
+// the rest of the design already keeps awake, so the route is pulled toward
+// shared relays (the Steiner rewiring philosophy). forbidden (when >= 0) is
+// priced out of reach, and penalty > 1 multiplies the traffic cost of the
+// current route's edges to force the search onto alternatives.
+func (p *Problem) reroute(d *Design, i int, forbidden int, penalty float64) ([]int, bool) {
+	dm := p.Demands[i]
+	pkts := p.Eval.PacketsPerDemand
+	if pkts == 0 {
+		pkts = 1
+	}
+	if dm.Rate > 0 {
+		pkts *= dm.Rate
+	}
+	var onCurrent map[[2]int]bool
+	if penalty > 1 && d.Routes[i] != nil {
+		onCurrent = make(map[[2]int]bool)
+		r := d.Routes[i]
+		for j := 0; j+1 < len(r); j++ {
+			u, v := r[j], r[j+1]
+			if u > v {
+				u, v = v, u
+			}
+			onCurrent[[2]int{u, v}] = true
+		}
+	}
+	act := p.activeExcept(d, i)
+	edgeCost := func(u, v int, w float64) float64 {
+		c := pkts * p.Eval.TData * w
+		if onCurrent != nil {
+			a, b := u, v
+			if a > b {
+				a, b = b, a
+			}
+			if onCurrent[[2]int{a, b}] {
+				c *= penalty
+			}
+		}
+		return c
+	}
+	nodeCost := func(v int) float64 {
+		if v == forbidden {
+			return math.Inf(1)
+		}
+		if act[v] {
+			return 0
+		}
+		return p.Eval.TIdle * p.Graph.NodeWeight(v)
+	}
+	path, cost := p.Graph.ShortestPath(dm.Src, dm.Dst, edgeCost, nodeCost)
+	if path == nil || math.IsInf(cost, 1) {
+		return nil, false
+	}
+	return path, true
+}
+
+// routesEqual reports whether two routes visit the same nodes in order.
+func routesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// proposeRewire re-routes demand i along its marginal-cost optimal path.
+func (p *Problem) proposeRewire(d *Design, i int) (*Design, bool) {
+	path, ok := p.reroute(d, i, -1, 1)
+	if !ok || routesEqual(path, d.Routes[i]) {
+		return nil, false
+	}
+	cand := clone(d)
+	cand.Routes[i] = path
+	return cand, true
+}
+
+// proposeSwap re-routes demand i with its current edges penalized by a
+// random factor, forcing a genuinely different path for the annealer to
+// judge.
+func (p *Problem) proposeSwap(d *Design, i int, rng *rand.Rand) (*Design, bool) {
+	path, ok := p.reroute(d, i, -1, 2+6*rng.Float64())
+	if !ok || routesEqual(path, d.Routes[i]) {
+		return nil, false
+	}
+	cand := clone(d)
+	cand.Routes[i] = path
+	return cand, true
+}
+
+// relays returns the design's active non-endpoint nodes in ascending id
+// order — the nodes a power-down move may target.
+func (p *Problem) relays(d *Design) []int {
+	endpoint := make([]bool, p.Graph.Len())
+	for _, dm := range p.Demands {
+		endpoint[dm.Src] = true
+		endpoint[dm.Dst] = true
+	}
+	var out []int
+	for v := range d.Active() {
+		if !endpoint[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// proposePowerDown forces relay v out of the design: every demand routed
+// through v is re-routed (marginal cost, v forbidden), demands in ascending
+// order so later reroutes see the relays earlier ones recruited. The move
+// fails if any affected demand has no alternative.
+func (p *Problem) proposePowerDown(d *Design, v int) (*Design, bool) {
+	cand := clone(d)
+	changed := false
+	for i, r := range cand.Routes {
+		uses := false
+		for _, u := range r {
+			if u == v {
+				uses = true
+				break
+			}
+		}
+		if !uses {
+			continue
+		}
+		path, ok := p.reroute(cand, i, v, 1)
+		if !ok {
+			return nil, false
+		}
+		cand.Routes[i] = path
+		changed = true
+	}
+	if !changed {
+		return nil, false
+	}
+	return cand, true
+}
+
+// propose draws one random move for the annealer: mostly marginal rewires,
+// with swaps for diversification and power-downs for the coordinated
+// changes single-demand moves cannot express.
+func (p *Problem) propose(d *Design, rng *rand.Rand) (*Design, string, bool) {
+	switch k := rng.IntN(10); {
+	case k < 5:
+		i := rng.IntN(len(p.Demands))
+		cand, ok := p.proposeRewire(d, i)
+		return cand, moveRewire, ok
+	case k < 8:
+		i := rng.IntN(len(p.Demands))
+		cand, ok := p.proposeSwap(d, i, rng)
+		return cand, moveSwap, ok
+	default:
+		rel := p.relays(d)
+		if len(rel) == 0 {
+			return nil, movePowerDown, false
+		}
+		cand, ok := p.proposePowerDown(d, rel[rng.IntN(len(rel))])
+		return cand, movePowerDown, ok
+	}
+}

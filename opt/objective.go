@@ -1,0 +1,155 @@
+package opt
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"eend"
+	"eend/internal/cache"
+)
+
+// Objective scores a candidate design; lower is better. Implementations
+// must be deterministic — the same design always scores the same value —
+// because the search's accept/reject trajectory is part of the
+// reproducibility contract.
+type Objective interface {
+	// Name labels the objective in results ("analytic", "sim").
+	Name() string
+	// Evaluate scores the design. ctx bounds simulator-backed evaluation.
+	Evaluate(ctx context.Context, d *Design) (float64, error)
+}
+
+// analytic is the closed-form Enetwork objective.
+type analytic struct{ p *Problem }
+
+// Analytic returns the closed-form Enetwork objective (Eq. 5): exact under
+// the static model, cheap enough for thousands of inner iterations.
+func (p *Problem) Analytic() Objective { return analytic{p: p} }
+
+func (a analytic) Name() string { return "analytic" }
+
+func (a analytic) Evaluate(_ context.Context, d *Design) (float64, error) {
+	return a.p.Enetwork(d), nil
+}
+
+// SimConfig tunes the simulator-in-the-loop objective.
+type SimConfig struct {
+	// CacheDir, when non-empty, backs evaluations with the on-disk
+	// content-addressed result cache: candidates already simulated — in
+	// this run, a previous run, or a sweep — are answered from disk.
+	CacheDir string
+	// Replicates > 1 averages that many seed-derived simulations per
+	// candidate (eend.WithReplicates), scoring the replicate mean.
+	Replicates int
+}
+
+// SimStats counts a Simulated objective's work. CacheHits splits into
+// in-run memoization (an annealing run revisiting a candidate) and disk
+// hits (a warm cache from a previous run); SimRuns counts actual simulator
+// invocations — the number the warm-cache re-run contract drives to zero.
+type SimStats struct {
+	Evals     int `json:"evals"`
+	CacheHits int `json:"cache_hits"`
+	SimRuns   int `json:"sim_runs"`
+}
+
+// Simulated is the simulator-in-the-loop objective: a candidate design is
+// pinned into the problem's deployment with eend.StaticRoutes and run
+// through the packet-level simulator; the score is the measured network
+// energy in joules (the replicate mean when replicated). Because the pinned
+// routes take part in the scenario fingerprint, the cache key covers
+// scenario AND design, and evaluations deduplicate across iterations and
+// across runs.
+type Simulated struct {
+	p          *Problem
+	store      *cache.Store
+	memo       map[string]float64
+	replicates int
+	stats      SimStats
+}
+
+// runScenario is swapped by tests to prove that warm-cache searches never
+// touch the simulator.
+var runScenario = func(ctx context.Context, sc *eend.Scenario) (*eend.Results, error) {
+	return sc.Run(ctx)
+}
+
+// Simulated builds the simulator-backed objective for a problem derived
+// from a deployment (FromScenario); a Problem without a Scenario cannot be
+// simulated.
+func (p *Problem) Simulated(cfg SimConfig) (*Simulated, error) {
+	if p.Scenario == nil {
+		return nil, fmt.Errorf("opt: problem has no deployment scenario; build it with opt.FromScenario")
+	}
+	s := &Simulated{p: p, memo: make(map[string]float64), replicates: cfg.Replicates}
+	if cfg.CacheDir != "" {
+		store, err := cache.Open(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+	}
+	return s, nil
+}
+
+// Name labels the objective.
+func (s *Simulated) Name() string { return "sim" }
+
+// Stats returns a snapshot of the objective's work counters.
+func (s *Simulated) Stats() SimStats { return s.stats }
+
+// scenario pins the candidate's routes into the deployment.
+func (s *Simulated) scenario(d *Design) (*eend.Scenario, error) {
+	return s.p.PinnedScenario(d, s.replicates)
+}
+
+// Evaluate scores the design by simulation, answering repeated candidates
+// from the in-run memo or the on-disk cache.
+func (s *Simulated) Evaluate(ctx context.Context, d *Design) (float64, error) {
+	s.stats.Evals++
+	sc, err := s.scenario(d)
+	if err != nil {
+		return 0, err
+	}
+	fp := sc.Fingerprint()
+	if e, ok := s.memo[fp]; ok {
+		s.stats.CacheHits++
+		return e, nil
+	}
+	if s.store != nil {
+		if data, ok, _ := s.store.Get(fp); ok {
+			var res eend.Results
+			if err := json.Unmarshal(data, &res); err == nil {
+				e := energyOf(&res)
+				s.memo[fp] = e
+				s.stats.CacheHits++
+				return e, nil
+			}
+			// A corrupt entry degrades to a miss and is overwritten below.
+		}
+	}
+	res, err := runScenario(ctx, sc)
+	if err != nil {
+		return 0, err
+	}
+	s.stats.SimRuns++
+	if s.store != nil {
+		if data, err := json.Marshal(res); err == nil {
+			// A failed write only costs a future re-simulation.
+			_ = s.store.Put(fp, data)
+		}
+	}
+	e := energyOf(res)
+	s.memo[fp] = e
+	return e, nil
+}
+
+// energyOf extracts the objective value from simulation results: total
+// network energy, replicate-averaged when replicated.
+func energyOf(res *eend.Results) float64 {
+	if res.Replicates != nil {
+		return res.Replicates.EnergyTotal.Mean
+	}
+	return res.Energy.Total()
+}

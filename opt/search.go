@@ -1,0 +1,485 @@
+package opt
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"slices"
+
+	"eend/internal/core"
+)
+
+// ValidMethod reports whether name is a SolveMethod method, so axis
+// parsers can reject bad values at configuration time.
+func ValidMethod(name string) bool { return slices.Contains(Methods(), name) }
+
+// Algorithm selects the search driver.
+type Algorithm int
+
+// The search drivers.
+const (
+	// Greedy is deterministic-order hill climbing: best-response rewires
+	// and power-downs, accepting only strict improvements, until a full
+	// pass changes nothing.
+	Greedy Algorithm = iota + 1
+	// Anneal is simulated annealing over the move set with a geometric
+	// cooling schedule and Metropolis acceptance.
+	Anneal
+	// Restart is random-restart local search: Greedy from several
+	// independently seeded initial designs, keeping the best outcome.
+	Restart
+)
+
+// String returns the algorithm's short name (the one ParseAlgorithm accepts).
+func (a Algorithm) String() string {
+	switch a {
+	case Greedy:
+		return "greedy"
+	case Anneal:
+		return "anneal"
+	case Restart:
+		return "restart"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Methods lists the method names SolveMethod accepts: the paper's
+// Section 4 heuristics applied directly, then the search algorithms.
+func Methods() []string {
+	return []string{"comm-first", "joint", "idle-first", "greedy", "anneal", "restart"}
+}
+
+// approachByName maps Section 4 heuristic names to their Approach.
+var approachByName = map[string]Approach{
+	"comm-first": core.CommFirst,
+	"joint":      core.Joint,
+	"idle-first": core.IdleFirst,
+}
+
+// SolveMethod produces a design with the named method: a Section 4
+// heuristic ("comm-first", "joint", "idle-first") in its single greedy
+// pass, or a search algorithm ("greedy", "anneal", "restart") run to its
+// default budget under the analytic objective with the given seed. This is
+// the vocabulary behind the sweep's heuristic axis, so grids compare
+// Section 4 designs against searched ones on equal footing.
+func (p *Problem) SolveMethod(ctx context.Context, method string, seed uint64) (*Design, error) {
+	res, err := p.SearchMethod(ctx, method, p.Analytic(), Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return res.Best, nil
+}
+
+// SearchMethod runs the named method under an arbitrary objective and
+// reports a full Result. For the Section 4 approaches the "search" is a
+// single evaluation of the heuristic's design (with the three analytic
+// baselines still recorded), so cmd/eendopt and the HTTP surface treat
+// every method uniformly.
+func (p *Problem) SearchMethod(ctx context.Context, method string, obj Objective, o Options) (*Result, error) {
+	if a, ok := approachByName[method]; ok {
+		d, err := p.SolveApproach(a)
+		if err != nil {
+			return nil, err
+		}
+		e, err := obj.Evaluate(ctx, d)
+		if err != nil {
+			return nil, err
+		}
+		_, base, err := p.bestHeuristic()
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{
+			Algorithm: method, Objective: obj.Name(), Seed: o.Seed,
+			Initial: e, BestEnergy: e, Best: d, BestRoutes: d.Routes,
+			BestFingerprint: Fingerprint(d), Iterations: 1, Heuristics: base,
+		}
+		if sim, ok := obj.(*Simulated); ok {
+			stats := sim.Stats()
+			res.Sim = &stats
+		}
+		return res, nil
+	}
+	alg, err := ParseAlgorithm(method)
+	if err != nil {
+		return nil, fmt.Errorf("opt: unknown method %q (want one of %v)", method, Methods())
+	}
+	o.Algorithm = alg
+	return p.Search(ctx, obj, o)
+}
+
+// ParseAlgorithm resolves an algorithm short name.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	switch name {
+	case "greedy":
+		return Greedy, nil
+	case "anneal":
+		return Anneal, nil
+	case "restart":
+		return Restart, nil
+	default:
+		return 0, fmt.Errorf("opt: unknown algorithm %q (want greedy|anneal|restart)", name)
+	}
+}
+
+// Options tunes a search.
+type Options struct {
+	// Algorithm selects the driver (default Anneal).
+	Algorithm Algorithm
+	// Seed drives every random choice; a fixed seed yields an identical
+	// trajectory and final design fingerprint on every run (default 1).
+	Seed uint64
+	// Iterations bounds objective evaluations (default 600).
+	Iterations int
+	// Restarts is the number of independent starts for Restart (default 3).
+	Restarts int
+	// InitTemp is the annealing start temperature; <= 0 derives it as 2%
+	// of the initial energy, so acceptance odds are scale-free.
+	InitTemp float64
+	// Cooling is the geometric decay per iteration; <= 0 derives a rate
+	// that lands at InitTemp/1000 on the final iteration.
+	Cooling float64
+	// Initial seeds the search; nil starts from the best Section 4
+	// heuristic (the baselines are recorded in Result.Heuristics).
+	Initial *Design
+	// Trace records every step in Result.Trajectory.
+	Trace bool
+	// OnStep, when non-nil, observes every step as it happens (live
+	// best-so-far for the HTTP surface). Calls are sequential.
+	OnStep func(Step)
+}
+
+// Step is one search iteration's outcome.
+type Step struct {
+	Iter     int     `json:"iter"`
+	Move     string  `json:"move"`
+	Energy   float64 `json:"energy"` // candidate's objective value
+	Best     float64 `json:"best"`   // best-so-far after this step
+	Accepted bool    `json:"accepted"`
+	Temp     float64 `json:"temp,omitempty"` // annealing temperature (Anneal only)
+}
+
+// Result is a completed (or cancelled: Search returns the best-so-far
+// alongside ctx's error) search.
+type Result struct {
+	Algorithm string `json:"algorithm"`
+	Objective string `json:"objective"`
+	Seed      uint64 `json:"seed"`
+
+	// Initial is the starting design's objective value; Best* describe the
+	// best design found (BestEnergy <= Initial always).
+	Initial         float64 `json:"initial_energy"`
+	BestEnergy      float64 `json:"best_energy"`
+	BestFingerprint string  `json:"best_fingerprint"`
+	// Best is the winning design; BestRoutes mirrors it for JSON readers.
+	Best       *Design `json:"-"`
+	BestRoutes [][]int `json:"best_routes"`
+
+	Iterations int `json:"iterations"` // objective evaluations performed
+	Accepted   int `json:"accepted"`
+	Rejected   int `json:"rejected"`
+
+	// Heuristics holds the Section 4 baselines' closed-form Enetwork
+	// (computed when Options.Initial is nil): the designs the search is
+	// trying to beat.
+	Heuristics map[string]float64 `json:"heuristics,omitempty"`
+
+	// Sim reports the Simulated objective's work (nil for Analytic).
+	Sim *SimStats `json:"sim,omitempty"`
+
+	// Trajectory holds every step when Options.Trace was set.
+	Trajectory []Step `json:"trajectory,omitempty"`
+}
+
+// searchState carries the shared bookkeeping of the drivers.
+type searchState struct {
+	p   *Problem
+	obj Objective
+	o   *Options
+	rng *rand.Rand
+
+	cur     *Design
+	curE    float64
+	best    *Design
+	bestE   float64
+	iter    int
+	res     *Result
+	stopped bool // iteration budget exhausted
+}
+
+// step records one candidate evaluation and its verdict.
+func (st *searchState) step(move string, e float64, accepted bool, temp float64) {
+	st.iter++
+	if accepted {
+		st.res.Accepted++
+	} else {
+		st.res.Rejected++
+	}
+	s := Step{Iter: st.iter, Move: move, Energy: e, Best: st.bestE, Accepted: accepted, Temp: temp}
+	if st.o.Trace {
+		st.res.Trajectory = append(st.res.Trajectory, s)
+	}
+	if st.o.OnStep != nil {
+		st.o.OnStep(s)
+	}
+	if st.iter >= st.o.Iterations {
+		st.stopped = true
+	}
+}
+
+// consider evaluates a candidate and folds it into cur/best under the
+// acceptance rule: accept strict improvements always, uphill moves with
+// Metropolis probability when temp > 0.
+func (st *searchState) consider(ctx context.Context, cand *Design, move string, temp float64) error {
+	e, err := st.obj.Evaluate(ctx, cand)
+	if err != nil {
+		return err
+	}
+	accept := e < st.curE
+	if !accept && temp > 0 {
+		accept = st.rng.Float64() < math.Exp(-(e-st.curE)/temp)
+	}
+	if accept {
+		st.cur, st.curE = cand, e
+		if e < st.bestE {
+			st.best, st.bestE = cand, e
+		}
+	}
+	st.step(move, e, accept, temp)
+	return nil
+}
+
+// Search improves a design for the problem under the objective. The
+// returned Result always describes the best design seen; when ctx is
+// cancelled mid-search (or an evaluation fails) it is returned alongside
+// the error, so long simulator-backed searches surface their partial
+// progress.
+func (p *Problem) Search(ctx context.Context, obj Objective, o Options) (*Result, error) {
+	if len(p.Demands) == 0 {
+		return nil, fmt.Errorf("opt: problem has no demands")
+	}
+	if o.Algorithm == 0 {
+		o.Algorithm = Anneal
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 600
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 3
+	}
+
+	res := &Result{
+		Algorithm: o.Algorithm.String(),
+		Objective: obj.Name(),
+		Seed:      o.Seed,
+	}
+	initial := o.Initial
+	if initial == nil {
+		var err error
+		if initial, res.Heuristics, err = p.bestHeuristic(); err != nil {
+			return nil, err
+		}
+	} else {
+		initial = clone(initial)
+	}
+	initE, err := obj.Evaluate(ctx, initial)
+	if err != nil {
+		return nil, err
+	}
+	res.Initial = initE
+
+	st := &searchState{
+		p: p, obj: obj, o: &o,
+		rng: rand.New(rand.NewPCG(o.Seed, 0x0e31)),
+		cur: initial, curE: initE,
+		best: initial, bestE: initE,
+		res: res,
+	}
+
+	switch o.Algorithm {
+	case Greedy:
+		err = st.runGreedy(ctx)
+	case Anneal:
+		err = st.runAnneal(ctx)
+	case Restart:
+		err = st.runRestart(ctx)
+	default:
+		return nil, fmt.Errorf("opt: unknown algorithm %d", int(o.Algorithm))
+	}
+
+	res.BestEnergy = st.bestE
+	res.Best = st.best
+	res.BestRoutes = st.best.Routes
+	res.BestFingerprint = Fingerprint(st.best)
+	res.Iterations = st.iter
+	if sim, ok := obj.(*Simulated); ok {
+		stats := sim.Stats()
+		res.Sim = &stats
+	}
+	return res, err
+}
+
+// bestHeuristic seeds the search with the best Section 4 heuristic and
+// records all three baselines.
+func (p *Problem) bestHeuristic() (*Design, map[string]float64, error) {
+	base := map[string]float64{}
+	var best *Design
+	bestE := math.Inf(1)
+	for _, a := range []Approach{core.CommFirst, core.Joint, core.IdleFirst} {
+		d, err := p.SolveApproach(a)
+		if err != nil {
+			return nil, nil, fmt.Errorf("opt: %v seed design: %w", a, err)
+		}
+		e := p.Enetwork(d)
+		base[a.String()] = e
+		if e < bestE {
+			best, bestE = d, e
+		}
+	}
+	return best, base, nil
+}
+
+// runGreedy hill-climbs: full passes of best-response rewires over a
+// seed-shuffled demand order, then power-down attempts over every relay,
+// until a pass accepts nothing (or the budget ends).
+func (st *searchState) runGreedy(ctx context.Context) error {
+	for !st.stopped {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		before := st.res.Accepted
+		for _, i := range st.rng.Perm(len(st.p.Demands)) {
+			if st.stopped {
+				return nil
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			cand, ok := st.p.proposeRewire(st.cur, i)
+			if !ok {
+				continue
+			}
+			if err := st.consider(ctx, cand, moveRewire, 0); err != nil {
+				return err
+			}
+		}
+		for _, v := range st.p.relays(st.cur) {
+			if st.stopped {
+				return nil
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			cand, ok := st.p.proposePowerDown(st.cur, v)
+			if !ok {
+				continue
+			}
+			if err := st.consider(ctx, cand, movePowerDown, 0); err != nil {
+				return err
+			}
+		}
+		if st.res.Accepted == before {
+			return nil // local optimum
+		}
+	}
+	return nil
+}
+
+// runAnneal cools geometrically from InitTemp, drawing random moves and
+// accepting uphill ones with Metropolis probability. A streak of failed
+// proposals (every move degenerate: no alternative routes, no removable
+// relays) ends the search — otherwise a problem with a single frozen
+// design would spin forever without ever consuming the iteration budget.
+func (st *searchState) runAnneal(ctx context.Context) error {
+	t := st.o.InitTemp
+	if t <= 0 {
+		t = 0.02 * st.curE
+	}
+	if t <= 0 {
+		t = 1 // degenerate zero-energy start: any positive temperature works
+	}
+	cool := st.o.Cooling
+	if cool <= 0 || cool >= 1 {
+		cool = math.Pow(1e-3, 1/float64(st.o.Iterations))
+	}
+	misses := 0
+	for !st.stopped && misses < maxProposalMisses {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		cand, move, ok := st.p.propose(st.cur, st.rng)
+		if !ok {
+			misses++
+			continue
+		}
+		misses = 0
+		if err := st.consider(ctx, cand, move, t); err != nil {
+			return err
+		}
+		t *= cool
+	}
+	return nil
+}
+
+// maxProposalMisses bounds consecutive degenerate move draws before the
+// annealer concludes the design space has no moves left.
+const maxProposalMisses = 64
+
+// runRestart runs Greedy from several independent initial designs: the
+// Section 4 heuristics applied to seed-shuffled demand orders, so each
+// restart lands in a different basin. The shared best-so-far carries
+// across restarts.
+func (st *searchState) runRestart(ctx context.Context) error {
+	approaches := []Approach{core.IdleFirst, core.Joint, core.CommFirst}
+	for r := 0; r < st.o.Restarts && !st.stopped; r++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		init, err := st.p.solveShuffled(approaches[r%len(approaches)], st.rng)
+		if err != nil {
+			continue // an unroutable shuffled order just skips the restart
+		}
+		e, err := st.obj.Evaluate(ctx, init)
+		if err != nil {
+			return err
+		}
+		improved := e < st.bestE
+		st.cur, st.curE = init, e
+		if improved {
+			st.best, st.bestE = init, e
+		}
+		st.step("restart", e, improved || r == 0, 0)
+		if st.stopped {
+			break
+		}
+		if err := st.runGreedy(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// solveShuffled runs a Section 4 heuristic over a shuffled demand order and
+// maps the routes back to the original demand indexing (the heuristics are
+// order-dependent, which is exactly the diversity restarts want).
+func (p *Problem) solveShuffled(a Approach, rng *rand.Rand) (*Design, error) {
+	perm := rng.Perm(len(p.Demands))
+	shuffled := make([]Demand, len(perm))
+	for j, i := range perm {
+		shuffled[j] = p.Demands[i]
+	}
+	d, err := p.Graph.Solve(shuffled, a)
+	if err != nil {
+		return nil, err
+	}
+	out := &Design{Routes: make([][]int, len(perm))}
+	for j, i := range perm {
+		out.Routes[i] = d.Routes[j]
+	}
+	return out, nil
+}

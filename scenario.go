@@ -334,6 +334,24 @@ func (b *builder) validate(nodes int) error {
 			return fmt.Errorf("eend: flow %d endpoints (%d,%d) out of range [0,%d)", f.ID, f.Src, f.Dst, nodes)
 		}
 	}
+	if b.sc.Stack.Routing == network.ProtoStatic {
+		if len(b.sc.Stack.Routes) == 0 {
+			return fmt.Errorf("eend: static stack needs at least one route")
+		}
+		for i, r := range b.sc.Stack.Routes {
+			if len(r) == 0 {
+				return fmt.Errorf("eend: static route %d is empty", i)
+			}
+			for j, v := range r {
+				if v < 0 || v >= nodes {
+					return fmt.Errorf("eend: static route %d node %d out of range [0,%d)", i, v, nodes)
+				}
+				if j > 0 && r[j-1] == v {
+					return fmt.Errorf("eend: static route %d repeats node %d", i, v)
+				}
+			}
+		}
+	}
 	return nil
 }
 
@@ -373,6 +391,44 @@ func (s *Scenario) Duration() time.Duration { return s.sc.Duration }
 // materialized random ones).
 func (s *Scenario) Flows() []Flow {
 	return append([]Flow(nil), s.sc.Flows...)
+}
+
+// Card returns the radio card model under test.
+func (s *Scenario) Card() Card { return s.sc.Card }
+
+// Field returns the deployment area.
+func (s *Scenario) Field() Field { return s.sc.Field }
+
+// BatteryJ returns the per-node energy budget in joules, or 0 when nodes
+// are unconstrained (WithBattery not given).
+func (s *Scenario) BatteryJ() float64 { return s.sc.BatteryJ }
+
+// Bandwidth returns the configured channel bit rate in bit/s, or 0 when the
+// engine default (2 Mbit/s) applies.
+func (s *Scenario) Bandwidth() float64 { return s.sc.Bandwidth }
+
+// Positions returns a copy of the scenario's materialized node placement:
+// non-nil for scenarios built with WithPositions or WithTopology (which
+// materialize at NewScenario time), nil when placement is drawn by the
+// engine at run time (WithNodes' uniform default, WithGrid). The opt
+// subsystem derives design-problem graphs from these positions.
+func (s *Scenario) Positions() []Point {
+	if s.sc.Positions == nil {
+		return nil
+	}
+	return append([]Point(nil), s.sc.Positions...)
+}
+
+// With derives a new Scenario by re-applying the receiver's options
+// followed by extra ones — later options win, so With(WithSeed(9)) is "the
+// same scenario under seed 9". Seed-dependent draws (placement, endpoints,
+// jitter) are redrawn under the final configuration, exactly as if the
+// combined option list had been passed to NewScenario.
+func (s *Scenario) With(extra ...Option) (*Scenario, error) {
+	opts := make([]Option, 0, len(s.opts)+len(extra))
+	opts = append(opts, s.opts...)
+	opts = append(opts, extra...)
+	return NewScenario(opts...)
 }
 
 // canonicalVersion tags the canonical encoding. Bump it whenever a change
@@ -417,6 +473,19 @@ func (s *Scenario) Canonical() string {
 		st.Routing, st.PM, st.PowerControl, st.AdvertisedWindow, st.PerfectSleep,
 		st.ODPM.DataTimeout.Nanoseconds(), st.ODPM.RouteTimeout.Nanoseconds(),
 		st.Custom != nil, st.Label)
+	// Static routes are part of simulation output, so they are part of the
+	// encoding; the lines are emitted only when routes are pinned, which
+	// keeps every pre-existing scenario's encoding (and fingerprint) stable.
+	for i, r := range st.Routes {
+		fmt.Fprintf(&w, "route=%d:", i)
+		for j, v := range r {
+			if j > 0 {
+				w.WriteByte('-')
+			}
+			fmt.Fprintf(&w, "%d", v)
+		}
+		w.WriteByte('\n')
+	}
 	fmt.Fprintf(&w, "duration=%d\nbattery=%s\nreplicates=%d\n",
 		s.sc.Duration.Nanoseconds(), num(s.sc.BatteryJ), s.Replicates())
 	for _, f := range s.sc.Flows {

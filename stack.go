@@ -158,3 +158,25 @@ func ODPMTimeouts(data, route time.Duration) StackOption {
 func StackLabel(label string) StackOption {
 	return stackOptionFunc(func(st *network.Stack) { st.Label = label })
 }
+
+// StaticRoutes selects static routing: instead of a discovery protocol, the
+// stack forwards along the given pinned node paths (each src..dst, one per
+// demand of a design). This is how a solution of the formal design problem
+// (eend/design, eend/opt) is evaluated by the packet-level simulator: the
+// measured energy reflects exactly the relays the design keeps awake. The
+// routes take part in the scenario's canonical encoding, so two scenarios
+// that pin different designs fingerprint differently — which is what lets
+// the opt subsystem cache simulator evaluations per candidate design.
+// Compose with a PM policy as usual, e.g.
+//
+//	eend.WithStack(eend.StaticRoutes(routes...), eend.ODPM, eend.PowerControl())
+func StaticRoutes(routes ...[]int) StackOption {
+	cp := make([][]int, len(routes))
+	for i, r := range routes {
+		cp[i] = append([]int(nil), r...)
+	}
+	return stackOptionFunc(func(st *network.Stack) {
+		st.Routing = network.ProtoStatic
+		st.Routes = cp
+	})
+}

@@ -1,0 +1,122 @@
+package eend_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"eend"
+)
+
+// staticScenario pins a 4-node chain with one 2-hop route 0->1->2.
+func staticScenario(t *testing.T, routes ...[]int) *eend.Scenario {
+	t.Helper()
+	sc, err := eend.NewScenario(
+		eend.WithSeed(1),
+		eend.WithField(400, 100),
+		eend.WithPositions(
+			eend.Point{X: 0, Y: 50}, eend.Point{X: 200, Y: 50},
+			eend.Point{X: 395, Y: 50}, eend.Point{X: 200, Y: 90},
+		),
+		eend.WithFlows(eend.Flow{
+			ID: 1, Src: 0, Dst: 2, Rate: 2048, PacketBytes: 128,
+			StartMin: 2 * time.Second, StartMax: 3 * time.Second,
+		}),
+		eend.WithStack(eend.StaticRoutes(routes...), eend.ODPM, eend.PowerControl()),
+		eend.WithDuration(30*time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestStaticRoutesDeliver: the pinned route carries the traffic, the relay
+// on it is counted, and the bystander node stays out of the data path.
+func TestStaticRoutesDeliver(t *testing.T) {
+	sc := staticScenario(t, []int{0, 1, 2})
+	res, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stack != "Static-ODPM-PC" {
+		t.Fatalf("stack %q, want Static-ODPM-PC", res.Stack)
+	}
+	if res.DeliveryRatio < 0.95 {
+		t.Fatalf("delivery ratio %.3f, want ~1 over the pinned route", res.DeliveryRatio)
+	}
+	if res.Relays != 1 {
+		t.Fatalf("%d relays, want exactly the pinned relay 1", res.Relays)
+	}
+	if res.PerNode[1].Forwarded == 0 {
+		t.Fatal("relay 1 forwarded nothing")
+	}
+	if res.PerNode[3].Forwarded != 0 {
+		t.Fatal("bystander 3 forwarded data despite not being on any route")
+	}
+	// No discovery traffic at all: static routing has no control plane.
+	if res.Routing.RREQSent != 0 || res.Routing.RREPSent != 0 || res.Routing.UpdatesSent != 0 {
+		t.Fatalf("static stack sent control traffic: %+v", res.Routing)
+	}
+}
+
+// TestStaticRoutesMissingRouteDrops: traffic to a destination the design
+// has no route for is dropped at the source, not discovered.
+func TestStaticRoutesMissingRouteDrops(t *testing.T) {
+	sc := staticScenario(t, []int{0, 3}) // route to 3, but the flow targets 2
+	res, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 0 {
+		t.Fatalf("delivered %d packets without a route", res.Delivered)
+	}
+	if res.Routing.DataDropped == 0 {
+		t.Fatal("missing route did not count drops")
+	}
+}
+
+// TestStaticRoutesCanonical: pinned routes are part of the canonical
+// encoding, so designs are content-addressed — different routes, different
+// fingerprints; the encoding of route-free scenarios is untouched.
+func TestStaticRoutesCanonical(t *testing.T) {
+	a := staticScenario(t, []int{0, 1, 2})
+	b := staticScenario(t, []int{0, 3, 2})
+	if !strings.Contains(a.Canonical(), "route=0:0-1-2\n") {
+		t.Fatalf("canonical encoding lacks the route line:\n%s", a.Canonical())
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different pinned designs share a fingerprint")
+	}
+	c := staticScenario(t, []int{0, 1, 2})
+	if a.Fingerprint() != c.Fingerprint() {
+		t.Fatal("equal pinned designs fingerprint differently")
+	}
+	plain, err := eend.NewScenario(eend.WithNodes(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.Canonical(), "route=") {
+		t.Fatal("route lines leaked into a scenario without static routes")
+	}
+}
+
+// TestStaticRoutesValidation: malformed route sets are construction errors.
+func TestStaticRoutesValidation(t *testing.T) {
+	cases := map[string][][]int{
+		"no routes":         {},
+		"empty route":       {{}},
+		"node out of range": {{0, 9}},
+		"repeated node":     {{0, 0}},
+	}
+	for name, routes := range cases {
+		_, err := eend.NewScenario(
+			eend.WithNodes(4),
+			eend.WithStack(eend.StaticRoutes(routes...), eend.ODPM),
+		)
+		if err == nil {
+			t.Errorf("%s: NewScenario accepted invalid static routes %v", name, routes)
+		}
+	}
+}

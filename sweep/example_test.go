@@ -1,0 +1,33 @@
+package sweep_test
+
+import (
+	"fmt"
+	"log"
+
+	"eend/sweep"
+)
+
+// ExampleGrid_Axis declares a grid fluently and shows its deterministic
+// expansion order: the first declared axis varies slowest. The same grid
+// can be written as the text spec
+// "nodes=10,20 stack=titan-pc/odpm,dsr/odpm heuristic=idle-first,anneal".
+func ExampleGrid_Axis() {
+	g := sweep.NewGrid().
+		Axis("nodes", 10, 20).
+		Axis("stack", "titan-pc/odpm", "dsr/odpm")
+
+	fmt.Println("points:", g.Size())
+	pts, err := g.Points()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pts {
+		fmt.Printf("%d: nodes=%s stack=%s\n", p.Index, p.Params["nodes"], p.Params["stack"])
+	}
+	// Output:
+	// points: 4
+	// 0: nodes=10 stack=titan-pc/odpm
+	// 1: nodes=10 stack=dsr/odpm
+	// 2: nodes=20 stack=titan-pc/odpm
+	// 3: nodes=20 stack=dsr/odpm
+}

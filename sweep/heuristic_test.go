@@ -1,0 +1,108 @@
+package sweep
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestHeuristicAxisScenario: a heuristic point pins a static design whose
+// routes are part of the scenario fingerprint, so designs produced by
+// different methods content-address differently.
+func TestHeuristicAxisScenario(t *testing.T) {
+	g, err := ParseGrid("nodes=20 seed=1 topology=cluster field=600 flows=8 dur=40s heuristic=comm-first,idle-first,anneal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := g.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := map[string]string{}
+	for _, pt := range pts {
+		sc, err := pt.Scenario()
+		if err != nil {
+			t.Fatalf("point %d: %v", pt.Index, err)
+		}
+		if got := sc.StackName(); !strings.HasPrefix(got, "Static") {
+			t.Fatalf("heuristic point runs stack %q, want a Static stack", got)
+		}
+		if !strings.Contains(sc.Canonical(), "route=") {
+			t.Fatalf("heuristic point's canonical encoding has no pinned routes")
+		}
+		fps[pt.Params["heuristic"]] = sc.Fingerprint()
+	}
+	if fps["comm-first"] == fps["idle-first"] {
+		t.Fatal("comm-first and idle-first designs share a fingerprint (designs not pinned?)")
+	}
+	// Re-materializing the same point must reproduce the same design.
+	again, err := pts[0].Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Fingerprint() != fps[pts[0].Params["heuristic"]] {
+		t.Fatal("re-materialized heuristic point fingerprints differently (search not deterministic?)")
+	}
+}
+
+// TestHeuristicAxisConflictsWithStack: declaring both is a configuration
+// error surfaced at Prepare time, not a runtime failure.
+func TestHeuristicAxisConflictsWithStack(t *testing.T) {
+	g, err := ParseGrid("nodes=12 stack=dsr/odpm heuristic=joint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Runner{}).Prepare(g); err == nil {
+		t.Fatal("Prepare accepted a grid with both stack and heuristic axes")
+	}
+}
+
+// TestHeuristicAxisBadValue: unknown methods are rejected at parse time.
+func TestHeuristicAxisBadValue(t *testing.T) {
+	g, err := ParseGrid("nodes=12 heuristic=nonsense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Points(); err != nil {
+		t.Fatal(err) // grid expansion is fine; the value fails at Scenario()
+	}
+	if _, err := (Runner{}).Prepare(g); err == nil {
+		t.Fatal("Prepare accepted heuristic=nonsense")
+	}
+}
+
+// TestHeuristicAxisCancellation: preparing a heuristic point runs a design
+// search, which a cancelled context must abort.
+func TestHeuristicAxisCancellation(t *testing.T) {
+	g, err := ParseGrid("nodes=20 seed=1 topology=cluster field=600 flows=8 heuristic=anneal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := (Runner{}).PrepareContext(ctx, g); err == nil {
+		t.Fatal("PrepareContext ignored a cancelled context while searching")
+	}
+}
+
+// TestHeuristicAxisRuns simulates a tiny designed point end to end.
+func TestHeuristicAxisRuns(t *testing.T) {
+	g, err := ParseGrid("nodes=10 seed=3 topology=cluster field=400 flows=2 dur=40s heuristic=idle-first")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, prog, err := (Runner{}).Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Errors != 0 || len(results) != 1 {
+		t.Fatalf("progress %+v, results %d", prog, len(results))
+	}
+	res := results[0].Results
+	if res == nil || res.Sent == 0 {
+		t.Fatalf("designed point sent no traffic: %+v", res)
+	}
+	if !strings.HasPrefix(res.Stack, "Static") {
+		t.Fatalf("designed point ran %q", res.Stack)
+	}
+}

@@ -109,13 +109,20 @@ func (p *Prepared) Total() int { return len(p.results) }
 // malformed axis value is a configuration error, not a per-point runtime
 // failure. No cache or simulator work happens yet.
 func (r Runner) Prepare(g *Grid) (*Prepared, error) {
+	return r.PrepareContext(context.Background(), g)
+}
+
+// PrepareContext is Prepare with materialization bounded by ctx:
+// heuristic-axis points run design searches to materialize, and a
+// cancelled sweep must not keep searching.
+func (r Runner) PrepareContext(ctx context.Context, g *Grid) (*Prepared, error) {
 	pts, err := g.Points()
 	if err != nil {
 		return nil, err
 	}
 	results := make([]Result, len(pts))
 	for i, pt := range pts {
-		sc, err := pt.Scenario()
+		sc, err := pt.ScenarioContext(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -124,9 +131,9 @@ func (r Runner) Prepare(g *Grid) (*Prepared, error) {
 	return &Prepared{runner: r, results: results}, nil
 }
 
-// Stream is Prepare followed by Prepared.Stream.
+// Stream is PrepareContext followed by Prepared.Stream.
 func (r Runner) Stream(ctx context.Context, g *Grid) (<-chan Result, int, error) {
-	prep, err := r.Prepare(g)
+	prep, err := r.PrepareContext(ctx, g)
 	if err != nil {
 		return nil, 0, err
 	}

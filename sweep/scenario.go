@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"eend"
+	"eend/opt"
 )
 
 // pointConfig accumulates one point's parsed parameters before they become
@@ -20,6 +22,12 @@ type pointConfig struct {
 	flows       int
 	rateKbps    float64
 	packetBytes int
+
+	// heuristic, when set, replaces the protocol stack with a static design
+	// produced by the named method (Section 4 heuristic or opt search) and
+	// pinned via eend.StaticRoutes — the axis that puts designed and
+	// searched solutions side by side with the reactive protocols.
+	heuristic string
 }
 
 // axisRegistry maps axis names to their value parsers. Every axis mirrors
@@ -70,6 +78,13 @@ var axisRegistry = map[string]func(*pointConfig, string) error{
 			return err
 		}
 		c.opts = append(c.opts, eend.WithStack(stack...))
+		return nil
+	},
+	"heuristic": func(c *pointConfig, v string) error {
+		if !opt.ValidMethod(v) {
+			return fmt.Errorf("bad heuristic %q (want one of %v)", v, opt.Methods())
+		}
+		c.heuristic = v
 		return nil
 	},
 	"topology": func(c *pointConfig, v string) error {
@@ -195,6 +210,13 @@ func ParseStack(v string) ([]eend.StackOption, error) {
 // defaults mirror cmd/eendsim: 10 CBR flows at 2 Kbit/s with 128 B packets
 // when the grid declares no traffic axes.
 func (p Point) Scenario() (*eend.Scenario, error) {
+	return p.ScenarioContext(context.Background())
+}
+
+// ScenarioContext is Scenario with materialization bounded by ctx: a
+// heuristic-axis point runs a design search to materialize, which a
+// cancelled sweep must be able to abort.
+func (p Point) ScenarioContext(ctx context.Context) (*eend.Scenario, error) {
 	c := pointConfig{
 		workload:    eend.WorkloadCBR,
 		flows:       10,
@@ -214,7 +236,45 @@ func (p Point) Scenario() (*eend.Scenario, error) {
 	}
 	c.opts = append(c.opts, eend.WithWorkload(
 		eend.NewWorkload(c.workload, c.flows, c.rateKbps*1024, c.packetBytes)))
+	if c.heuristic != "" {
+		return p.designedScenario(ctx, c)
+	}
 	sc, err := eend.NewScenario(c.opts...)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: point %d: %w", p.Index, err)
+	}
+	return sc, nil
+}
+
+// designedScenario materializes a heuristic-axis point: build the
+// deployment, derive the design problem, solve it with the named method,
+// and pin the resulting routes as a static stack. The scenario's
+// fingerprint then covers placement, traffic AND design, so the result
+// cache answers repeated (deployment, design) pairs without simulating.
+func (p Point) designedScenario(ctx context.Context, c pointConfig) (*eend.Scenario, error) {
+	if _, ok := p.Params["stack"]; ok {
+		return nil, fmt.Errorf("sweep: point %d: heuristic axis conflicts with stack axis (the heuristic pins its own static stack)", p.Index)
+	}
+	// The design problem needs materialized positions; an absent topology
+	// axis means the facade's run-time uniform draw, so request the same
+	// placement through the generator instead.
+	opts := c.opts
+	if _, ok := p.Params["topology"]; !ok {
+		opts = append([]eend.Option{eend.WithTopology(eend.UniformTopology())}, opts...)
+	}
+	base, err := eend.NewScenario(opts...)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: point %d: %w", p.Index, err)
+	}
+	prob, err := opt.FromScenario(base)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: point %d: %w", p.Index, err)
+	}
+	d, err := prob.SolveMethod(ctx, c.heuristic, base.Seed())
+	if err != nil {
+		return nil, fmt.Errorf("sweep: point %d: heuristic %s: %w", p.Index, c.heuristic, err)
+	}
+	sc, err := prob.PinnedScenario(d, base.Replicates())
 	if err != nil {
 		return nil, fmt.Errorf("sweep: point %d: %w", p.Index, err)
 	}

@@ -1,0 +1,220 @@
+// Command linkcheck validates the repository's Markdown cross-references:
+// every relative link must point at an existing file and every anchor
+// (#fragment, in-file or cross-file) must resolve to a heading in its
+// target document, using GitHub's heading-slug rules. External links
+// (http, https, mailto) are out of scope — CI must not depend on the
+// network.
+//
+// Usage: linkcheck [root ...]   (default: the current directory)
+//
+// Fenced code blocks are ignored, so example snippets can mention
+// bracketed text without tripping the checker. Broken links are listed as
+// file:line: message and the exit status is 1 if any were found.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	broken, err := check(roots)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "linkcheck:", err)
+		os.Exit(2)
+	}
+	for _, b := range broken {
+		fmt.Println(b)
+	}
+	if len(broken) > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", len(broken))
+		os.Exit(1)
+	}
+}
+
+// check walks the roots and returns one message per broken link.
+func check(roots []string) ([]string, error) {
+	var files []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				// Dependency and VCS trees are not ours to lint.
+				switch d.Name() {
+				case ".git", "node_modules", "vendor":
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.EqualFold(filepath.Ext(path), ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	anchors := make(map[string]map[string]bool, len(files))
+	contents := make(map[string][]byte, len(files))
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		contents[f] = data
+		anchors[f] = headingAnchors(string(data))
+	}
+	var broken []string
+	for _, f := range files {
+		for _, l := range extractLinks(string(contents[f])) {
+			if msg := checkLink(f, l, anchors); msg != "" {
+				broken = append(broken, fmt.Sprintf("%s:%d: %s", f, l.line, msg))
+			}
+		}
+	}
+	return broken, nil
+}
+
+// link is one [text](target) occurrence.
+type link struct {
+	target string
+	line   int
+}
+
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// extractLinks pulls link targets out of the document, skipping fenced
+// code blocks and inline code spans.
+func extractLinks(doc string) []link {
+	var out []link
+	inFence := false
+	for i, line := range strings.Split(doc, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		line = stripInlineCode(line)
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			out = append(out, link{target: m[1], line: i + 1})
+		}
+	}
+	return out
+}
+
+// stripInlineCode removes `code spans` so bracketed code is not parsed as
+// a link.
+func stripInlineCode(line string) string {
+	var b strings.Builder
+	in := false
+	for _, r := range line {
+		if r == '`' {
+			in = !in
+			continue
+		}
+		if !in {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// checkLink validates one target; empty string means fine.
+func checkLink(file string, l link, anchors map[string]map[string]bool) string {
+	t := l.target
+	switch {
+	case strings.HasPrefix(t, "http://"), strings.HasPrefix(t, "https://"),
+		strings.HasPrefix(t, "mailto:"):
+		return "" // external, out of scope
+	case strings.HasPrefix(t, "#"):
+		if !anchors[file][strings.TrimPrefix(t, "#")] {
+			return fmt.Sprintf("anchor %s not found in %s", t, filepath.Base(file))
+		}
+		return ""
+	}
+	path, frag, _ := strings.Cut(t, "#")
+	dst := filepath.Join(filepath.Dir(file), path)
+	info, err := os.Stat(dst)
+	if err != nil {
+		return fmt.Sprintf("target %s does not exist", t)
+	}
+	if frag == "" {
+		return ""
+	}
+	if info.IsDir() || !strings.EqualFold(filepath.Ext(dst), ".md") {
+		return fmt.Sprintf("anchor on non-markdown target %s", t)
+	}
+	a, ok := anchors[dst]
+	if !ok {
+		// The target was outside the walked roots; load it on demand.
+		data, err := os.ReadFile(dst)
+		if err != nil {
+			return fmt.Sprintf("target %s unreadable", t)
+		}
+		a = headingAnchors(string(data))
+	}
+	if !a[frag] {
+		return fmt.Sprintf("anchor #%s not found in %s", frag, path)
+	}
+	return ""
+}
+
+// headingAnchors returns the GitHub-style anchor slugs of a document's
+// headings: lowercase, punctuation dropped, spaces to hyphens, duplicates
+// suffixed -1, -2, ...
+func headingAnchors(doc string) map[string]bool {
+	out := map[string]bool{}
+	seen := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(doc, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimLeft(line, "#")
+		if text == "" || !strings.HasPrefix(text, " ") {
+			continue
+		}
+		slug := slugify(strings.TrimSpace(text))
+		if n := seen[slug]; n > 0 {
+			out[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			out[slug] = true
+		}
+		seen[slug]++
+	}
+	return out
+}
+
+// slugify applies GitHub's anchor rules.
+func slugify(heading string) string {
+	heading = strings.ReplaceAll(heading, "`", "")
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_', r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

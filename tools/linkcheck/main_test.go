@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCleanTree(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "README.md", strings.Join([]string{
+		"# Title",
+		"## A Section",
+		"See [the section](#a-section) and [docs](docs/api.md#endpoints).",
+		"Also [a file](docs/api.md) and [code](main.go).",
+		"External [link](https://example.com) is ignored.",
+		"```",
+		"[not a link](missing.md)",
+		"```",
+		"Inline `[not a link](missing.md)` is ignored too.",
+	}, "\n"))
+	write(t, dir, "docs/api.md", "# API\n## Endpoints\nBack to [readme](../README.md).\n")
+	write(t, dir, "main.go", "package main\n")
+	broken, err := check([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken) != 0 {
+		t.Fatalf("clean tree reported broken links: %v", broken)
+	}
+}
+
+func TestBrokenLinks(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "a.md", strings.Join([]string{
+		"# A",
+		"[missing file](nope.md)",
+		"[missing anchor](#nowhere)",
+		"[missing cross anchor](b.md#nowhere)",
+		"[fine](b.md#b)",
+	}, "\n"))
+	write(t, dir, "b.md", "# B\n")
+	broken, err := check([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken) != 3 {
+		t.Fatalf("want 3 broken links, got %v", broken)
+	}
+	for _, want := range []string{"nope.md", "#nowhere not found in a.md", "#nowhere not found in b.md"} {
+		found := false
+		for _, b := range broken {
+			if strings.Contains(b, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no report mentioning %s in %v", want, broken)
+		}
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"A Section":           "a-section",
+		"`POST /v1/optimize`": "post-v1optimize",
+		"Paper -> code map":   "paper---code-map",
+		"Eq. 5 (Enetwork)":    "eq-5-enetwork",
+	}
+	for heading, want := range cases {
+		if got := slugify(heading); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", heading, got, want)
+		}
+	}
+}
+
+func TestDuplicateHeadings(t *testing.T) {
+	a := headingAnchors("# Dup\n## Dup\n")
+	if !a["dup"] || !a["dup-1"] {
+		t.Fatalf("duplicate headings produced %v", a)
+	}
+}
