@@ -2,6 +2,7 @@ package eend
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
@@ -193,6 +194,40 @@ func BenchmarkScenarioEndToEnd(b *testing.B) {
 		if res.Delivered == 0 {
 			b.Fatal("nothing delivered")
 		}
+	}
+}
+
+// BenchmarkReplicatedRunFanout measures the execution scheduler's
+// replicate fan-out: one scenario with 8 seed-derived replicates on a
+// batch pool of 1 versus 4 workers. Results are bit-identical either way
+// (the ordered merge); on a multi-core machine the parallel case should
+// approach a 4x wall-clock speedup.
+func BenchmarkReplicatedRunFanout(b *testing.B) {
+	sc, err := NewScenario(
+		WithSeed(5),
+		WithField(300, 300),
+		WithNodes(14),
+		WithStack(TITAN, ODPM),
+		WithRandomFlows(3, 2048, 128),
+		WithDuration(30*time.Second),
+		WithReplicates(8),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for br := range RunBatch(benchCtx, []*Scenario{sc}, Workers(workers)) {
+					if br.Err != nil {
+						b.Fatal(br.Err)
+					}
+					if br.Results.Replicates == nil || br.Results.Replicates.N != 8 {
+						b.Fatal("replicate summary missing")
+					}
+				}
+			}
+		})
 	}
 }
 

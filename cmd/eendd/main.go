@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	eendd [-addr :8080] [-grace 15s] [-cache dir]
+//	eendd [-addr :8080] [-grace 15s] [-cache dir] [-retain n]
 //
 // Endpoints:
 //
@@ -50,6 +50,7 @@ func run(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	grace := fs.Duration("grace", 15*time.Second, "shutdown grace period for in-flight runs")
 	cacheDir := fs.String("cache", "", "content-addressed sweep result cache directory (empty: no cache)")
+	retain := fs.Int("retain", 0, "finished async jobs retained per endpoint for polling (0: default 32)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,7 +65,7 @@ func run(args []string) error {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(baseCtx, *cacheDir),
+		Handler:           newServerWith(baseCtx, serverConfig{cacheDir: *cacheDir, retainJobs: *retain}),
 		ReadHeaderTimeout: 10 * time.Second,
 		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 	}

@@ -4,17 +4,12 @@ import (
 	"context"
 	"fmt"
 	"net/http"
-	"sort"
-	"sync"
 	"time"
 
+	"eend/internal/exec"
+	"eend/internal/jobs"
 	"eend/opt"
 )
-
-// maxRetainedOptimizes bounds how many finished optimize jobs the manager
-// keeps for polling; the oldest finished jobs are evicted first. Running
-// jobs are never evicted.
-const maxRetainedOptimizes = 32
 
 // optimizeRequest is the JSON body of POST /v1/optimize. The scenario
 // describes the deployment the design problem is derived from: its flows
@@ -36,6 +31,11 @@ type optimizeRequest struct {
 	Iterations int `json:"iterations,omitempty"`
 	// Restarts is the restart count for heuristic "restart".
 	Restarts int `json:"restarts,omitempty"`
+	// Workers bounds concurrent restart evaluations for heuristic
+	// "restart" (other algorithms are sequential chains), normalized by
+	// the execution runtime exactly like sweep workers. The trajectory is
+	// identical at every worker count.
+	Workers int `json:"workers,omitempty"`
 	// OptSeed drives the search's randomness (default 1); a fixed seed
 	// reproduces the exact trajectory.
 	OptSeed uint64 `json:"opt_seed,omitempty"`
@@ -57,14 +57,25 @@ type optProgress struct {
 	Sim *opt.SimStats `json:"sim,omitempty"`
 }
 
+// optState is the job payload of one design search.
+type optState struct {
+	heuristic string
+	objective string
+	workers   int
+	progress  optProgress
+	result    *opt.Result
+}
+
 // optStatus is the JSON representation of an optimize job.
 type optStatus struct {
-	ID        string      `json:"id"`
-	Status    string      `json:"status"` // running | done | cancelled | failed
-	Heuristic string      `json:"heuristic"`
-	Objective string      `json:"objective"`
-	Progress  optProgress `json:"progress"`
-	Created   time.Time   `json:"created"`
+	ID        string `json:"id"`
+	Status    string `json:"status"` // running | done | cancelled | failed
+	Heuristic string `json:"heuristic"`
+	Objective string `json:"objective"`
+	// Workers is the normalized worker count restart searches fan out on.
+	Workers  int         `json:"workers"`
+	Progress optProgress `json:"progress"`
+	Created  time.Time   `json:"created"`
 	// Error is set when Status is "failed".
 	Error string `json:"error,omitempty"`
 	// Result is the search outcome (the best-so-far for cancelled jobs),
@@ -72,68 +83,37 @@ type optStatus struct {
 	Result *opt.Result `json:"result,omitempty"`
 }
 
-// optJob is one asynchronous design search.
-type optJob struct {
-	id        string
-	seq       int
-	heuristic string
-	objective string
-	created   time.Time
-	cancel    context.CancelFunc
-
-	mu       sync.Mutex
-	status   string
-	errText  string
-	progress optProgress
-	result   *opt.Result
-}
-
-// finished reports whether the job has left the running state.
-func (j *optJob) finished() bool {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.status != "running"
-}
-
-// snapshot renders the job, optionally with its result.
-func (j *optJob) snapshot(withResult bool) optStatus {
-	j.mu.Lock()
-	defer j.mu.Unlock()
+// optSnapshot renders a job, optionally with its result.
+func optSnapshot(j *jobs.Job[optState], withResult bool) optStatus {
+	status, errText, v := j.Snapshot()
 	st := optStatus{
-		ID: j.id, Status: j.status, Heuristic: j.heuristic, Objective: j.objective,
-		Progress: j.progress, Created: j.created, Error: j.errText,
+		ID: j.ID(), Status: string(status), Heuristic: v.heuristic, Objective: v.objective,
+		Workers: v.workers, Progress: v.progress, Created: j.Created(), Error: errText,
 	}
 	if withResult {
-		st.Result = j.result
+		st.Result = v.result
 	}
 	return st
 }
 
-// optimizeManager owns the server's asynchronous optimize jobs, mirroring
-// the sweep manager: jobs run under the server's base context, clients
-// poll by id.
+// optimizeManager wires the optimize endpoints to the generic job store,
+// mirroring the sweep manager: all lifecycle logic lives in
+// internal/jobs; this file only translates requests into searches.
 type optimizeManager struct {
-	base     context.Context
+	store    *jobs.Store[optState]
 	cacheDir string
-	clock    func() time.Time
-
-	mu   sync.Mutex
-	seq  int
-	jobs map[string]*optJob
 }
 
-func newOptimizeManager(base context.Context, cacheDir string) *optimizeManager {
+func newOptimizeManager(base context.Context, cfg serverConfig) *optimizeManager {
 	return &optimizeManager{
-		base:     base,
-		cacheDir: cacheDir,
-		clock:    time.Now,
-		jobs:     make(map[string]*optJob),
+		store:    jobs.NewStore[optState](base, jobs.Options{Prefix: "opt", Retain: cfg.retainJobs}),
+		cacheDir: cfg.cacheDir,
 	}
 }
 
 // start validates the request synchronously (configuration errors are
 // 400s, not failed jobs) and launches the search in the background.
-func (m *optimizeManager) start(req optimizeRequest) (*optJob, error) {
+func (m *optimizeManager) start(req optimizeRequest) (*jobs.Job[optState], error) {
 	if req.Heuristic == "" {
 		req.Heuristic = "anneal"
 	}
@@ -182,117 +162,54 @@ func (m *optimizeManager) start(req optimizeRequest) (*optJob, error) {
 	if _, err := opt.ParseAlgorithm(req.Heuristic); err != nil {
 		total = 1 // a Section 4 approach is a single evaluation
 	}
+	workers := exec.Workers(req.Workers)
 
-	ctx, cancel := context.WithCancel(m.base)
-	m.mu.Lock()
-	m.seq++
-	job := &optJob{
-		id:        fmt.Sprintf("opt-%d", m.seq),
-		seq:       m.seq,
-		heuristic: req.Heuristic,
-		objective: req.Objective,
-		created:   m.clock(),
-		cancel:    cancel,
-		status:    "running",
-	}
-	job.progress.Total = total
-	m.jobs[job.id] = job
-	m.evictLocked()
-	m.mu.Unlock()
-
-	onStep := func(s opt.Step) {
-		job.mu.Lock()
-		job.progress.Iterations = s.Iter
-		job.progress.BestEnergy = s.Best
-		if s.Accepted {
-			job.progress.Accepted++
-		} else {
-			job.progress.Rejected++
-		}
-		if sim != nil {
-			st := sim.Stats()
-			job.progress.Sim = &st
-		}
-		job.mu.Unlock()
-	}
-
-	go func() {
-		defer cancel()
-		res, err := p.SearchMethod(ctx, req.Heuristic, obj, opt.Options{
-			Seed:       req.OptSeed,
-			Iterations: req.Iterations,
-			Restarts:   req.Restarts,
-			Trace:      req.Trace,
-			OnStep:     onStep,
-		})
-		job.mu.Lock()
-		defer job.mu.Unlock()
-		job.result = res
-		if res != nil {
-			job.progress.Iterations = res.Iterations
-			job.progress.Initial = res.Initial
-			job.progress.BestEnergy = res.BestEnergy
-			if res.Sim != nil {
-				job.progress.Sim = res.Sim
+	return m.store.Start(
+		func(v *optState) {
+			v.heuristic = req.Heuristic
+			v.objective = req.Objective
+			v.workers = workers
+			v.progress.Total = total
+		},
+		func(ctx context.Context, j *jobs.Job[optState]) error {
+			onStep := func(s opt.Step) {
+				j.Update(func(v *optState) {
+					v.progress.Iterations = s.Iter
+					v.progress.BestEnergy = s.Best
+					if s.Accepted {
+						v.progress.Accepted++
+					} else {
+						v.progress.Rejected++
+					}
+					if sim != nil {
+						st := sim.Stats()
+						v.progress.Sim = &st
+					}
+				})
 			}
-		}
-		switch {
-		case err == nil:
-			job.status = "done"
-		case ctx.Err() != nil:
-			job.status = "cancelled"
-		default:
-			job.status, job.errText = "failed", err.Error()
-		}
-	}()
-	return job, nil
-}
-
-// evictLocked drops the oldest finished jobs beyond the retention cap.
-// Callers hold m.mu.
-func (m *optimizeManager) evictLocked() {
-	if len(m.jobs) <= maxRetainedOptimizes {
-		return
-	}
-	jobs := make([]*optJob, 0, len(m.jobs))
-	for _, j := range m.jobs {
-		jobs = append(jobs, j)
-	}
-	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq < jobs[k].seq })
-	excess := len(jobs) - maxRetainedOptimizes
-	for _, j := range jobs {
-		if excess == 0 {
-			break
-		}
-		if j.finished() {
-			delete(m.jobs, j.id)
-			excess--
-		}
-	}
-}
-
-// get returns a job by id.
-func (m *optimizeManager) get(id string) (*optJob, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	j, ok := m.jobs[id]
-	return j, ok
-}
-
-// list returns every job, newest first.
-func (m *optimizeManager) list() []optStatus {
-	m.mu.Lock()
-	jobs := make([]*optJob, 0, len(m.jobs))
-	for _, j := range m.jobs {
-		jobs = append(jobs, j)
-	}
-	m.mu.Unlock()
-	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq > jobs[k].seq })
-	out := make([]optStatus, len(jobs))
-	for i, j := range jobs {
-		out[i] = j.snapshot(false)
-	}
-	return out
+			res, err := p.SearchMethod(ctx, req.Heuristic, obj, opt.Options{
+				Seed:       req.OptSeed,
+				Iterations: req.Iterations,
+				Restarts:   req.Restarts,
+				Workers:    workers,
+				Trace:      req.Trace,
+				OnStep:     onStep,
+			})
+			// Finalize lands the result atomically with the status flip,
+			// so pollers never see a final result on a running job.
+			j.Finalize(func(v *optState) {
+				v.result = res
+				if res != nil {
+					v.progress.Iterations = res.Iterations
+					v.progress.Initial = res.Initial
+					v.progress.BestEnergy = res.BestEnergy
+					if res.Sim != nil {
+						v.progress.Sim = res.Sim
+					}
+				}
+			})
+			return err
+		}), nil
 }
 
 // register installs the optimize endpoints on mux.
@@ -307,30 +224,35 @@ func (m *optimizeManager) register(mux *http.ServeMux) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		w.Header().Set("Location", "/v1/optimize/"+job.id)
-		writeJSON(w, http.StatusAccepted, job.snapshot(false))
+		w.Header().Set("Location", "/v1/optimize/"+job.ID())
+		writeJSON(w, http.StatusAccepted, optSnapshot(job, false))
 	})
 
 	mux.HandleFunc("GET /v1/optimize", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string][]optStatus{"optimizations": m.list()})
+		all := m.store.Jobs()
+		out := make([]optStatus, len(all))
+		for i, j := range all {
+			out[i] = optSnapshot(j, false)
+		}
+		writeJSON(w, http.StatusOK, map[string][]optStatus{"optimizations": out})
 	})
 
 	mux.HandleFunc("GET /v1/optimize/{id}", func(w http.ResponseWriter, r *http.Request) {
-		job, ok := m.get(r.PathValue("id"))
+		job, ok := m.store.Get(r.PathValue("id"))
 		if !ok {
 			writeError(w, http.StatusNotFound, fmt.Errorf("unknown optimization %q", r.PathValue("id")))
 			return
 		}
-		writeJSON(w, http.StatusOK, job.snapshot(true))
+		writeJSON(w, http.StatusOK, optSnapshot(job, true))
 	})
 
 	mux.HandleFunc("DELETE /v1/optimize/{id}", func(w http.ResponseWriter, r *http.Request) {
-		job, ok := m.get(r.PathValue("id"))
+		job, ok := m.store.Get(r.PathValue("id"))
 		if !ok {
 			writeError(w, http.StatusNotFound, fmt.Errorf("unknown optimization %q", r.PathValue("id")))
 			return
 		}
-		job.cancel()
-		writeJSON(w, http.StatusOK, job.snapshot(false))
+		job.Cancel()
+		writeJSON(w, http.StatusOK, optSnapshot(job, false))
 	})
 }

@@ -191,6 +191,17 @@ func stackOptions(spec stackSpec) ([]eend.StackOption, error) {
 // maxScenarioBody bounds request bodies; a scenario spec is tiny.
 const maxScenarioBody = 1 << 20
 
+// serverConfig tunes the server beyond its base context.
+type serverConfig struct {
+	// cacheDir roots the content-addressed result cache shared by sweeps
+	// and simulator-backed optimizations (empty: no cache).
+	cacheDir string
+	// retainJobs caps how many finished jobs each async endpoint keeps
+	// for polling (<= 0: jobs.DefaultRetain). One knob for every job
+	// store — the per-endpoint constants it replaces used to drift.
+	retainJobs int
+}
+
 // newServer builds the eendd HTTP API:
 //
 //	POST /v1/scenarios           run a scenario from a JSON body -> eend.Results
@@ -214,9 +225,14 @@ const maxScenarioBody = 1 << 20
 // lifetime context) and are polled by id, with results cached in cacheDir
 // when it is non-empty.
 func newServer(base context.Context, cacheDir string) http.Handler {
+	return newServerWith(base, serverConfig{cacheDir: cacheDir})
+}
+
+// newServerWith is newServer with the full configuration surface.
+func newServerWith(base context.Context, cfg serverConfig) http.Handler {
 	mux := http.NewServeMux()
-	newSweepManager(base, cacheDir).register(mux)
-	newOptimizeManager(base, cacheDir).register(mux)
+	newSweepManager(base, cfg).register(mux)
+	newOptimizeManager(base, cfg).register(mux)
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})

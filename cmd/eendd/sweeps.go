@@ -5,9 +5,10 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
-	"sync"
 	"time"
 
+	"eend/internal/exec"
+	"eend/internal/jobs"
 	"eend/sweep"
 )
 
@@ -15,25 +16,33 @@ import (
 // batched requests, not one HTTP call.
 const maxSweepPoints = 10000
 
-// maxRetainedSweeps bounds how many finished jobs (with their result
-// payloads) the manager keeps for polling; the oldest finished jobs are
-// evicted first. Running jobs are never evicted.
-const maxRetainedSweeps = 32
-
 // sweepRequest is the JSON body of POST /v1/sweeps.
 type sweepRequest struct {
 	// Grid is the text grid spec, e.g.
 	// "nodes=10,20 seed=1..5 stack=titan-pc/odpm topology=uniform,cluster".
 	Grid string `json:"grid"`
-	// Workers bounds concurrent simulations (<= 0: GOMAXPROCS).
+	// Workers bounds concurrent simulations, normalized by the execution
+	// runtime (<= 0: GOMAXPROCS; requests beyond the hard cap are
+	// clamped). The response reports the normalized value.
 	Workers int `json:"workers,omitempty"`
+}
+
+// sweepState is the job payload of one sweep: what the generic job store
+// tracks on behalf of this endpoint.
+type sweepState struct {
+	grid     []sweep.Axis
+	workers  int
+	progress sweep.Progress
+	results  []sweep.Result
 }
 
 // sweepStatus is the JSON representation of a sweep job.
 type sweepStatus struct {
-	ID       string         `json:"id"`
-	Status   string         `json:"status"` // running | done | cancelled | failed
-	Grid     []sweep.Axis   `json:"grid"`
+	ID     string       `json:"id"`
+	Status string       `json:"status"` // running | done | cancelled | failed
+	Grid   []sweep.Axis `json:"grid"`
+	// Workers is the normalized worker count the sweep runs with.
+	Workers  int            `json:"workers"`
 	Progress sweep.Progress `json:"progress"`
 	Created  time.Time      `json:"created"`
 	// Error is set when Status is "failed".
@@ -43,68 +52,38 @@ type sweepStatus struct {
 	Results []sweep.Result `json:"results,omitempty"`
 }
 
-// sweepJob is one asynchronous sweep run.
-type sweepJob struct {
-	id      string
-	seq     int
-	axes    []sweep.Axis
-	created time.Time
-	cancel  context.CancelFunc
-
-	mu       sync.Mutex
-	status   string
-	errText  string
-	progress sweep.Progress
-	results  []sweep.Result
-}
-
-// finished reports whether the job has left the running state.
-func (j *sweepJob) finished() bool {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.status != "running"
-}
-
-// snapshot renders the job, optionally with its results.
-func (j *sweepJob) snapshot(withResults bool) sweepStatus {
-	j.mu.Lock()
-	defer j.mu.Unlock()
+// sweepSnapshot renders a job, optionally with its results.
+func sweepSnapshot(j *jobs.Job[sweepState], withResults bool) sweepStatus {
+	status, errText, v := j.Snapshot()
 	st := sweepStatus{
-		ID: j.id, Status: j.status, Grid: j.axes,
-		Progress: j.progress, Created: j.created, Error: j.errText,
+		ID: j.ID(), Status: string(status), Grid: v.grid, Workers: v.workers,
+		Progress: v.progress, Created: j.Created(), Error: errText,
 	}
 	if withResults {
-		st.Results = append([]sweep.Result(nil), j.results...)
+		st.Results = v.results
 	}
 	return st
 }
 
-// sweepManager owns the server's asynchronous sweep jobs. Jobs run under
-// the server's base context — a client may disconnect and poll later, but
-// server shutdown (after the grace period) cancels them.
+// sweepManager wires the sweep endpoints to the generic job store; all
+// job lifecycle (retention, eviction, status transitions, cancellation)
+// lives in internal/jobs.
 type sweepManager struct {
-	base     context.Context
+	store    *jobs.Store[sweepState]
 	cacheDir string
-	clock    func() time.Time
-
-	mu   sync.Mutex
-	seq  int
-	jobs map[string]*sweepJob
 }
 
-func newSweepManager(base context.Context, cacheDir string) *sweepManager {
+func newSweepManager(base context.Context, cfg serverConfig) *sweepManager {
 	return &sweepManager{
-		base:     base,
-		cacheDir: cacheDir,
-		clock:    time.Now,
-		jobs:     make(map[string]*sweepJob),
+		store:    jobs.NewStore[sweepState](base, jobs.Options{Prefix: "sweep", Retain: cfg.retainJobs}),
+		cacheDir: cfg.cacheDir,
 	}
 }
 
 // start validates the request synchronously (so configuration errors are
 // 400s, not failed jobs) and launches the sweep's cache scan and
 // simulations in the background.
-func (m *sweepManager) start(req sweepRequest) (*sweepJob, error) {
+func (m *sweepManager) start(req sweepRequest) (*jobs.Job[sweepState], error) {
 	g, err := sweep.ParseGrid(req.Grid)
 	if err != nil {
 		return nil, err
@@ -112,112 +91,60 @@ func (m *sweepManager) start(req sweepRequest) (*sweepJob, error) {
 	if g.Size() > maxSweepPoints {
 		return nil, fmt.Errorf("grid expands to %d points, limit %d", g.Size(), maxSweepPoints)
 	}
-	r := sweep.Runner{Workers: req.Workers, CacheDir: m.cacheDir}
+	workers := exec.Workers(req.Workers)
+	r := sweep.Runner{Workers: workers, CacheDir: m.cacheDir}
 	prep, err := r.Prepare(g)
 	if err != nil {
 		return nil, err
 	}
 
-	ctx, cancel := context.WithCancel(m.base)
-	m.mu.Lock()
-	m.seq++
-	job := &sweepJob{
-		id:      fmt.Sprintf("sweep-%d", m.seq),
-		seq:     m.seq,
-		axes:    g.Axes(),
-		created: m.clock(),
-		cancel:  cancel,
-		status:  "running",
-	}
-	job.progress.Total = prep.Total()
-	m.jobs[job.id] = job
-	m.evictLocked()
-	m.mu.Unlock()
-
-	go func() {
-		defer cancel()
-		ch, err := prep.Stream(ctx)
-		if err != nil {
-			job.mu.Lock()
-			job.status, job.errText = "failed", err.Error()
-			job.mu.Unlock()
-			return
-		}
-		for sr := range ch {
-			job.mu.Lock()
-			job.results = append(job.results, sr)
-			job.progress.Done++
-			if sr.Cached {
-				job.progress.CacheHits++
+	return m.store.Start(
+		func(v *sweepState) {
+			v.grid = g.Axes()
+			v.workers = workers
+			v.progress.Total = prep.Total()
+		},
+		func(ctx context.Context, j *jobs.Job[sweepState]) error {
+			ch, err := prep.Stream(ctx)
+			if err != nil {
+				return err
 			}
-			if sr.Err != nil {
-				job.progress.Errors++
+			done, errors := 0, 0
+			for sr := range ch {
+				done++
+				if sr.Err != nil {
+					errors++
+				}
+				j.Update(func(v *sweepState) {
+					v.results = append(v.results, sr)
+					v.progress.Done++
+					if sr.Cached {
+						v.progress.CacheHits++
+					}
+					if sr.Err != nil {
+						v.progress.Errors++
+					}
+				})
 			}
-			job.mu.Unlock()
-		}
-		job.mu.Lock()
-		// A cancelled context marks the job cancelled even when every point
-		// had already been dispatched (and so arrived, as errors): the
-		// client asked for the sweep to stop, and "done" would say it ran
-		// to completion.
-		if ctx.Err() != nil && job.progress.Done-job.progress.Errors < job.progress.Total {
-			job.status = "cancelled"
-		} else {
-			job.status = "done"
-		}
-		sort.Slice(job.results, func(i, k int) bool {
-			return job.results[i].Point.Index < job.results[k].Point.Index
-		})
-		job.mu.Unlock()
-	}()
-	return job, nil
-}
-
-// evictLocked drops the oldest finished jobs beyond the retention cap.
-// Callers hold m.mu.
-func (m *sweepManager) evictLocked() {
-	if len(m.jobs) <= maxRetainedSweeps {
-		return
-	}
-	jobs := make([]*sweepJob, 0, len(m.jobs))
-	for _, j := range m.jobs {
-		jobs = append(jobs, j)
-	}
-	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq < jobs[k].seq })
-	excess := len(jobs) - maxRetainedSweeps
-	for _, j := range jobs {
-		if excess == 0 {
-			break
-		}
-		if j.finished() {
-			delete(m.jobs, j.id)
-			excess--
-		}
-	}
-}
-
-// get returns a job by id.
-func (m *sweepManager) get(id string) (*sweepJob, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	j, ok := m.jobs[id]
-	return j, ok
-}
-
-// list returns every job, newest first.
-func (m *sweepManager) list() []sweepStatus {
-	m.mu.Lock()
-	jobs := make([]*sweepJob, 0, len(m.jobs))
-	for _, j := range m.jobs {
-		jobs = append(jobs, j)
-	}
-	m.mu.Unlock()
-	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq > jobs[k].seq })
-	out := make([]sweepStatus, len(jobs))
-	for i, j := range jobs {
-		out[i] = j.snapshot(false)
-	}
-	return out
+			// Finalize sorts atomically with the status flip — into a fresh
+			// slice, since snapshots taken while running may still alias the
+			// old backing array.
+			j.Finalize(func(v *sweepState) {
+				sorted := append([]sweep.Result(nil), v.results...)
+				sort.Slice(sorted, func(i, k int) bool {
+					return sorted[i].Point.Index < sorted[k].Point.Index
+				})
+				v.results = sorted
+			})
+			// A cancelled context marks the job cancelled even when every
+			// point had already been dispatched (and so arrived, as errors):
+			// the client asked for the sweep to stop, and "done" would say
+			// it ran to completion.
+			if ctx.Err() != nil && done-errors < prep.Total() {
+				return ctx.Err()
+			}
+			return nil
+		}), nil
 }
 
 // register installs the sweep endpoints on mux.
@@ -232,30 +159,35 @@ func (m *sweepManager) register(mux *http.ServeMux) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		w.Header().Set("Location", "/v1/sweeps/"+job.id)
-		writeJSON(w, http.StatusAccepted, job.snapshot(false))
+		w.Header().Set("Location", "/v1/sweeps/"+job.ID())
+		writeJSON(w, http.StatusAccepted, sweepSnapshot(job, false))
 	})
 
 	mux.HandleFunc("GET /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string][]sweepStatus{"sweeps": m.list()})
+		all := m.store.Jobs()
+		out := make([]sweepStatus, len(all))
+		for i, j := range all {
+			out[i] = sweepSnapshot(j, false)
+		}
+		writeJSON(w, http.StatusOK, map[string][]sweepStatus{"sweeps": out})
 	})
 
 	mux.HandleFunc("GET /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
-		job, ok := m.get(r.PathValue("id"))
+		job, ok := m.store.Get(r.PathValue("id"))
 		if !ok {
 			writeError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
 			return
 		}
-		writeJSON(w, http.StatusOK, job.snapshot(true))
+		writeJSON(w, http.StatusOK, sweepSnapshot(job, true))
 	})
 
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
-		job, ok := m.get(r.PathValue("id"))
+		job, ok := m.store.Get(r.PathValue("id"))
 		if !ok {
 			writeError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
 			return
 		}
-		job.cancel()
-		writeJSON(w, http.StatusOK, job.snapshot(false))
+		job.Cancel()
+		writeJSON(w, http.StatusOK, sweepSnapshot(job, false))
 	})
 }

@@ -20,8 +20,12 @@
 //	res, err := sc.Run(ctx)
 //
 // Batches of scenarios run concurrently through RunBatch, which streams
-// results as they complete; Results, Figure and the metric series marshal
-// to stable JSON for machine consumption (served over HTTP by cmd/eendd).
+// results as they complete over the shared execution runtime: one bounded
+// scheduler (internal/exec) carries batches, replicate fan-out and design
+// searches, coalescing identical in-flight scenarios into single runs
+// while keeping parallel output bit-identical to sequential. Results,
+// Figure and the metric series marshal to stable JSON for machine
+// consumption (served over HTTP by cmd/eendd).
 //
 // WithReplicates(n) reproduces the paper's methodology of averaging 5-10
 // independent runs per point: the scenario executes once per derived seed

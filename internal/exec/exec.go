@@ -1,0 +1,534 @@
+// Package exec is the unified execution runtime: one bounded work
+// scheduler under every layer that fans work out — eend.RunBatch,
+// WithReplicates replication, sweep.Runner, and eend/opt's random-restart
+// search all submit Items here instead of spinning private worker pools.
+//
+// The scheduler's contract is determinism first: an Item's value never
+// depends on when or where it runs. Each item carries the seed it was
+// derived under at submission time, results merge back in item order
+// (Gather) or carry their index for the caller to reorder (Stream), and
+// single-flight coalescing only ever shares the one value a key's leader
+// computed — so parallel execution reproduces sequential output
+// bit-for-bit, at any worker count.
+//
+// Nested fan-out is first-class: an item that itself submits items (a
+// batched scenario fanning out its replicates, a restart search evaluating
+// candidates) calls Gather with the ctx its Do received. The scheduler
+// recognizes its own workers and lets them help drain the queue while they
+// wait, so the worker budget is respected without deadlocking the pool.
+package exec
+
+import (
+	"context"
+	"runtime"
+	"slices"
+	"sync"
+)
+
+// MaxWorkers is the hard upper cap on any scheduler's worker count: a
+// request for more (for example over HTTP) is clamped, never honored —
+// beyond this, goroutine overhead only subtracts from throughput.
+const MaxWorkers = 256
+
+// Workers normalizes a requested worker count to the runtime's policy:
+// n <= 0 means GOMAXPROCS, and everything is capped at MaxWorkers. Every
+// layer that accepts a worker knob (RunBatch, sweep.Runner, opt.Options,
+// the eendd request surface) funnels through here, so the policy lives in
+// exactly one place.
+func Workers(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > MaxWorkers {
+		n = MaxWorkers
+	}
+	return n
+}
+
+// Item is one schedulable unit of work.
+type Item struct {
+	// Index is the item's position within its submission; Gather returns
+	// results in Index order and Stream carries it for correlation.
+	Index int
+	// Seed is the random seed the item's work was derived under. The
+	// scheduler does not use it — it is fixed at submission time precisely
+	// so that scheduling order cannot influence it — and it is echoed on
+	// the item's Result for layers that assert the derivation.
+	Seed uint64
+	// Priority orders dispatch when items queue: lower runs earlier.
+	// Nested submissions default to PriorityNested so in-progress parents
+	// finish before fresh top-level work starts.
+	Priority int
+	// Key, when non-empty, enables single-flight coalescing: while an
+	// item with this key is running, other items with the same key wait
+	// for its value instead of recomputing it. Keys compose with the
+	// content-addressed result cache — a scenario fingerprint is a Key.
+	Key string
+	// Do performs the work. The ctx it receives derives from the
+	// submission's ctx and marks the goroutine as a scheduler worker, so
+	// nested Gather calls must pass it on.
+	Do func(ctx context.Context) (any, error)
+}
+
+// Dispatch priorities (lower dispatches earlier).
+const (
+	// PriorityBatch is the default for top-level submissions.
+	PriorityBatch = 0
+	// PriorityNested is used by nested fan-outs (replicates under a
+	// batched scenario): finishing started work beats starting new work.
+	PriorityNested = -1
+)
+
+// Result is one item's outcome.
+type Result struct {
+	// Index is the submitting Item's Index.
+	Index int
+	// Seed echoes the submitting Item's Seed.
+	Seed uint64
+	// Value is Do's return value; nil when Err is set.
+	Value any
+	// Err is Do's error, or the submission ctx's error for items
+	// cancelled before or while running.
+	Err error
+	// Shared reports that the value came from another in-flight item's
+	// run via single-flight coalescing, not from this item's own Do.
+	Shared bool
+	// Skipped reports that the item was never started because the
+	// submission's ctx was already cancelled at dispatch time.
+	Skipped bool
+}
+
+// Scheduler is a bounded work scheduler. Workers are spawned on demand up
+// to the bound and exit when the queue drains; a zero-work scheduler costs
+// nothing. All methods are safe for concurrent use.
+type Scheduler struct {
+	workers int
+
+	mu      sync.Mutex
+	queue   entryHeap
+	seq     uint64
+	running int // live worker goroutines
+	parked  int // workers blocked in nested waits; they free a budget slot
+	flight  map[string]*flightCall
+}
+
+// New returns a scheduler bounded at Workers(workers).
+func New(workers int) *Scheduler {
+	return &Scheduler{
+		workers: Workers(workers),
+		flight:  make(map[string]*flightCall),
+	}
+}
+
+// WorkerCount returns the scheduler's normalized worker bound.
+func (s *Scheduler) WorkerCount() int { return s.workers }
+
+// defaultScheduler serves layers that fan out without an enclosing
+// scheduler in their context (a bare Scenario.Run with replicates). One
+// process-wide pool keeps the total concurrency of independent callers
+// bounded by the machine, which is the point of a unified runtime.
+var defaultScheduler = sync.OnceValue(func() *Scheduler { return New(0) })
+
+// Default returns the process-wide scheduler (GOMAXPROCS workers).
+func Default() *Scheduler { return defaultScheduler() }
+
+// ctxKey carries the ambient scheduler; workerKey marks worker goroutines.
+type ctxKey struct{}
+type workerKey struct{}
+
+// With returns a ctx carrying s as the ambient scheduler for nested
+// layers: work submitted under the returned ctx (replicate fan-out inside
+// a batched scenario, candidate evaluation inside a search) lands on s
+// instead of a fresh pool.
+func With(ctx context.Context, s *Scheduler) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// From returns ctx's ambient scheduler, or the process-wide Default.
+func From(ctx context.Context) *Scheduler {
+	if s, ok := ctx.Value(ctxKey{}).(*Scheduler); ok {
+		return s
+	}
+	return Default()
+}
+
+// entry is one queued item together with its submission.
+type entry struct {
+	sub *submission
+	idx int    // index into sub.items
+	seq uint64 // global FIFO tie-break within a priority
+}
+
+// entryHeap orders entries by (Priority, seq): strict priority, FIFO
+// within.
+type entryHeap []entry
+
+func (h entryHeap) less(i, j int) bool {
+	pi, pj := h[i].sub.items[h[i].idx].Priority, h[j].sub.items[h[j].idx].Priority
+	if pi != pj {
+		return pi < pj
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *entryHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *entryHeap) siftDown(i int) {
+	n := len(*h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.less(l, m) {
+			m = l
+		}
+		if r < n && h.less(r, m) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		(*h)[i], (*h)[m] = (*h)[m], (*h)[i]
+		i = m
+	}
+}
+
+func (h *entryHeap) push(e entry) {
+	*h = append(*h, e)
+	h.siftUp(len(*h) - 1)
+}
+
+// removeAt removes and returns the entry at heap position i.
+func (h *entryHeap) removeAt(i int) entry {
+	old := *h
+	e := old[i]
+	last := len(old) - 1
+	old[i] = old[last]
+	old[last] = entry{}
+	*h = old[:last]
+	if i < last {
+		h.siftUp(i)
+		h.siftDown(i)
+	}
+	return e
+}
+
+func (h *entryHeap) pop() (entry, bool) {
+	if len(*h) == 0 {
+		return entry{}, false
+	}
+	return h.removeAt(0), true
+}
+
+// popOwn removes and returns sub's highest-priority queued entry. Helpers
+// joining a nested Gather use it to run their own children only: running
+// arbitrary foreign work from inside an item's call chain could wait on a
+// flight that chain itself leads — including flights (like the Simulated
+// objective's) the scheduler cannot see. Linear scan: queues hold
+// coarse-grained simulation work, never enough entries for this to
+// matter.
+func (h *entryHeap) popOwn(sub *submission) (entry, bool) {
+	best := -1
+	for i := range *h {
+		if (*h)[i].sub != sub {
+			continue
+		}
+		if best == -1 || h.less(i, best) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return entry{}, false
+	}
+	return h.removeAt(best), true
+}
+
+// submission tracks one Stream or Gather call's items and results.
+type submission struct {
+	ctx     context.Context
+	items   []Item
+	deliver func(Result) // called exactly once per item, any goroutine
+}
+
+// enqueue pushes every item of sub and wakes workers for them.
+func (s *Scheduler) enqueue(sub *submission) {
+	s.mu.Lock()
+	for i := range sub.items {
+		s.seq++
+		s.queue.push(entry{sub: sub, idx: i, seq: s.seq})
+	}
+	s.spawnLocked()
+	s.mu.Unlock()
+}
+
+// spawnLocked tops the pool up to the worker budget, spawning at most one
+// worker per queued entry (a worker that finds the queue drained simply
+// exits). Callers hold s.mu.
+func (s *Scheduler) spawnLocked() {
+	for n := len(s.queue); n > 0 && s.running-s.parked < s.workers; n-- {
+		s.running++
+		go s.worker()
+	}
+}
+
+// worker drains the queue and exits when it is empty — or when the pool
+// is over budget. Parking spawns replacement workers, so after an unpark
+// the pool can transiently exceed its bound; the check below retires the
+// excess at the next item boundary, restoring the budget.
+func (s *Scheduler) worker() {
+	for {
+		s.mu.Lock()
+		if s.running-s.parked > s.workers {
+			s.running--
+			s.mu.Unlock()
+			return
+		}
+		e, ok := s.queue.pop()
+		if !ok {
+			s.running--
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		s.runEntry(e)
+	}
+}
+
+// park blocks the calling worker on wait() while releasing its budget
+// slot, so nested waits (single-flight followers, Gather joins) never
+// starve the queue of workers.
+func (s *Scheduler) park(wait func()) {
+	s.mu.Lock()
+	s.parked++
+	s.spawnLocked()
+	s.mu.Unlock()
+	wait()
+	s.mu.Lock()
+	s.parked--
+	s.mu.Unlock()
+}
+
+// runEntry executes one queued item: cancellation check, single-flight
+// coalescing, then delivery.
+func (s *Scheduler) runEntry(e entry) {
+	it := &e.sub.items[e.idx]
+	ctx := e.sub.ctx
+	if ctx.Err() != nil {
+		e.sub.deliver(Result{Index: it.Index, Seed: it.Seed, Err: ctx.Err(), Skipped: true})
+		return
+	}
+	if it.Key == "" {
+		v, err := it.Do(markWorker(ctx))
+		e.sub.deliver(Result{Index: it.Index, Seed: it.Seed, Value: v, Err: err})
+		return
+	}
+	s.mu.Lock()
+	if c, ok := s.flight[it.Key]; ok {
+		s.mu.Unlock()
+		if slices.Contains(heldKeys(ctx), it.Key) {
+			// The in-flight leader is this very call chain (a nested item
+			// reusing its ancestor's key): waiting would deadlock, so run
+			// fresh — determinism makes the value identical anyway.
+			v, err := it.Do(markWorker(ctx))
+			e.sub.deliver(Result{Index: it.Index, Seed: it.Seed, Value: v, Err: err})
+			return
+		}
+		cancelled := false
+		s.park(func() {
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				cancelled = true
+			}
+		})
+		if cancelled {
+			e.sub.deliver(Result{Index: it.Index, Seed: it.Seed, Err: ctx.Err()})
+			return
+		}
+		e.sub.deliver(Result{Index: it.Index, Seed: it.Seed, Value: c.val, Err: c.err, Shared: true})
+		return
+	}
+	c := &flightCall{done: make(chan struct{})}
+	s.flight[it.Key] = c
+	s.mu.Unlock()
+	// The Do ctx records the held key: if this call chain fans out and
+	// helps drain the queue, it must not wait on its own flight.
+	c.val, c.err = it.Do(withHeldKey(markWorker(ctx), it.Key))
+	s.mu.Lock()
+	delete(s.flight, it.Key)
+	s.mu.Unlock()
+	close(c.done)
+	e.sub.deliver(Result{Index: it.Index, Seed: it.Seed, Value: c.val, Err: c.err})
+}
+
+// markWorker tags ctx so nested Gather calls recognize they already hold
+// a worker slot (and must help instead of just blocking).
+func markWorker(ctx context.Context) context.Context {
+	if ctx.Value(workerKey{}) != nil {
+		return ctx // already marked by an outer frame
+	}
+	return context.WithValue(ctx, workerKey{}, true)
+}
+
+// onWorker reports whether ctx belongs to a scheduler worker goroutine.
+func onWorker(ctx context.Context) bool { return ctx.Value(workerKey{}) != nil }
+
+// OnWorker reports whether ctx belongs to one of the runtime's worker
+// goroutines — the caller is running inside a scheduled item. Layers use
+// this to choose Gather's help-first join over consuming a Stream:
+// blocking on a Stream from within a worker holds a budget slot without
+// parking, which starves small pools.
+func OnWorker(ctx context.Context) bool { return onWorker(ctx) }
+
+// heldKeysKey carries the single-flight keys held by the current call
+// chain: the leaders this goroutine is currently running for.
+type heldKeysKey struct{}
+
+// withHeldKey appends key to ctx's held-key chain (copy-on-write, so
+// sibling chains never share backing storage).
+func withHeldKey(ctx context.Context, key string) context.Context {
+	held, _ := ctx.Value(heldKeysKey{}).([]string)
+	held = append(held[:len(held):len(held)], key)
+	return context.WithValue(ctx, heldKeysKey{}, held)
+}
+
+// heldKeys returns the single-flight keys ctx's call chain holds.
+func heldKeys(ctx context.Context) []string {
+	held, _ := ctx.Value(heldKeysKey{}).([]string)
+	return held
+}
+
+// Gather schedules items and returns their results in Item.Index order —
+// the ordered merge the determinism contract depends on. Results index by
+// the items' Index fields, which must be the dense range [0, len(items)).
+//
+// Gather may be called from inside an item's Do (nested fan-out): the
+// calling worker then helps execute queued items while it waits, so the
+// pool's worker budget is respected without deadlock. Cancellation of ctx
+// marks undispatched items Skipped with the ctx error; started work is
+// cancelled through the ctx its Do received.
+func (s *Scheduler) Gather(ctx context.Context, items []Item) []Result {
+	results := make([]Result, len(items))
+	var mu sync.Mutex
+	remaining := len(items)
+	done := make(chan struct{})
+	sub := &submission{
+		ctx:   ctx,
+		items: items,
+		deliver: func(r Result) {
+			mu.Lock()
+			results[r.Index] = r
+			remaining--
+			last := remaining == 0
+			mu.Unlock()
+			if last {
+				close(done)
+			}
+		},
+	}
+	if len(items) == 0 {
+		return results
+	}
+	s.enqueue(sub)
+	if onWorker(ctx) {
+		// Help-first join: run our own queued children until the
+		// submission completes, then park (which frees this worker's
+		// budget slot, so a replacement worker covers any foreign work).
+		// Helping is deliberately restricted to our own entries — running
+		// arbitrary foreign work from inside this call chain could join a
+		// single-flight this chain itself leads (the scheduler's keyed
+		// items, or a layer's own Flight like the Simulated objective's)
+		// and deadlock on it.
+		for {
+			select {
+			case <-done:
+				return results
+			default:
+			}
+			s.mu.Lock()
+			e, ok := s.queue.popOwn(sub)
+			s.mu.Unlock()
+			if !ok {
+				s.park(func() { <-done })
+				return results
+			}
+			s.runEntry(e)
+		}
+	}
+	<-done
+	return results
+}
+
+// streamBuffer bounds Stream's delivery channel. The merger goroutine
+// holds completed-but-unconsumed results in a growable queue, so the
+// buffer only smooths handoff — it no longer scales with the batch (the
+// old RunBatch allocated a whole-batch buffer up front).
+const streamBuffer = 16
+
+// Stream schedules items and returns a channel delivering each result as
+// it completes (not in Index order; correlate with Result.Index). Workers
+// never block on a slow or departed consumer: an internal merger queues
+// pending deliveries, growing only with the actual backlog. Items never
+// started because ctx was cancelled are dropped (they were never
+// dispatched); items cancelled mid-run arrive with Err set. The channel
+// closes once every item is accounted for.
+func (s *Scheduler) Stream(ctx context.Context, items []Item) <-chan Result {
+	buf := streamBuffer
+	if len(items) < buf {
+		buf = len(items)
+	}
+	out := make(chan Result, buf)
+	if len(items) == 0 {
+		close(out)
+		return out
+	}
+	var mu sync.Mutex
+	var pending []Result
+	signal := make(chan struct{}, 1)
+	sub := &submission{
+		ctx:   ctx,
+		items: items,
+		deliver: func(r Result) {
+			mu.Lock()
+			pending = append(pending, r)
+			mu.Unlock()
+			select {
+			case signal <- struct{}{}:
+			default:
+			}
+		},
+	}
+	go func() {
+		defer close(out)
+		delivered := 0
+		for delivered < len(items) {
+			<-signal
+			for {
+				mu.Lock()
+				batch := pending
+				pending = nil
+				mu.Unlock()
+				if len(batch) == 0 {
+					break
+				}
+				for _, r := range batch {
+					delivered++
+					if r.Skipped {
+						continue // never dispatched: not part of the stream
+					}
+					out <- r
+				}
+			}
+		}
+	}()
+	s.enqueue(sub)
+	return out
+}

@@ -1,0 +1,62 @@
+package exec
+
+import (
+	"context"
+	"sync"
+)
+
+// flightCall is one in-flight keyed computation.
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Flight is a standalone single-flight group for layers that coalesce
+// duplicate work outside the scheduler's item path — the Simulated
+// objective uses one so concurrent evaluations of the same scenario
+// fingerprint share a single simulator run. The zero value is ready to
+// use.
+type Flight struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// Do runs fn under key, coalescing concurrent callers: while one call for
+// key is in flight, later callers wait for its value instead of invoking
+// fn. shared reports whether the result came from another caller's run.
+// Once a call completes, the key is forgotten — completed values are the
+// cache layer's business, Do only deduplicates the in-flight window.
+func (f *Flight) Do(key string, fn func() (any, error)) (v any, err error, shared bool) {
+	return f.DoContext(context.Background(), key, fn)
+}
+
+// DoContext is Do with a cancellable follower wait: a caller that joins
+// another call's flight stops waiting when ctx is done and returns ctx's
+// error (shared false — it got no value). The leader always runs fn to
+// completion under its own cancellation rules; a follower's cancellation
+// never aborts the shared run.
+func (f *Flight) DoContext(ctx context.Context, key string, fn func() (any, error)) (v any, err error, shared bool) {
+	f.mu.Lock()
+	if f.calls == nil {
+		f.calls = make(map[string]*flightCall)
+	}
+	if c, ok := f.calls[key]; ok {
+		f.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), false
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	f.calls[key] = c
+	f.mu.Unlock()
+	c.val, c.err = fn()
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

@@ -1,0 +1,288 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// payload is a minimal endpoint-style job payload.
+type payload struct {
+	Total int
+	Done  int
+}
+
+// wait polls a job until it leaves Running.
+func wait[V any](t *testing.T, j *Job[V]) Status {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := j.Status(); st != Running {
+			return st
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", j.ID())
+	return Running
+}
+
+func TestLifecycleDone(t *testing.T) {
+	s := NewStore[payload](context.Background(), Options{Prefix: "test"})
+	j := s.Start(
+		func(v *payload) { v.Total = 3 },
+		func(ctx context.Context, j *Job[payload]) error {
+			for i := 0; i < 3; i++ {
+				j.Update(func(v *payload) { v.Done++ })
+			}
+			return nil
+		})
+	if j.ID() != "test-1" {
+		t.Fatalf("id = %q, want test-1", j.ID())
+	}
+	if st, _, v := j.Snapshot(); v.Total != 3 || st == "" {
+		t.Fatalf("init did not seed the payload: %+v", v)
+	}
+	if got := wait(t, j); got != Done {
+		t.Fatalf("status = %q, want done", got)
+	}
+	if _, errText, v := j.Snapshot(); v.Done != 3 || errText != "" {
+		t.Fatalf("final payload %+v errText %q", v, errText)
+	}
+}
+
+func TestLifecycleFailed(t *testing.T) {
+	s := NewStore[payload](context.Background(), Options{})
+	j := s.Start(nil, func(ctx context.Context, j *Job[payload]) error {
+		return errors.New("kaboom")
+	})
+	if got := wait(t, j); got != Failed {
+		t.Fatalf("status = %q, want failed", got)
+	}
+	if _, errText, _ := j.Snapshot(); errText != "kaboom" {
+		t.Fatalf("errText = %q", errText)
+	}
+}
+
+func TestLifecycleCancelled(t *testing.T) {
+	s := NewStore[payload](context.Background(), Options{})
+	started := make(chan struct{})
+	j := s.Start(nil, func(ctx context.Context, j *Job[payload]) error {
+		close(started)
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	<-started
+	j.Cancel()
+	if got := wait(t, j); got != Cancelled {
+		t.Fatalf("status = %q, want cancelled", got)
+	}
+	// A cancelled job records no failure text: the client asked for it.
+	if _, errText, _ := j.Snapshot(); errText != "" {
+		t.Fatalf("cancelled job has errText %q", errText)
+	}
+}
+
+// TestCancelledBeatsError: an error returned after the ctx was cancelled
+// reads as a cancellation, not a failure — in-flight work aborting with an
+// error is the mechanism of cancellation, not a fault.
+func TestCancelledBeatsError(t *testing.T) {
+	s := NewStore[payload](context.Background(), Options{})
+	started := make(chan struct{})
+	j := s.Start(nil, func(ctx context.Context, j *Job[payload]) error {
+		close(started)
+		<-ctx.Done()
+		return errors.New("simulation aborted")
+	})
+	<-started
+	j.Cancel()
+	if got := wait(t, j); got != Cancelled {
+		t.Fatalf("status = %q, want cancelled", got)
+	}
+}
+
+func TestBaseContextCancelsJobs(t *testing.T) {
+	base, cancel := context.WithCancel(context.Background())
+	s := NewStore[payload](base, Options{})
+	started := make(chan struct{})
+	j := s.Start(nil, func(ctx context.Context, j *Job[payload]) error {
+		close(started)
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	<-started
+	cancel()
+	if got := wait(t, j); got != Cancelled {
+		t.Fatalf("status = %q, want cancelled after base shutdown", got)
+	}
+}
+
+func TestRetentionEvictsOldestFinished(t *testing.T) {
+	s := NewStore[payload](context.Background(), Options{Prefix: "r", Retain: 3})
+	if s.Retain() != 3 {
+		t.Fatalf("retain = %d", s.Retain())
+	}
+	for i := 0; i < 6; i++ {
+		j := s.Start(nil, func(ctx context.Context, j *Job[payload]) error { return nil })
+		wait(t, j)
+	}
+	if got := s.Len(); got != 3 {
+		t.Fatalf("retained %d jobs, want 3", got)
+	}
+	// The oldest were evicted; the newest three remain, newest first.
+	jobs := s.Jobs()
+	want := []string{"r-6", "r-5", "r-4"}
+	for i, j := range jobs {
+		if j.ID() != want[i] {
+			t.Fatalf("jobs[%d] = %s, want %s (full: %v)", i, j.ID(), want[i], ids(jobs))
+		}
+	}
+	if _, ok := s.Get("r-1"); ok {
+		t.Fatal("evicted job still retrievable")
+	}
+}
+
+func TestRetentionNeverEvictsRunning(t *testing.T) {
+	s := NewStore[payload](context.Background(), Options{Retain: 2})
+	release := make(chan struct{})
+	var running []*Job[payload]
+	for i := 0; i < 4; i++ {
+		running = append(running, s.Start(nil, func(ctx context.Context, j *Job[payload]) error {
+			<-release
+			return nil
+		}))
+	}
+	// Four running jobs exceed the cap but must all survive.
+	if got := s.Len(); got != 4 {
+		t.Fatalf("retained %d, want all 4 running jobs", got)
+	}
+	close(release)
+	for _, j := range running {
+		wait(t, j)
+	}
+}
+
+func TestJobsNewestFirstNumeric(t *testing.T) {
+	s := NewStore[payload](context.Background(), Options{Prefix: "n", Retain: 64})
+	for i := 0; i < 11; i++ {
+		wait(t, s.Start(nil, func(ctx context.Context, j *Job[payload]) error { return nil }))
+	}
+	jobs := s.Jobs()
+	if len(jobs) != 11 || jobs[0].ID() != "n-11" || jobs[10].ID() != "n-1" {
+		t.Fatalf("order = %v", ids(jobs))
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	s := NewStore[payload](context.Background(), Options{})
+	if s.Retain() != DefaultRetain {
+		t.Fatalf("default retain = %d, want %d", s.Retain(), DefaultRetain)
+	}
+	j := s.Start(nil, func(ctx context.Context, j *Job[payload]) error { return nil })
+	if j.ID() != "job-1" {
+		t.Fatalf("default prefix id = %q", j.ID())
+	}
+	if j.Created().IsZero() {
+		t.Fatal("created time not stamped")
+	}
+	wait(t, j)
+}
+
+// finalPayload marks its result through Finalize only.
+type finalPayload struct {
+	Progress int
+	Result   bool
+}
+
+// TestFinalizeAtomicWithStatus: a poller must never observe the final
+// result on a still-running job — Finalize applies in the same critical
+// section as the status transition.
+func TestFinalizeAtomicWithStatus(t *testing.T) {
+	s := NewStore[finalPayload](context.Background(), Options{})
+	release := make(chan struct{})
+	j := s.Start(nil, func(ctx context.Context, j *Job[finalPayload]) error {
+		for i := 0; i < 100; i++ {
+			j.Update(func(v *finalPayload) { v.Progress++ })
+		}
+		j.Finalize(func(v *finalPayload) { v.Result = true })
+		<-release
+		return nil
+	})
+	stop := make(chan struct{})
+	violated := make(chan string, 1)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if st, _, v := j.Snapshot(); v.Result && st == Running {
+					select {
+					case violated <- "final result visible on a running job":
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // pollers race the registered finalizer
+	close(release)
+	if got := wait(t, j); got != Done {
+		t.Fatalf("status = %q", got)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-violated:
+		t.Fatal(msg)
+	default:
+	}
+	if _, _, v := j.Snapshot(); !v.Result || v.Progress != 100 {
+		t.Fatalf("finalizer did not apply: %+v", v)
+	}
+}
+
+func TestConcurrentUpdatesAndSnapshots(t *testing.T) {
+	s := NewStore[payload](context.Background(), Options{})
+	j := s.Start(
+		func(v *payload) { v.Total = 1000 },
+		func(ctx context.Context, j *Job[payload]) error {
+			for i := 0; i < 1000; i++ {
+				j.Update(func(v *payload) { v.Done++ })
+			}
+			return nil
+		})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, _, v := j.Snapshot(); v.Done < 0 || v.Done > 1000 {
+					panic(fmt.Sprintf("torn payload: %+v", v))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wait(t, j)
+	if _, _, v := j.Snapshot(); v.Done != 1000 {
+		t.Fatalf("final Done = %d", v.Done)
+	}
+}
+
+func ids[V any](jobs []*Job[V]) []string {
+	out := make([]string, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.ID()
+	}
+	return out
+}

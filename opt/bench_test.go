@@ -1,0 +1,87 @@
+package opt
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"eend"
+)
+
+// benchProblem is the scheduler-bench deployment: big enough that each
+// simulator-backed evaluation carries real work, small enough that an
+// 8-restart search finishes in seconds.
+func benchProblem(b *testing.B) *Problem {
+	b.Helper()
+	sc, err := eend.NewScenario(
+		eend.WithSeed(2),
+		eend.WithNodes(24),
+		eend.WithField(550, 550),
+		eend.WithTopology(eend.ClusterTopology(4, 0.12)),
+		eend.WithRandomFlows(10, 2048, 128),
+		eend.WithDuration(40*time.Second),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := FromScenario(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkRestartSearchSim is the scheduler's headline benchmark: an
+// 8-restart search under the Simulated objective, sequential versus
+// parallel. The workers=1 and workers=4 cases produce bit-identical
+// results (TestRestartDeterministicAcrossWorkers); on a multi-core
+// machine the parallel case should approach a 4x wall-clock speedup,
+// since restarts are independent work items on the execution scheduler.
+// Each iteration uses a fresh objective (no disk cache), so every
+// iteration performs the full set of unique simulations.
+func BenchmarkRestartSearchSim(b *testing.B) {
+	p := benchProblem(b)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sim, err := p.Simulated(SimConfig{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := p.Search(context.Background(), sim, Options{
+					Algorithm: Restart, Seed: 1, Iterations: 64, Restarts: 8,
+					Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					st := sim.Stats()
+					b.ReportMetric(float64(st.SimRuns), "sim_runs")
+					b.ReportMetric(res.BestEnergy, "best_J")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRestartSearchAnalytic isolates scheduler overhead: with the
+// closed-form objective each evaluation is microseconds, so this measures
+// the cost of fanning restarts out and merging them back.
+func BenchmarkRestartSearchAnalytic(b *testing.B) {
+	p := benchProblem(b)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Search(context.Background(), p.Analytic(), Options{
+					Algorithm: Restart, Seed: 1, Iterations: 120, Restarts: 8,
+					Workers: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

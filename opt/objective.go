@@ -4,9 +4,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sync"
 
 	"eend"
 	"eend/internal/cache"
+	"eend/internal/exec"
 )
 
 // Objective scores a candidate design; lower is better. Implementations
@@ -44,10 +46,14 @@ type SimConfig struct {
 	Replicates int
 }
 
-// SimStats counts a Simulated objective's work. CacheHits splits into
-// in-run memoization (an annealing run revisiting a candidate) and disk
-// hits (a warm cache from a previous run); SimRuns counts actual simulator
-// invocations — the number the warm-cache re-run contract drives to zero.
+// SimStats counts a Simulated objective's work. CacheHits covers every
+// evaluation answered without a fresh simulation: in-run memoization (a
+// run revisiting a candidate), disk hits (a warm cache from a previous
+// run), and in-flight shares (a concurrent evaluation of the same
+// fingerprint joining the one running simulation via single-flight).
+// SimRuns counts actual simulator invocations — the number the warm-cache
+// re-run contract drives to zero, and that single-flight keeps free of
+// duplicates under parallel search.
 type SimStats struct {
 	Evals     int `json:"evals"`
 	CacheHits int `json:"cache_hits"`
@@ -61,12 +67,19 @@ type SimStats struct {
 // routes take part in the scenario fingerprint, the cache key covers
 // scenario AND design, and evaluations deduplicate across iterations and
 // across runs.
+//
+// Evaluate is safe for concurrent use — parallel restarts share one
+// Simulated — and coalesces concurrent evaluations of the same
+// fingerprint into a single simulator run.
 type Simulated struct {
 	p          *Problem
 	store      *cache.Store
-	memo       map[string]float64
 	replicates int
-	stats      SimStats
+
+	mu     sync.Mutex
+	memo   map[string]float64
+	stats  SimStats
+	flight exec.Flight
 }
 
 // runScenario is swapped by tests to prove that warm-cache searches never
@@ -97,7 +110,11 @@ func (p *Problem) Simulated(cfg SimConfig) (*Simulated, error) {
 func (s *Simulated) Name() string { return "sim" }
 
 // Stats returns a snapshot of the objective's work counters.
-func (s *Simulated) Stats() SimStats { return s.stats }
+func (s *Simulated) Stats() SimStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
 
 // scenario pins the candidate's routes into the deployment.
 func (s *Simulated) scenario(d *Design) (*eend.Scenario, error) {
@@ -105,43 +122,72 @@ func (s *Simulated) scenario(d *Design) (*eend.Scenario, error) {
 }
 
 // Evaluate scores the design by simulation, answering repeated candidates
-// from the in-run memo or the on-disk cache.
+// from the in-run memo or the on-disk cache and coalescing concurrent
+// evaluations of the same fingerprint into one simulator run.
 func (s *Simulated) Evaluate(ctx context.Context, d *Design) (float64, error) {
-	s.stats.Evals++
 	sc, err := s.scenario(d)
 	if err != nil {
 		return 0, err
 	}
 	fp := sc.Fingerprint()
+	s.mu.Lock()
+	s.stats.Evals++
 	if e, ok := s.memo[fp]; ok {
 		s.stats.CacheHits++
+		s.mu.Unlock()
 		return e, nil
 	}
-	if s.store != nil {
-		if data, ok, _ := s.store.Get(fp); ok {
-			var res eend.Results
-			if err := json.Unmarshal(data, &res); err == nil {
-				e := energyOf(&res)
-				s.memo[fp] = e
-				s.stats.CacheHits++
-				return e, nil
-			}
-			// A corrupt entry degrades to a miss and is overwritten below.
+	s.mu.Unlock()
+
+	v, err, shared := s.flight.DoContext(ctx, fp, func() (any, error) {
+		// Re-check the memo inside the flight: a previous leader for this
+		// fingerprint may have completed (and left the flight) between the
+		// caller's memo miss and this call winning the leadership.
+		s.mu.Lock()
+		if e, ok := s.memo[fp]; ok {
+			s.stats.CacheHits++
+			s.mu.Unlock()
+			return e, nil
 		}
-	}
-	res, err := runScenario(ctx, sc)
+		s.mu.Unlock()
+		if s.store != nil {
+			if data, ok, _ := s.store.Get(fp); ok {
+				var res eend.Results
+				if err := json.Unmarshal(data, &res); err == nil {
+					s.mu.Lock()
+					s.stats.CacheHits++
+					s.mu.Unlock()
+					return energyOf(&res), nil
+				}
+				// A corrupt entry degrades to a miss and is overwritten below.
+			}
+		}
+		res, err := runScenario(ctx, sc)
+		if err != nil {
+			return 0.0, err
+		}
+		s.mu.Lock()
+		s.stats.SimRuns++
+		s.mu.Unlock()
+		if s.store != nil {
+			if data, err := json.Marshal(res); err == nil {
+				// A failed write only costs a future re-simulation.
+				_ = s.store.Put(fp, data)
+			}
+		}
+		return energyOf(res), nil
+	})
 	if err != nil {
 		return 0, err
 	}
-	s.stats.SimRuns++
-	if s.store != nil {
-		if data, err := json.Marshal(res); err == nil {
-			// A failed write only costs a future re-simulation.
-			_ = s.store.Put(fp, data)
-		}
+	e := v.(float64)
+	s.mu.Lock()
+	if shared {
+		// Joining another evaluation's in-flight run is a hit, not a run.
+		s.stats.CacheHits++
 	}
-	e := energyOf(res)
 	s.memo[fp] = e
+	s.mu.Unlock()
 	return e, nil
 }
 

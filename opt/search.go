@@ -8,6 +8,7 @@ import (
 	"slices"
 
 	"eend/internal/core"
+	"eend/internal/exec"
 )
 
 // ValidMethod reports whether name is a SolveMethod method, so axis
@@ -135,6 +136,13 @@ type Options struct {
 	Iterations int
 	// Restarts is the number of independent starts for Restart (default 3).
 	Restarts int
+	// Workers bounds how many Restart starts evaluate concurrently on the
+	// execution scheduler; <= 0 uses the ambient scheduler (the enclosing
+	// batch's pool, or GOMAXPROCS standalone). The search trajectory and
+	// final design are bit-identical at every worker count: each restart
+	// derives its own RNG stream at submission time and outcomes merge in
+	// restart order.
+	Workers int
 	// InitTemp is the annealing start temperature; <= 0 derives it as 2%
 	// of the initial energy, so acceptance odds are scale-free.
 	InitTemp float64
@@ -430,38 +438,176 @@ func (st *searchState) runAnneal(ctx context.Context) error {
 // annealer concludes the design space has no moves left.
 const maxProposalMisses = 64
 
-// runRestart runs Greedy from several independent initial designs: the
-// Section 4 heuristics applied to seed-shuffled demand orders, so each
-// restart lands in a different basin. The shared best-so-far carries
-// across restarts.
-func (st *searchState) runRestart(ctx context.Context) error {
-	approaches := []Approach{core.IdleFirst, core.Joint, core.CommFirst}
-	for r := 0; r < st.o.Restarts && !st.stopped; r++ {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		init, err := st.p.solveShuffled(approaches[r%len(approaches)], st.rng)
-		if err != nil {
-			continue // an unroutable shuffled order just skips the restart
-		}
-		e, err := st.obj.Evaluate(ctx, init)
-		if err != nil {
-			return err
-		}
-		improved := e < st.bestE
-		st.cur, st.curE = init, e
-		if improved {
-			st.best, st.bestE = init, e
-		}
-		st.step("restart", e, improved || r == 0, 0)
-		if st.stopped {
-			break
-		}
+// restartStream derives the PCG stream id of restart r. Each restart owns
+// an RNG stream fixed at submission time — scheduling order can never
+// influence its draws — and the streams are disjoint from the annealer's
+// (0x0e31), so no two drivers ever share a random sequence.
+func restartStream(r int) uint64 { return 0x0e32 + uint64(r) }
+
+// restartOutcome is one restart's independent result: its best design,
+// its restart-local step log, and the error (cancellation) that cut it
+// short, if any. Outcomes merge back in restart order.
+type restartOutcome struct {
+	best  *Design
+	bestE float64
+	steps []Step
+	err   error
+}
+
+// runOneRestart runs a single restart to its budget: a Section 4
+// heuristic over a stream-shuffled demand order seeds a greedy descent.
+// The outcome always carries the best-so-far, even when ctx cancels the
+// descent mid-way — partial progress is part of the Search contract.
+func (p *Problem) runOneRestart(ctx context.Context, obj Objective, o Options, a Approach, stream uint64, budget int) *restartOutcome {
+	out := &restartOutcome{bestE: math.Inf(1)}
+	if err := ctx.Err(); err != nil {
+		out.err = err
+		return out
+	}
+	rng := rand.New(rand.NewPCG(o.Seed, stream))
+	init, err := p.solveShuffled(a, rng)
+	if err != nil {
+		return out // an unroutable shuffled order just skips the restart
+	}
+	e, err := obj.Evaluate(ctx, init)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	// The restart records its own trajectory (Trace on) for the ordered
+	// merge; OnStep stays with the merging parent so observer calls remain
+	// sequential and deterministic.
+	local := Options{Algorithm: Greedy, Seed: o.Seed, Iterations: budget, Trace: true}
+	st := &searchState{
+		p: p, obj: obj, o: &local, rng: rng,
+		cur: init, curE: e, best: init, bestE: e,
+		res: &Result{},
+	}
+	st.step("restart", e, true, 0)
+	if !st.stopped {
 		if err := st.runGreedy(ctx); err != nil {
-			return err
+			out.err = err
 		}
 	}
-	return nil
+	out.best, out.bestE, out.steps = st.best, st.bestE, st.res.Trajectory
+	return out
+}
+
+// runRestart is random-restart local search on the execution scheduler:
+// every restart is an independent work item (own RNG stream, own slice of
+// the iteration budget, Section 4 heuristic rotated per restart) and the
+// outcomes merge in restart order — steps renumbered into one trajectory
+// with a globally monotone best-so-far, ties between equal-energy designs
+// going to the earliest restart. The merge makes the result bit-identical
+// at any Options.Workers, while the restarts themselves scale across the
+// pool.
+func (st *searchState) runRestart(ctx context.Context) error {
+	approaches := []Approach{core.IdleFirst, core.Joint, core.CommFirst}
+	o := st.o
+	// Every restart costs at least one evaluation, so more restarts than
+	// the iteration budget would overrun it; cap the dispatch count and
+	// slice the budget with the remainder spread over the first restarts,
+	// so the slices sum to exactly Iterations.
+	restarts := o.Restarts
+	if restarts > o.Iterations {
+		restarts = o.Iterations
+	}
+	budget := o.Iterations / restarts
+	extra := o.Iterations % restarts
+	items := make([]exec.Item, restarts)
+	for r := range items {
+		stream := restartStream(r)
+		a := approaches[r%len(approaches)]
+		slice := budget
+		if r < extra {
+			slice++
+		}
+		items[r] = exec.Item{
+			Index: r,
+			Seed:  stream,
+			Do: func(ctx context.Context) (any, error) {
+				return st.p.runOneRestart(ctx, st.obj, *o, a, stream, slice), nil
+			},
+		}
+	}
+	sched := exec.From(ctx)
+	if o.Workers > 0 {
+		sched = exec.New(o.Workers)
+	}
+
+	var firstErr error
+	mergeOutcome := func(oc *restartOutcome) {
+		for _, s := range oc.steps {
+			st.iter++
+			if s.Accepted {
+				st.res.Accepted++
+			} else {
+				st.res.Rejected++
+			}
+			best := st.bestE
+			if s.Best < best {
+				best = s.Best
+			}
+			ms := Step{Iter: st.iter, Move: s.Move, Energy: s.Energy, Best: best, Accepted: s.Accepted}
+			if st.o.Trace {
+				st.res.Trajectory = append(st.res.Trajectory, ms)
+			}
+			if st.o.OnStep != nil {
+				st.o.OnStep(ms)
+			}
+		}
+		if oc.best != nil && oc.bestE < st.bestE {
+			st.best, st.bestE = oc.best, oc.bestE
+		}
+		if firstErr == nil && oc.err != nil {
+			firstErr = oc.err
+		}
+	}
+
+	// Merge outcomes incrementally as the contiguous restart prefix
+	// completes: OnStep observers (live HTTP progress) see steps as soon
+	// as every earlier restart is in, and the merged trajectory is still
+	// strictly in restart order — bit-identical at any worker count.
+	outcomes := make([]*restartOutcome, len(items))
+	merged := 0
+	mergeReady := func() {
+		for merged < len(outcomes) && outcomes[merged] != nil {
+			mergeOutcome(outcomes[merged])
+			merged++
+		}
+	}
+	// Dispatched restarts always carry an outcome (cancellation is folded
+	// into outcome.err); skipped ones carry none.
+	handle := func(r exec.Result) {
+		if oc, ok := r.Value.(*restartOutcome); ok {
+			outcomes[r.Index] = oc
+			mergeReady()
+		}
+	}
+	if exec.OnWorker(ctx) {
+		// This search runs inside a scheduler worker (a batched scenario
+		// evaluating designs): consuming a Stream here would pin a worker
+		// slot without parking and starve small pools, so use Gather's
+		// help-first join — whichever scheduler the restarts land on.
+		// Live step streaming is a top-level nicety.
+		for _, r := range sched.Gather(exec.With(ctx, sched), items) {
+			handle(r)
+		}
+	} else {
+		for r := range sched.Stream(exec.With(ctx, sched), items) {
+			handle(r)
+		}
+	}
+	// Anything still missing was never dispatched: ctx was cancelled.
+	// Merge the stragglers past the gap so their progress is kept.
+	for i := merged; i < len(outcomes); i++ {
+		if outcomes[i] != nil {
+			mergeOutcome(outcomes[i])
+		} else if firstErr == nil {
+			firstErr = ctx.Err()
+		}
+	}
+	return firstErr
 }
 
 // solveShuffled runs a Section 4 heuristic over a shuffled demand order and

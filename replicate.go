@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"eend/internal/exec"
 	"eend/internal/network"
 )
 
@@ -61,24 +62,44 @@ func (s *Scenario) Replicate(k int) (*Scenario, error) {
 	return NewScenario(opts...)
 }
 
-// runReplicated executes every replicate sequentially under ctx and folds
-// the outcomes. RunBatch parallelizes across scenarios; replicates of one
-// scenario stay sequential so a batch's worker budget is respected.
+// runReplicated fans the replicates out on the ambient execution
+// scheduler (the enclosing RunBatch's pool, or the process-wide default)
+// and folds the outcomes with an ordered merge. Each replicate is an
+// independent simulation under its seed derived at submission time, so
+// the fold is bit-identical at any worker count; replicate items carry
+// nested priority, so an in-progress scenario's replicates finish before
+// a batch starts fresh scenarios.
 func (s *Scenario) runReplicated(ctx context.Context) (*Results, error) {
 	n := s.Replicates()
-	runs := make([]*Results, n)
 	seeds := make([]uint64, n)
+	items := make([]exec.Item, n)
 	for k := 0; k < n; k++ {
 		rep, err := s.Replicate(k)
 		if err != nil {
 			return nil, err
 		}
 		seeds[k] = rep.Seed()
-		res, err := network.RunContext(ctx, rep.sc)
-		if err != nil {
-			return nil, err
+		items[k] = exec.Item{
+			Index:    k,
+			Seed:     rep.Seed(),
+			Priority: exec.PriorityNested,
+			Do: func(ctx context.Context) (any, error) {
+				res, err := network.RunContext(ctx, rep.sc)
+				if err != nil {
+					return nil, err
+				}
+				return &res, nil
+			},
 		}
-		runs[k] = &res
+	}
+	runs := make([]*Results, n)
+	for k, r := range exec.From(ctx).Gather(ctx, items) {
+		if r.Err != nil {
+			// Mirror the sequential contract: the lowest-index failure is
+			// the run's error, whatever order the replicates finished in.
+			return nil, r.Err
+		}
+		runs[k] = r.Value.(*Results)
 	}
 	out := *runs[0]
 	out.Replicates = AggregateReplicates(seeds, runs)

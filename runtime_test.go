@@ -1,0 +1,316 @@
+package eend_test
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"eend"
+)
+
+// batchScenarios builds a small mixed batch, including a replicated
+// scenario so the nested fan-out path is exercised.
+func batchScenarios(t *testing.T) []*eend.Scenario {
+	t.Helper()
+	var out []*eend.Scenario
+	for seed := uint64(1); seed <= 4; seed++ {
+		opts := []eend.Option{
+			eend.WithSeed(seed),
+			eend.WithField(250, 250),
+			eend.WithNodes(10),
+			eend.WithStack(eend.TITAN, eend.ODPM),
+			eend.WithRandomFlows(2, 2048, 128),
+			eend.WithDuration(25 * time.Second),
+		}
+		if seed == 2 {
+			opts = append(opts, eend.WithReplicates(3))
+		}
+		sc, err := eend.NewScenario(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, sc)
+	}
+	return out
+}
+
+// TestBatchDeterministicAcrossWorkerCounts is the eend-layer fingerprint
+// equality proof: for fixed seeds, the parallel scheduler's batch output
+// is byte-identical to workers=1, replicated scenarios included.
+func TestBatchDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) map[int]string {
+		fps := make(map[int]string)
+		for br := range eend.RunBatch(context.Background(), batchScenarios(t), eend.Workers(workers)) {
+			if br.Err != nil {
+				t.Fatalf("workers=%d: scenario %d failed: %v", workers, br.Index, br.Err)
+			}
+			fps[br.Index] = br.Results.Fingerprint()
+		}
+		return fps
+	}
+	sequential := run(1)
+	if len(sequential) != 4 {
+		t.Fatalf("sequential batch delivered %d results", len(sequential))
+	}
+	parallel := run(4)
+	for i, want := range sequential {
+		if parallel[i] != want {
+			t.Fatalf("scenario %d: workers=4 fingerprint %s != workers=1 %s", i, parallel[i], want)
+		}
+	}
+}
+
+// TestBatchSingleFlightSharesIdenticalScenarios: two in-flight scenarios
+// with equal fingerprints must share one simulator run, with the follower
+// marked Cached and carrying identical results.
+func TestBatchSingleFlightSharesIdenticalScenarios(t *testing.T) {
+	// The run must outlive the follower's dispatch latency by a wide
+	// margin (goroutine preemption is ~10ms), so the shared scenario is
+	// deliberately heavy: the follower joins the leader's flight long
+	// before the leader's simulation finishes.
+	mk := func() *eend.Scenario {
+		sc, err := eend.NewScenario(
+			eend.WithSeed(7),
+			eend.WithField(700, 700),
+			eend.WithNodes(60),
+			eend.WithStack(eend.DSR, eend.ODPM),
+			eend.WithRandomFlows(6, 4096, 128),
+			eend.WithDuration(300*time.Second),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
+	a, b := mk(), mk()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical options produced different fingerprints")
+	}
+	var results [2]*eend.Results
+	cached := 0
+	for br := range eend.RunBatch(context.Background(), []*eend.Scenario{a, b}, eend.Workers(2)) {
+		if br.Err != nil {
+			t.Fatalf("scenario %d: %v", br.Index, br.Err)
+		}
+		results[br.Index] = br.Results
+		if br.Cached {
+			cached++
+		}
+	}
+	if cached != 1 {
+		t.Fatalf("%d results marked Cached, want exactly the follower", cached)
+	}
+	if results[0].Fingerprint() != results[1].Fingerprint() {
+		t.Fatal("coalesced results differ")
+	}
+	if results[0] == results[1] {
+		t.Fatal("follower aliases the leader's Results value")
+	}
+}
+
+// TestBatchSingleFlightFailedLeader: when the one shared run fails (here:
+// cancelled mid-flight), both the leader and the coalesced follower must
+// arrive as errors — not panic on a missing Results value.
+func TestBatchSingleFlightFailedLeader(t *testing.T) {
+	mk := func() *eend.Scenario {
+		sc, err := eend.NewScenario(
+			eend.WithSeed(9),
+			eend.WithField(900, 900),
+			eend.WithNodes(100),
+			eend.WithStack(eend.DSR, eend.ODPM),
+			eend.WithRandomFlows(10, 4096, 128),
+			eend.WithDuration(900*time.Second),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := eend.RunBatch(ctx, []*eend.Scenario{mk(), mk()}, eend.Workers(2))
+	time.Sleep(100 * time.Millisecond) // let both dispatch and coalesce
+	cancel()
+	for br := range ch {
+		if br.Err == nil {
+			t.Fatalf("scenario %d succeeded under a cancelled context", br.Index)
+		}
+		if br.Results != nil {
+			t.Fatalf("failed result %d carries Results", br.Index)
+		}
+	}
+}
+
+// TestBatchDepartedConsumer: a consumer that abandons the channel without
+// cancelling lets every simulation complete and leaks at most the one
+// parked forwarder — the workers and the scheduler's merger must all
+// drain.
+func TestBatchDepartedConsumer(t *testing.T) {
+	base := runtime.NumGoroutine()
+	var scenarios []*eend.Scenario
+	for seed := uint64(1); seed <= 30; seed++ {
+		sc, err := eend.NewScenario(
+			eend.WithSeed(seed), eend.WithField(200, 200), eend.WithNodes(6),
+			eend.WithStack(eend.TITAN, eend.ODPM),
+			eend.WithRandomFlows(1, 2048, 128), eend.WithDuration(25*time.Second),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scenarios = append(scenarios, sc)
+	}
+	ch := eend.RunBatch(context.Background(), scenarios, eend.Workers(2))
+	<-ch // read one result, then depart without cancelling
+	// Everything but the single parked forwarder must wind down.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= base+1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle after consumer departure: %d before, %d after",
+				base, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestBatchCancelThenBreakLeakFree: the canonical early-exit pattern —
+// cancel ctx, break out of the result loop — must free the whole
+// pipeline (forwarder included) once the abandon grace expires.
+func TestBatchCancelThenBreakLeakFree(t *testing.T) {
+	base := runtime.NumGoroutine()
+	var scenarios []*eend.Scenario
+	for seed := uint64(1); seed <= 12; seed++ {
+		sc, err := eend.NewScenario(
+			eend.WithSeed(seed), eend.WithField(200, 200), eend.WithNodes(6),
+			eend.WithStack(eend.TITAN, eend.ODPM),
+			eend.WithRandomFlows(1, 2048, 128), eend.WithDuration(25*time.Second),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scenarios = append(scenarios, sc)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := eend.RunBatch(ctx, scenarios, eend.Workers(2))
+	<-ch
+	cancel() // then break: never read ch again
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancel-then-break leaked goroutines: %d before, %d after",
+				base, runtime.NumGoroutine())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// settleGoroutines waits for the goroutine count to come back near base.
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: %d before, %d after", base, n)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestReplicateCancellationMidRun: cancelling between replicate work items
+// must surface the context error promptly and leak no goroutines — the
+// satellite's mid-replicate coverage (whole-run cancellation was already
+// tested).
+func TestReplicateCancellationMidRun(t *testing.T) {
+	base := runtime.NumGoroutine()
+	sc, err := eend.NewScenario(
+		eend.WithSeed(3),
+		eend.WithField(900, 900),
+		eend.WithNodes(80),
+		eend.WithStack(eend.DSR, eend.ODPM),
+		eend.WithRandomFlows(8, 4096, 128),
+		eend.WithDuration(600*time.Second),
+		eend.WithReplicates(6),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := sc.Run(ctx)
+		done <- err
+	}()
+	// Let the first replicates dispatch, then cancel mid-flight.
+	time.Sleep(150 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled replicated run returned no error")
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("cancelled replicated run did not return")
+	}
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	settleGoroutines(t, base)
+}
+
+// TestBatchCancellationPartialProgress: results completed before the
+// cancel are still delivered; the pool drains without leaking goroutines.
+func TestBatchCancellationPartialProgress(t *testing.T) {
+	base := runtime.NumGoroutine()
+	quick, err := eend.NewScenario(
+		eend.WithSeed(1), eend.WithField(200, 200), eend.WithNodes(6),
+		eend.WithStack(eend.TITAN, eend.ODPM),
+		eend.WithRandomFlows(1, 2048, 128), eend.WithDuration(10*time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := eend.NewScenario(
+		eend.WithSeed(2), eend.WithField(900, 900), eend.WithNodes(100),
+		eend.WithStack(eend.DSR, eend.ODPM),
+		eend.WithRandomFlows(10, 4096, 128), eend.WithDuration(900*time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	// One worker: the quick scenario completes first, then the slow one is
+	// cancelled mid-run; the third never dispatches.
+	ch := eend.RunBatch(ctx, []*eend.Scenario{quick, slow, slow}, eend.Workers(1))
+	first, ok := <-ch
+	if !ok || first.Index != 0 || first.Err != nil {
+		t.Fatalf("first result = %+v, %v", first, ok)
+	}
+	cancel()
+	finished, succeeded := 1, 0
+	for br := range ch {
+		finished++
+		if br.Err == nil {
+			succeeded++
+		}
+	}
+	// The quick result survived the cancel; at most the in-flight slow run
+	// arrives after it (as a failure) — never a post-cancel success, and
+	// never the undispatched third scenario.
+	if finished > 2 || succeeded > 0 {
+		t.Fatalf("after cancel: %d results, %d successes — want partial progress only", finished, succeeded)
+	}
+	settleGoroutines(t, base)
+}

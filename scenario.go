@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"eend/internal/geom"
@@ -27,6 +28,11 @@ type Scenario struct {
 	opts []Option
 	// replicates is the seed-replication factor (>= 1; see WithReplicates).
 	replicates int
+	// fpOnce/fp memoize Fingerprint: the scenario is immutable, and the
+	// fingerprint sits on hot paths (cache scans, batch coalescing keys,
+	// per-candidate evaluation), so the canonical encoding is hashed once.
+	fpOnce sync.Once
+	fp     string
 }
 
 // Option configures a Scenario under construction.
@@ -503,6 +509,9 @@ func (s *Scenario) Canonical() string {
 // custom-protocol stacks are not expressible through the facade and so
 // never reach here.
 func (s *Scenario) Fingerprint() string {
-	sum := sha256.Sum256([]byte(s.Canonical()))
-	return hex.EncodeToString(sum[:])
+	s.fpOnce.Do(func() {
+		sum := sha256.Sum256([]byte(s.Canonical()))
+		s.fp = hex.EncodeToString(sum[:])
+	})
+	return s.fp
 }

@@ -1,0 +1,39 @@
+package sweep
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestSweepDeterministicAcrossWorkerCounts is the sweep-layer fingerprint
+// equality proof: the full CSV rendering (grid order, every metric column)
+// of a parallel sweep is byte-identical to workers=1 — replicated points
+// included, since their per-seed fan-out rides the same scheduler.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	g, err := ParseGrid("nodes=5,7 seed=1,2 field=200 dur=25s flows=1 rate=2 replicates=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(workers int) string {
+		r := Runner{Workers: workers}
+		results, prog, err := r.Run(context.Background(), g)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if prog.Errors != 0 || prog.Done != prog.Total {
+			t.Fatalf("workers=%d: progress %+v", workers, prog)
+		}
+		var rows []string
+		for _, sr := range results {
+			rows = append(rows, strings.Join(CSVRow(g, sr), ","))
+		}
+		return strings.Join(rows, "\n")
+	}
+	sequential := render(1)
+	for _, w := range []int{2, 4} {
+		if parallel := render(w); parallel != sequential {
+			t.Fatalf("workers=%d CSV differs from workers=1:\n%s\n---\n%s", w, parallel, sequential)
+		}
+	}
+}
