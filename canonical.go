@@ -1,0 +1,369 @@
+package eend
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"eend/internal/network"
+)
+
+// ParseCanonical reconstructs a Scenario from its canonical encoding (see
+// Scenario.Canonical). The canonical text is the distributed worker
+// protocol's wire format: it names every field that affects simulation
+// output, so a worker that parses it re-creates the exact configuration —
+// and because placement, endpoints and start jitter are materialized into
+// the encoding before it leaves the coordinator, no seed-dependent draw is
+// ever repeated remotely.
+//
+// The round trip is self-checking: the reconstructed scenario's Canonical
+// must equal the input byte for byte (and therefore hash to the same
+// Fingerprint), or ParseCanonical fails. A version mismatch — a worker
+// running an older engine whose canonicalVersion differs — is an error,
+// never a silent mis-simulation.
+//
+// Scenarios with experiment-internal custom protocol stacks are not
+// expressible through the facade and are rejected.
+func ParseCanonical(text string) (*Scenario, error) {
+	lines := strings.Split(strings.TrimSuffix(text, "\n"), "\n")
+	if len(lines) == 0 || lines[0] != canonicalVersion {
+		got := ""
+		if len(lines) > 0 {
+			got = lines[0]
+		}
+		return nil, fmt.Errorf("eend: canonical version %q, this engine speaks %q", got, canonicalVersion)
+	}
+
+	p := canonicalParser{}
+	for _, line := range lines[1:] {
+		name, value, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("eend: canonical line %q is not name=value", line)
+		}
+		if err := p.line(name, value); err != nil {
+			return nil, err
+		}
+	}
+	opts, err := p.options()
+	if err != nil {
+		return nil, err
+	}
+	sc, err := NewScenario(opts...)
+	if err != nil {
+		return nil, fmt.Errorf("eend: canonical scenario rejected: %w", err)
+	}
+	// The self-check: a reconstruction that does not re-encode to the input
+	// would simulate something else under the input's fingerprint. This can
+	// only trip on drift between Canonical and this parser, and it turns
+	// that drift into a loud error instead of silent cache poisoning.
+	if got := sc.Canonical(); got != text {
+		return nil, fmt.Errorf("eend: canonical round trip diverged (parser and encoder out of sync)")
+	}
+	return sc, nil
+}
+
+// canonicalParser accumulates decoded canonical lines until options() can
+// assemble the scenario.
+type canonicalParser struct {
+	opts     []Option
+	stack    []StackOption
+	static   [][]int // route= lines (static stacks)
+	hasStack bool
+}
+
+// line decodes one name=value canonical line.
+func (p *canonicalParser) line(name, value string) error {
+	switch name {
+	case "seed":
+		seed, err := strconv.ParseUint(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("eend: canonical seed %q: %w", value, err)
+		}
+		p.opts = append(p.opts, WithSeed(seed))
+	case "field":
+		nums, err := floats(value, 2)
+		if err != nil {
+			return fmt.Errorf("eend: canonical field %q: %w", value, err)
+		}
+		p.opts = append(p.opts, WithField(nums[0], nums[1]))
+	case "placement":
+		return p.placement(value)
+	case "card":
+		return p.card(value)
+	case "bandwidth":
+		bps, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return fmt.Errorf("eend: canonical bandwidth %q: %w", value, err)
+		}
+		if bps != 0 {
+			p.opts = append(p.opts, WithBandwidth(bps))
+		}
+	case "stack":
+		return p.stackLine(value)
+	case "route":
+		return p.route(value)
+	case "duration":
+		ns, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("eend: canonical duration %q: %w", value, err)
+		}
+		p.opts = append(p.opts, WithDuration(time.Duration(ns)))
+	case "battery":
+		j, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return fmt.Errorf("eend: canonical battery %q: %w", value, err)
+		}
+		if j != 0 {
+			p.opts = append(p.opts, WithBattery(j))
+		}
+	case "replicates":
+		n, err := strconv.Atoi(value)
+		if err != nil {
+			return fmt.Errorf("eend: canonical replicates %q: %w", value, err)
+		}
+		p.opts = append(p.opts, WithReplicates(n))
+	case "flow":
+		return p.flow(value)
+	default:
+		// Unknown lines are errors, not skips: a field this engine does not
+		// understand is a field it cannot reproduce.
+		return fmt.Errorf("eend: unknown canonical field %q", name)
+	}
+	return nil
+}
+
+// placement decodes the placement= line (positions, grid, or uniform).
+func (p *canonicalParser) placement(value string) error {
+	kind, rest, _ := strings.Cut(value, ":")
+	switch kind {
+	case "positions":
+		var pts []Point
+		for _, pair := range strings.Split(rest, ";") {
+			nums, err := floats(pair, 2)
+			if err != nil {
+				return fmt.Errorf("eend: canonical position %q: %w", pair, err)
+			}
+			pts = append(pts, Point{X: nums[0], Y: nums[1]})
+		}
+		p.opts = append(p.opts, WithPositions(pts...))
+	case "grid":
+		rows, cols, ok := strings.Cut(rest, "x")
+		if !ok {
+			return fmt.Errorf("eend: canonical grid %q is not RxC", rest)
+		}
+		r, err1 := strconv.Atoi(rows)
+		c, err2 := strconv.Atoi(cols)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("eend: canonical grid %q is not RxC", rest)
+		}
+		p.opts = append(p.opts, WithGrid(r, c))
+	case "uniform":
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return fmt.Errorf("eend: canonical uniform placement %q: %w", rest, err)
+		}
+		p.opts = append(p.opts, WithNodes(n))
+	default:
+		return fmt.Errorf("eend: unknown canonical placement kind %q", kind)
+	}
+	return nil
+}
+
+// card decodes the card= line. The card name may itself contain commas, so
+// the eight numeric fields are taken from the right.
+func (p *canonicalParser) card(value string) error {
+	parts := strings.Split(value, ",")
+	if len(parts) < 9 {
+		return fmt.Errorf("eend: canonical card %q has %d fields, want 9", value, len(parts))
+	}
+	nums, err := floats(strings.Join(parts[len(parts)-8:], ","), 8)
+	if err != nil {
+		return fmt.Errorf("eend: canonical card %q: %w", value, err)
+	}
+	p.opts = append(p.opts, WithCard(Card{
+		Name:  strings.Join(parts[:len(parts)-8], ","),
+		Idle:  nums[0],
+		Recv:  nums[1],
+		Sleep: nums[2],
+		Base:  nums[3],
+		Alpha: nums[4], PathLossExp: nums[5], Range: nums[6],
+		SwitchEnergy: nums[7],
+	}))
+	return nil
+}
+
+// stackLine decodes the stack= line into facade stack options; the route=
+// lines that follow supply the paths of a static stack.
+func (p *canonicalParser) stackLine(value string) error {
+	parts := strings.SplitN(value, ",", 8)
+	if len(parts) != 8 {
+		return fmt.Errorf("eend: canonical stack %q has %d fields, want 8", value, len(parts))
+	}
+	routing, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return fmt.Errorf("eend: canonical stack routing %q: %w", parts[0], err)
+	}
+	pm, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return fmt.Errorf("eend: canonical stack pm %q: %w", parts[1], err)
+	}
+	flags := map[string]string{}
+	for _, f := range parts[2:7] {
+		name, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return fmt.Errorf("eend: canonical stack flag %q is not name=value", f)
+		}
+		flags[name] = v
+	}
+	label, ok := strings.CutPrefix(parts[7], "label=")
+	if !ok {
+		return fmt.Errorf("eend: canonical stack %q has no label field", value)
+	}
+	if flags["custom"] == "true" {
+		return fmt.Errorf("eend: scenario uses a custom protocol stack, which is not transportable")
+	}
+
+	var st []StackOption
+	switch network.ProtocolKind(routing) {
+	case network.ProtoStatic:
+		// The routes arrive on route= lines; bind them in options() once
+		// every line is in.
+		st = append(st, nil) // placeholder, replaced in options()
+	default:
+		kind, ok := routingKindOf(network.ProtocolKind(routing))
+		if !ok {
+			return fmt.Errorf("eend: unknown canonical routing protocol %d", routing)
+		}
+		st = append(st, kind)
+	}
+	switch network.PMKind(pm) {
+	case network.PMODPM:
+		st = append(st, ODPM)
+	case network.PMAlwaysActive:
+		st = append(st, AlwaysActive)
+	default:
+		return fmt.Errorf("eend: unknown canonical power management %d", pm)
+	}
+	if flags["pc"] == "true" {
+		st = append(st, PowerControl())
+	}
+	if flags["span"] == "true" {
+		st = append(st, Span())
+	}
+	if flags["perfect"] == "true" {
+		st = append(st, PerfectSleep())
+	}
+	dataNS, routeNS, ok := strings.Cut(flags["odpm"], "/")
+	if !ok {
+		return fmt.Errorf("eend: canonical stack odpm %q is not data/route", flags["odpm"])
+	}
+	d, err1 := strconv.ParseInt(dataNS, 10, 64)
+	r, err2 := strconv.ParseInt(routeNS, 10, 64)
+	if err1 != nil || err2 != nil {
+		return fmt.Errorf("eend: canonical stack odpm %q is not data/route nanoseconds", flags["odpm"])
+	}
+	if d != 0 || r != 0 {
+		st = append(st, ODPMTimeouts(time.Duration(d), time.Duration(r)))
+	}
+	if label != "" {
+		st = append(st, StackLabel(label))
+	}
+	p.stack = st
+	p.hasStack = true
+	return nil
+}
+
+// routingKindOf reverse-maps an internal protocol enum to its facade kind.
+func routingKindOf(proto network.ProtocolKind) (RoutingKind, bool) {
+	for k, e := range routingKinds {
+		if e.proto == proto {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// route decodes one route= line of a static stack.
+func (p *canonicalParser) route(value string) error {
+	idx, path, ok := strings.Cut(value, ":")
+	if !ok {
+		return fmt.Errorf("eend: canonical route %q is not index:path", value)
+	}
+	i, err := strconv.Atoi(idx)
+	if err != nil || i != len(p.static) {
+		return fmt.Errorf("eend: canonical route index %q out of order (want %d)", idx, len(p.static))
+	}
+	var hops []int
+	for _, h := range strings.Split(path, "-") {
+		v, err := strconv.Atoi(h)
+		if err != nil {
+			return fmt.Errorf("eend: canonical route hop %q: %w", h, err)
+		}
+		hops = append(hops, v)
+	}
+	p.static = append(p.static, hops)
+	return nil
+}
+
+// flow decodes one flow= line.
+func (p *canonicalParser) flow(value string) error {
+	parts := strings.Split(value, ",")
+	if len(parts) != 8 {
+		return fmt.Errorf("eend: canonical flow %q has %d fields, want 8", value, len(parts))
+	}
+	ints := make([]int64, 0, 7)
+	for _, i := range []int{0, 1, 2, 4, 5, 6, 7} {
+		v, err := strconv.ParseInt(parts[i], 10, 64)
+		if err != nil {
+			return fmt.Errorf("eend: canonical flow field %q: %w", parts[i], err)
+		}
+		ints = append(ints, v)
+	}
+	rate, err := strconv.ParseFloat(parts[3], 64)
+	if err != nil {
+		return fmt.Errorf("eend: canonical flow rate %q: %w", parts[3], err)
+	}
+	p.opts = append(p.opts, WithFlows(Flow{
+		ID: int(ints[0]), Src: int(ints[1]), Dst: int(ints[2]),
+		Rate: rate, PacketBytes: int(ints[3]),
+		StartMin: time.Duration(ints[4]), StartMax: time.Duration(ints[5]),
+		Stop: time.Duration(ints[6]),
+	}))
+	return nil
+}
+
+// options assembles the final option list, binding static routes into the
+// stack placeholder.
+func (p *canonicalParser) options() ([]Option, error) {
+	if !p.hasStack {
+		return nil, fmt.Errorf("eend: canonical encoding has no stack line")
+	}
+	st := p.stack
+	if st[0] == nil {
+		if len(p.static) == 0 {
+			return nil, fmt.Errorf("eend: canonical static stack has no route lines")
+		}
+		st = append([]StackOption{StaticRoutes(p.static...)}, st[1:]...)
+	} else if len(p.static) > 0 {
+		return nil, fmt.Errorf("eend: canonical route lines without a static stack")
+	}
+	return append(p.opts, WithStack(st...)), nil
+}
+
+// floats parses exactly n comma-separated float fields.
+func floats(s string, n int) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("want %d comma-separated numbers, got %d", n, len(parts))
+	}
+	out := make([]float64, n)
+	for i, f := range parts {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -32,8 +32,9 @@ func TestDocumentedRoutesExist(t *testing.T) {
 	h := newServer(context.Background(), "")
 	for _, m := range matches {
 		method, path := m[1], m[2]
-		// Substitute path parameters with a value no job will ever have.
-		probe := strings.NewReplacer("{id}", "doc-probe").Replace(path)
+		// Substitute path parameters: a job id no job will ever have, and a
+		// syntactically valid (hex-looking) cache fingerprint.
+		probe := strings.NewReplacer("{id}", "doc-probe", "{fp}", "docprobe0000").Replace(path)
 		var body *strings.Reader
 		if method == http.MethodPost {
 			// An unknown field makes the strict decoder reject the request
@@ -54,7 +55,13 @@ func TestDocumentedRoutesExist(t *testing.T) {
 			continue
 		}
 		ct := w.Header().Get("Content-Type")
-		if !strings.HasPrefix(ct, "application/json") {
+		// GET /metrics is the API's one deliberate non-JSON endpoint: it
+		// speaks the Prometheus text exposition format.
+		want := "application/json"
+		if path == "/metrics" {
+			want = "text/plain"
+		}
+		if !strings.HasPrefix(ct, want) {
 			t.Errorf("%s %s: answered with content-type %q status %d — documented route missing from the mux",
 				method, path, ct, w.Code)
 		}

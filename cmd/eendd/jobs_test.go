@@ -65,7 +65,10 @@ func TestWorkersNormalizedInOnePlace(t *testing.T) {
 // (the one internal/jobs option that replaced the two drifting constants)
 // applies to sweeps and optimizations alike.
 func TestRetentionFlagSharedByBothEndpoints(t *testing.T) {
-	h := newServerWith(context.Background(), serverConfig{retainJobs: 2})
+	h, err := newServerWith(context.Background(), serverConfig{retainJobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 4; i++ {
 		w := post(t, h, "/v1/sweeps",
 			fmt.Sprintf(`{"grid": "nodes=5 seed=%d field=200 dur=25s flows=1 rate=2"}`, i+1))

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	eendd [-addr :8080] [-grace 15s] [-cache dir] [-retain n]
+//	      [-peers host1,host2] [-state dir]
 //
 // Endpoints:
 //
@@ -12,13 +13,21 @@
 //	GET  /v1/experiments/{id}    regenerate a figure (?scale=quick|full) -> eend.Figure JSON
 //	POST /v1/sweeps              start an async parameter sweep -> 202 + job JSON
 //	GET  /v1/sweeps              list sweep jobs
-//	GET  /v1/sweeps/{id}         live progress, cache-hit counts and per-point results
+//	GET  /v1/sweeps/{id}         live progress (SSE with Accept: text/event-stream)
 //	DELETE /v1/sweeps/{id}       cancel a sweep
+//	POST /v1/optimize            start an async design search -> 202 + job JSON
+//	POST /v1/evaluate            run a batch of canonical scenarios (worker protocol)
+//	GET  /v1/cache/{fp}          read a cached result by fingerprint
+//	PUT  /v1/cache/{fp}          store a result under its fingerprint
+//	GET  /metrics                Prometheus text counters
 //	GET  /healthz                liveness probe
 //
 // Sweeps run asynchronously under the server's lifetime (poll them by id)
 // and, with -cache, reuse the content-addressed result store across runs
-// and restarts.
+// and restarts. With -peers, sweeps and searches shard across the listed
+// daemons and the result cache is tiered over them, so a fleet shares one
+// warm cache. With -state, the job journal survives restarts: jobs
+// interrupted by a crash reappear as failed instead of vanishing.
 //
 // On SIGTERM/SIGINT the server stops accepting connections and gives
 // in-flight simulations -grace to finish; runs still going after that are
@@ -34,6 +43,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 )
@@ -45,12 +55,26 @@ func main() {
 	}
 }
 
+// splitHosts parses a comma-separated host list, trimming whitespace and
+// dropping empty entries so trailing commas are harmless.
+func splitHosts(s string) []string {
+	var hosts []string
+	for _, h := range strings.Split(s, ",") {
+		if h = strings.TrimSpace(h); h != "" {
+			hosts = append(hosts, h)
+		}
+	}
+	return hosts
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("eendd", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	grace := fs.Duration("grace", 15*time.Second, "shutdown grace period for in-flight runs")
 	cacheDir := fs.String("cache", "", "content-addressed sweep result cache directory (empty: no cache)")
 	retain := fs.Int("retain", 0, "finished async jobs retained per endpoint for polling (0: default 32)")
+	peers := fs.String("peers", "", "comma-separated base URLs of peer eendd workers to shard sweeps/searches across")
+	stateDir := fs.String("state", "", "job journal directory; replayed on restart (empty: jobs are in-memory only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,9 +87,18 @@ func run(args []string) error {
 	baseCtx, cancelBase := context.WithCancel(context.Background())
 	defer cancelBase()
 
+	handler, err := newServerWith(baseCtx, serverConfig{
+		cacheDir:   *cacheDir,
+		retainJobs: *retain,
+		peers:      splitHosts(*peers),
+		stateDir:   *stateDir,
+	})
+	if err != nil {
+		return err
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServerWith(baseCtx, serverConfig{cacheDir: *cacheDir, retainJobs: *retain}),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 	}
@@ -85,7 +118,7 @@ func run(args []string) error {
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
-	err := srv.Shutdown(shutdownCtx)
+	err = srv.Shutdown(shutdownCtx)
 	if errors.Is(err, context.DeadlineExceeded) {
 		// Grace expired: cancel in-flight simulations and close for real.
 		cancelBase()

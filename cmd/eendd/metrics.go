@@ -1,0 +1,67 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"eend/internal/cache"
+)
+
+// inflightGauge reports how many jobs of one kind are currently running.
+type inflightGauge struct {
+	kind string
+	fn   func() int
+}
+
+// metrics is the daemon's counter set, served at GET /metrics in the
+// Prometheus text exposition format. Counters accumulate since process
+// start; the cache figures are read live from the store.
+type metrics struct {
+	// evaluations counts simulator runs performed for /v1/evaluate (cache
+	// hits excluded — the warm-fleet contract is "this stays flat").
+	evaluations atomic.Uint64
+	// shardRetries counts sweep/optimize shard dispatches that failed on
+	// one worker and were retried on another.
+	shardRetries atomic.Uint64
+
+	store    cache.Store
+	inflight []inflightGauge
+}
+
+// serveHTTP renders the exposition. The content type is the Prometheus
+// text format's, not JSON — the one deliberate exception on this API.
+func (m *metrics) serveHTTP(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("eend_evaluations_total",
+		"Simulator runs performed for /v1/evaluate (cache hits excluded).",
+		m.evaluations.Load())
+	counter("eend_shard_retries_total",
+		"Distributed shards retried on another worker after a dispatch failed.",
+		m.shardRetries.Load())
+
+	var st cache.Stats
+	if m.store != nil {
+		st = m.store.Stats()
+	}
+	fmt.Fprintf(&b, "# HELP eend_cache_hits_total Result-cache hits by tier (remote = served by a fleet peer).\n")
+	fmt.Fprintf(&b, "# TYPE eend_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "eend_cache_hits_total{tier=\"local\"} %d\n", st.Hits)
+	fmt.Fprintf(&b, "eend_cache_hits_total{tier=\"remote\"} %d\n", st.RemoteHits)
+	counter("eend_cache_misses_total", "Result-cache misses.", st.Misses)
+	counter("eend_cache_corrupt_total", "Cache entries rejected by the envelope checksum.", st.Corrupt)
+
+	fmt.Fprintf(&b, "# HELP eend_jobs_inflight Async jobs currently running, by kind.\n")
+	fmt.Fprintf(&b, "# TYPE eend_jobs_inflight gauge\n")
+	for _, g := range m.inflight {
+		fmt.Fprintf(&b, "eend_jobs_inflight{kind=%q} %d\n", g.kind, g.fn())
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}

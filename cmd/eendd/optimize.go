@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"eend/internal/cache"
 	"eend/internal/exec"
 	"eend/internal/jobs"
 	"eend/opt"
@@ -100,15 +101,34 @@ func optSnapshot(j *jobs.Job[optState], withResult bool) optStatus {
 // mirroring the sweep manager: all lifecycle logic lives in
 // internal/jobs; this file only translates requests into searches.
 type optimizeManager struct {
-	store    *jobs.Store[optState]
-	cacheDir string
+	store *jobs.Store[optState]
+	cache cache.Store
+	peers []string
+	sse   time.Duration
+	met   *metrics
 }
 
-func newOptimizeManager(base context.Context, cfg serverConfig) *optimizeManager {
-	return &optimizeManager{
-		store:    jobs.NewStore[optState](base, jobs.Options{Prefix: "opt", Retain: cfg.retainJobs}),
-		cacheDir: cfg.cacheDir,
+func newOptimizeManager(base context.Context, cfg serverConfig, store cache.Store, met *metrics) (*optimizeManager, error) {
+	o := jobs.Options{Prefix: "opt", Retain: cfg.retainJobs}
+	js := jobs.NewStore[optState](base, o)
+	if cfg.stateDir != "" {
+		var err error
+		if js, err = jobs.NewJournaled[optState](base, cfg.stateDir, o); err != nil {
+			return nil, err
+		}
 	}
+	return &optimizeManager{store: js, cache: store, peers: cfg.peers, sse: cfg.sseCadence(), met: met}, nil
+}
+
+// inflight counts running optimize jobs (the /metrics gauge).
+func (m *optimizeManager) inflight() int {
+	n := 0
+	for _, j := range m.store.Jobs() {
+		if j.Status() == jobs.Running {
+			n++
+		}
+	}
+	return n
 }
 
 // start validates the request synchronously (configuration errors are
@@ -147,7 +167,7 @@ func (m *optimizeManager) start(req optimizeRequest) (*jobs.Job[optState], error
 		req.Objective = "analytic"
 		obj = p.Analytic()
 	case "sim":
-		if sim, err = p.Simulated(opt.SimConfig{CacheDir: m.cacheDir, Replicates: replicates}); err != nil {
+		if sim, err = p.Simulated(opt.SimConfig{Store: m.cache, Remote: m.peers, Replicates: replicates}); err != nil {
 			return nil, err
 		}
 		obj = sim
@@ -241,6 +261,13 @@ func (m *optimizeManager) register(mux *http.ServeMux) {
 		job, ok := m.store.Get(r.PathValue("id"))
 		if !ok {
 			writeError(w, http.StatusNotFound, fmt.Errorf("unknown optimization %q", r.PathValue("id")))
+			return
+		}
+		if wantsSSE(r) {
+			serveSSE(w, r, m.sse, func() (any, bool) {
+				st := optSnapshot(job, true)
+				return st, st.Status != string(jobs.Running)
+			})
 			return
 		}
 		writeJSON(w, http.StatusOK, optSnapshot(job, true))

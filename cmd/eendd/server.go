@@ -193,13 +193,33 @@ const maxScenarioBody = 1 << 20
 
 // serverConfig tunes the server beyond its base context.
 type serverConfig struct {
-	// cacheDir roots the content-addressed result cache shared by sweeps
-	// and simulator-backed optimizations (empty: no cache).
+	// cacheDir roots the content-addressed result cache shared by sweeps,
+	// simulator-backed optimizations, and /v1/evaluate (empty: no disk
+	// cache; with peers, an in-memory local tier is used instead).
 	cacheDir string
 	// retainJobs caps how many finished jobs each async endpoint keeps
 	// for polling (<= 0: jobs.DefaultRetain). One knob for every job
 	// store — the per-endpoint constants it replaces used to drift.
 	retainJobs int
+	// peers are base URLs of fleet peer daemons: sweeps and optimize jobs
+	// shard their simulations to the peers, and the result cache becomes
+	// a tiered store that reads through to (and writes through to) them.
+	peers []string
+	// stateDir, when non-empty, journals job status transitions so a
+	// restarted daemon reports interrupted jobs as failed instead of
+	// forgetting them.
+	stateDir string
+	// sseInterval is the snapshot cadence of the text/event-stream
+	// progress endpoints (<= 0: 1s). Tests shrink it.
+	sseInterval time.Duration
+}
+
+// sseCadence returns the effective SSE snapshot interval.
+func (cfg serverConfig) sseCadence() time.Duration {
+	if cfg.sseInterval > 0 {
+		return cfg.sseInterval
+	}
+	return time.Second
 }
 
 // newServer builds the eendd HTTP API:
@@ -225,14 +245,40 @@ type serverConfig struct {
 // lifetime context) and are polled by id, with results cached in cacheDir
 // when it is non-empty.
 func newServer(base context.Context, cacheDir string) http.Handler {
-	return newServerWith(base, serverConfig{cacheDir: cacheDir})
+	h, err := newServerWith(base, serverConfig{cacheDir: cacheDir})
+	if err != nil {
+		// Reachable only through an unusable cache directory; callers with
+		// user-supplied configuration go through newServerWith.
+		panic(err)
+	}
+	return h
 }
 
 // newServerWith is newServer with the full configuration surface.
-func newServerWith(base context.Context, cfg serverConfig) http.Handler {
+func newServerWith(base context.Context, cfg serverConfig) (http.Handler, error) {
+	store, err := buildStore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	met := &metrics{store: store}
+
 	mux := http.NewServeMux()
-	newSweepManager(base, cfg).register(mux)
-	newOptimizeManager(base, cfg).register(mux)
+	sweeps, err := newSweepManager(base, cfg, store, met)
+	if err != nil {
+		return nil, err
+	}
+	sweeps.register(mux)
+	met.inflight = append(met.inflight, inflightGauge{"sweep", sweeps.inflight})
+
+	opts, err := newOptimizeManager(base, cfg, store, met)
+	if err != nil {
+		return nil, err
+	}
+	opts.register(mux)
+	met.inflight = append(met.inflight, inflightGauge{"optimize", opts.inflight})
+
+	registerFleet(mux, store, met)
+	mux.HandleFunc("GET /metrics", met.serveHTTP)
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -282,18 +328,24 @@ func newServerWith(base context.Context, cfg serverConfig) http.Handler {
 		writeJSON(w, http.StatusOK, res)
 	})
 
-	return mux
+	return mux, nil
 }
 
 // decodeJSONBody enforces the JSON content type and size cap, decodes the
 // body strictly into v, and writes the error response itself when it
 // returns false.
 func decodeJSONBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	return decodeJSONBodyLimit(w, r, v, maxScenarioBody)
+}
+
+// decodeJSONBodyLimit is decodeJSONBody with a caller-chosen size cap
+// (the evaluate endpoint accepts whole scenario batches).
+func decodeJSONBodyLimit(w http.ResponseWriter, r *http.Request, v any, limit int64) bool {
 	if ct := r.Header.Get("Content-Type"); ct != "" && !strings.HasPrefix(ct, "application/json") {
 		writeError(w, http.StatusUnsupportedMediaType, fmt.Errorf("want application/json, got %q", ct))
 		return false
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxScenarioBody))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))

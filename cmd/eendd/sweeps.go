@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"eend/internal/cache"
 	"eend/internal/exec"
 	"eend/internal/jobs"
 	"eend/sweep"
@@ -69,15 +70,34 @@ func sweepSnapshot(j *jobs.Job[sweepState], withResults bool) sweepStatus {
 // job lifecycle (retention, eviction, status transitions, cancellation)
 // lives in internal/jobs.
 type sweepManager struct {
-	store    *jobs.Store[sweepState]
-	cacheDir string
+	store *jobs.Store[sweepState]
+	cache cache.Store
+	peers []string
+	sse   time.Duration
+	met   *metrics
 }
 
-func newSweepManager(base context.Context, cfg serverConfig) *sweepManager {
-	return &sweepManager{
-		store:    jobs.NewStore[sweepState](base, jobs.Options{Prefix: "sweep", Retain: cfg.retainJobs}),
-		cacheDir: cfg.cacheDir,
+func newSweepManager(base context.Context, cfg serverConfig, store cache.Store, met *metrics) (*sweepManager, error) {
+	o := jobs.Options{Prefix: "sweep", Retain: cfg.retainJobs}
+	js := jobs.NewStore[sweepState](base, o)
+	if cfg.stateDir != "" {
+		var err error
+		if js, err = jobs.NewJournaled[sweepState](base, cfg.stateDir, o); err != nil {
+			return nil, err
+		}
 	}
+	return &sweepManager{store: js, cache: store, peers: cfg.peers, sse: cfg.sseCadence(), met: met}, nil
+}
+
+// inflight counts running sweep jobs (the /metrics gauge).
+func (m *sweepManager) inflight() int {
+	n := 0
+	for _, j := range m.store.Jobs() {
+		if j.Status() == jobs.Running {
+			n++
+		}
+	}
+	return n
 }
 
 // start validates the request synchronously (so configuration errors are
@@ -92,7 +112,12 @@ func (m *sweepManager) start(req sweepRequest) (*jobs.Job[sweepState], error) {
 		return nil, fmt.Errorf("grid expands to %d points, limit %d", g.Size(), maxSweepPoints)
 	}
 	workers := exec.Workers(req.Workers)
-	r := sweep.Runner{Workers: workers, CacheDir: m.cacheDir}
+	r := sweep.Runner{
+		Workers: workers,
+		Cache:   m.cache,
+		Remote:  m.peers,
+		OnRetry: func(string, error) { m.met.shardRetries.Add(1) },
+	}
 	prep, err := r.Prepare(g)
 	if err != nil {
 		return nil, err
@@ -176,6 +201,13 @@ func (m *sweepManager) register(mux *http.ServeMux) {
 		job, ok := m.store.Get(r.PathValue("id"))
 		if !ok {
 			writeError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+			return
+		}
+		if wantsSSE(r) {
+			serveSSE(w, r, m.sse, func() (any, bool) {
+				st := sweepSnapshot(job, true)
+				return st, st.Status != string(jobs.Running)
+			})
 			return
 		}
 		writeJSON(w, http.StatusOK, sweepSnapshot(job, true))

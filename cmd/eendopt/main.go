@@ -68,6 +68,7 @@ func run(ctx context.Context, out, errw io.Writer, args []string) error {
 		optSeed    = fs.Uint64("opt-seed", 1, "search seed (trajectory reproducibility)")
 		replicates = fs.Int("replicates", 1, "simulations averaged per candidate (-objective sim)")
 		cacheDir   = fs.String("cache", "", "content-addressed result cache directory (-objective sim)")
+		remote     = fs.String("workers-remote", "", "comma-separated eendd worker base URLs to run candidate simulations on (-objective sim)")
 		format     = fs.String("format", "text", "output format: text|json|csv")
 		trace      = fs.Bool("trace", false, "record the accept/reject trajectory (implied by -format csv)")
 	)
@@ -109,7 +110,7 @@ func run(ctx context.Context, out, errw io.Writer, args []string) error {
 	case "analytic":
 		obj = p.Analytic()
 	case "sim":
-		sim, err := p.Simulated(opt.SimConfig{CacheDir: *cacheDir, Replicates: *replicates})
+		sim, err := p.Simulated(opt.SimConfig{CacheDir: *cacheDir, Remote: splitHosts(*remote), Replicates: *replicates})
 		if err != nil {
 			return err
 		}
@@ -145,6 +146,17 @@ func run(ctx context.Context, out, errw io.Writer, args []string) error {
 }
 
 // parseField accepts a square side ("600") or an explicit "WxH".
+// splitHosts parses a comma-separated host list, dropping empty entries.
+func splitHosts(s string) []string {
+	var hosts []string
+	for _, h := range strings.Split(s, ",") {
+		if h = strings.TrimSpace(h); h != "" {
+			hosts = append(hosts, h)
+		}
+	}
+	return hosts
+}
+
 func parseField(spec string) (w, h float64, err error) {
 	ws, hs, ok := strings.Cut(spec, "x")
 	if !ok {

@@ -52,7 +52,8 @@ func run(ctx context.Context, out, errw io.Writer, args []string) error {
 	var (
 		gridSpec = fs.String("grid", "", "grid spec, e.g. \"nodes=10,20 seed=1..5 stack=titan-pc/odpm\" (also taken from positional args)")
 		cacheDir = fs.String("cache", "", "content-addressed result cache directory (empty: no cache)")
-		workers  = fs.Int("workers", 0, "concurrent simulations (<= 0: GOMAXPROCS)")
+		workers  = fs.Int("workers", 0, "concurrent simulations (<= 0: GOMAXPROCS); with -workers-remote, shards in flight")
+		remote   = fs.String("workers-remote", "", "comma-separated eendd worker base URLs to run the sweep on (e.g. http://h1:8080,http://h2:8080)")
 		format   = fs.String("format", "csv", "output format: csv|json")
 		quiet    = fs.Bool("quiet", false, "suppress the progress line on stderr")
 	)
@@ -71,7 +72,12 @@ func run(ctx context.Context, out, errw io.Writer, args []string) error {
 		return err
 	}
 
-	r := sweep.Runner{Workers: *workers, CacheDir: *cacheDir}
+	r := sweep.Runner{Workers: *workers, CacheDir: *cacheDir, Remote: splitHosts(*remote)}
+	if !*quiet && len(r.Remote) > 0 {
+		r.OnRetry = func(worker string, err error) {
+			fmt.Fprintf(errw, "\neendsweep: retrying shard after %s failed: %v\n", worker, err)
+		}
+	}
 	if !*quiet {
 		r.OnProgress = func(p sweep.Progress) {
 			fmt.Fprintf(errw, "\reendsweep: %d/%d done, %d cached, %d errors",
@@ -118,6 +124,17 @@ func run(ctx context.Context, out, errw io.Writer, args []string) error {
 		return fmt.Errorf("cancelled after %d of %d points", prog.Done, prog.Total)
 	}
 	return nil
+}
+
+// splitHosts parses a comma-separated host list, dropping empty entries.
+func splitHosts(s string) []string {
+	var hosts []string
+	for _, h := range strings.Split(s, ",") {
+		if h = strings.TrimSpace(h); h != "" {
+			hosts = append(hosts, h)
+		}
+	}
+	return hosts
 }
 
 // sweepOutput is the JSON envelope.

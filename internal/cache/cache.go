@@ -1,49 +1,132 @@
-// Package cache is a content-addressed on-disk result store. Values are
-// addressed by the caller's key — in eend, a Scenario fingerprint (the
-// SHA-256 of its canonical encoding) — so a cache entry is valid for
-// exactly one simulation configuration and never goes stale: re-running a
-// sweep with one axis changed re-simulates only the new points.
+// Package cache is a content-addressed result store. Values are addressed
+// by the caller's key — in eend, a Scenario fingerprint (the SHA-256 of
+// its canonical encoding) — so a cache entry is valid for exactly one
+// simulation configuration and never goes stale: re-running a sweep with
+// one axis changed re-simulates only the new points.
 //
-// Layout: <dir>/<key[:2]>/<key>.json, one file per entry, sharded by the
-// first two key characters so huge sweeps don't produce huge directories.
-// Writes go through a temp file + rename, so concurrent writers (the sweep
-// worker pool) and crashed processes can never leave a torn entry behind.
+// The package provides one Store interface and four implementations:
+//
+//   - Disk: the on-disk store (sharded directories, atomic writes)
+//   - Mem: an in-memory store for tests and cache-less daemons
+//   - Remote: an HTTP client for another process's store (see Handler)
+//   - Tiered: a local store backed by remote peers, so a fleet of daemons
+//     shares one warm cache
+//
+// Every stored entry is sealed in a checksummed envelope; a corrupt entry
+// (torn write survived a crash, bit rot, truncated transfer) is reported
+// as a miss, never served.
 package cache
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync/atomic"
 )
 
-// Store is a content-addressed blob store rooted at one directory. The
-// zero value is not usable; call Open. All methods are safe for concurrent
-// use.
-type Store struct {
-	dir    string
-	hits   atomic.Uint64
-	misses atomic.Uint64
-	puts   atomic.Uint64
+// Store is a content-addressed blob store. A missing entry is (nil, false,
+// nil); only I/O faults (and invalid keys) surface as errors. All methods
+// are safe for concurrent use. Writes are atomic and last-wins: readers
+// see either a previous complete entry or the new complete one, never a
+// mixture — concurrent Puts of the same fingerprint are harmless because
+// a fingerprint's value is unique (the determinism contract), so whichever
+// write lands last stored the same bytes.
+type Store interface {
+	Get(key string) ([]byte, bool, error)
+	Put(key string, value []byte) error
+	Stats() Stats
 }
 
-// Open creates (if needed) and opens a store rooted at dir.
-func Open(dir string) (*Store, error) {
+// Stats reports a store's lifetime counters (since construction).
+type Stats struct {
+	// Hits counts entries served from the store's own (local) storage;
+	// RemoteHits counts entries a Tiered store fetched from a peer.
+	Hits       uint64 `json:"hits"`
+	RemoteHits uint64 `json:"remote_hits,omitempty"`
+	Misses     uint64 `json:"misses"`
+	Puts       uint64 `json:"puts"`
+	// Corrupt counts entries rejected by the envelope checksum.
+	Corrupt uint64 `json:"corrupt,omitempty"`
+}
+
+// envelopeMagic tags sealed entries. Bump the version if the envelope
+// layout changes: old entries then read as corrupt (a miss and a
+// re-simulation), never as wrong payloads.
+const envelopeMagic = "eend.cache/1 "
+
+// seal wraps a payload in its checksummed envelope: one header line with
+// the payload's SHA-256, then the payload verbatim. The envelope is both
+// the on-disk format and the wire format of the remote store.
+func seal(value []byte) []byte {
+	sum := sha256.Sum256(value)
+	head := envelopeMagic + hex.EncodeToString(sum[:]) + "\n"
+	out := make([]byte, 0, len(head)+len(value))
+	return append(append(out, head...), value...)
+}
+
+// unseal verifies an envelope and returns its payload; ok is false for
+// anything malformed or checksum-mismatched.
+func unseal(data []byte) ([]byte, bool) {
+	headLen := len(envelopeMagic) + sha256.Size*2 + 1
+	if len(data) < headLen || string(data[:len(envelopeMagic)]) != envelopeMagic {
+		return nil, false
+	}
+	sumHex := string(data[len(envelopeMagic) : headLen-1])
+	if data[headLen-1] != '\n' {
+		return nil, false
+	}
+	payload := data[headLen:]
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != sumHex {
+		return nil, false
+	}
+	return payload, true
+}
+
+// counters is the atomic Stats backing shared by the implementations.
+type counters struct {
+	hits, remoteHits, misses, puts, corrupt atomic.Uint64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Hits: c.hits.Load(), RemoteHits: c.remoteHits.Load(),
+		Misses: c.misses.Load(), Puts: c.puts.Load(), Corrupt: c.corrupt.Load(),
+	}
+}
+
+// Disk is the content-addressed on-disk store rooted at one directory.
+// Layout: <dir>/<key[:2]>/<key>.json, one sealed entry per file, sharded
+// by the first two key characters so huge sweeps don't produce huge
+// directories. Writes go through a temp file + rename, so concurrent
+// writers (the sweep worker pool) and crashed processes can never leave a
+// torn entry behind — and the envelope checksum catches anything the
+// filesystem still manages to mangle. The zero value is not usable; call
+// Open.
+type Disk struct {
+	dir string
+	counters
+}
+
+// Open creates (if needed) and opens a disk store rooted at dir.
+func Open(dir string) (*Disk, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("cache: empty directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cache: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Disk{dir: dir}, nil
 }
 
 // Dir returns the store's root directory.
-func (s *Store) Dir() string { return s.dir }
+func (s *Disk) Dir() string { return s.dir }
 
-// validKey rejects keys that could escape the store directory or collide
-// with the shard layout. Fingerprints (lowercase hex) always pass.
-func validKey(key string) error {
+// ValidKey rejects keys that could escape a store's layout (path
+// traversal, shard collisions). Fingerprints (lowercase hex) always pass.
+func ValidKey(key string) error {
 	if len(key) < 4 {
 		return fmt.Errorf("cache: key %q too short", key)
 	}
@@ -58,21 +141,27 @@ func validKey(key string) error {
 }
 
 // path maps a key to its entry file.
-func (s *Store) path(key string) string {
+func (s *Disk) path(key string) string {
 	return filepath.Join(s.dir, key[:2], key+".json")
 }
 
-// Get returns the value stored under key. A missing entry is (nil, false,
-// nil); only I/O faults (and invalid keys) surface as errors.
-func (s *Store) Get(key string) ([]byte, bool, error) {
-	if err := validKey(key); err != nil {
+// Get returns the value stored under key. A corrupt entry — torn, rotted,
+// or written by an incompatible version — is a miss, never a payload.
+func (s *Disk) Get(key string) ([]byte, bool, error) {
+	if err := ValidKey(key); err != nil {
 		return nil, false, err
 	}
 	data, err := os.ReadFile(s.path(key))
 	switch {
 	case err == nil:
+		payload, ok := unseal(data)
+		if !ok {
+			s.corrupt.Add(1)
+			s.misses.Add(1)
+			return nil, false, nil
+		}
 		s.hits.Add(1)
-		return data, true, nil
+		return payload, true, nil
 	case os.IsNotExist(err):
 		s.misses.Add(1)
 		return nil, false, nil
@@ -83,8 +172,8 @@ func (s *Store) Get(key string) ([]byte, bool, error) {
 
 // Put stores value under key, replacing any previous entry. The write is
 // atomic: readers see either the old entry or the complete new one.
-func (s *Store) Put(key string, value []byte) error {
-	if err := validKey(key); err != nil {
+func (s *Disk) Put(key string, value []byte) error {
+	if err := ValidKey(key); err != nil {
 		return err
 	}
 	dst := s.path(key)
@@ -95,7 +184,7 @@ func (s *Store) Put(key string, value []byte) error {
 	if err != nil {
 		return fmt.Errorf("cache: %w", err)
 	}
-	if _, err := tmp.Write(value); err != nil {
+	if _, err := tmp.Write(seal(value)); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("cache: %w", err)
@@ -112,21 +201,12 @@ func (s *Store) Put(key string, value []byte) error {
 	return nil
 }
 
-// Stats reports the store's lifetime counters (since Open).
-type Stats struct {
-	Hits   uint64 `json:"hits"`
-	Misses uint64 `json:"misses"`
-	Puts   uint64 `json:"puts"`
-}
-
 // Stats returns a snapshot of the store's counters.
-func (s *Store) Stats() Stats {
-	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Puts: s.puts.Load()}
-}
+func (s *Disk) Stats() Stats { return s.snapshot() }
 
 // Len walks the store and counts entries (for tools and tests; a sweep
 // never needs it on a hot path).
-func (s *Store) Len() (int, error) {
+func (s *Disk) Len() (int, error) {
 	n := 0
 	err := filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
 		if err != nil {

@@ -1,0 +1,68 @@
+package cache
+
+import "sync"
+
+// Mem is an in-memory Store: the local tier of a peered daemon running
+// without a -cache directory, and a convenient backend for tests. Entries
+// are sealed exactly like Disk's, so corruption detection (and the
+// conformance suite) covers it identically.
+type Mem struct {
+	counters
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem { return &Mem{m: make(map[string][]byte)} }
+
+// Get returns the value stored under key.
+func (s *Mem) Get(key string) ([]byte, bool, error) {
+	if err := ValidKey(key); err != nil {
+		return nil, false, err
+	}
+	s.mu.RLock()
+	data, ok := s.m[key]
+	s.mu.RUnlock()
+	if !ok {
+		s.misses.Add(1)
+		return nil, false, nil
+	}
+	payload, ok := unseal(data)
+	if !ok {
+		s.corrupt.Add(1)
+		s.misses.Add(1)
+		return nil, false, nil
+	}
+	s.hits.Add(1)
+	return payload, true, nil
+}
+
+// Put stores value under key, replacing any previous entry.
+func (s *Mem) Put(key string, value []byte) error {
+	if err := ValidKey(key); err != nil {
+		return err
+	}
+	sealed := seal(value)
+	s.mu.Lock()
+	s.m[key] = sealed
+	s.mu.Unlock()
+	s.puts.Add(1)
+	return nil
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Mem) Stats() Stats { return s.snapshot() }
+
+// corruptEntry flips a byte of the raw stored entry (tests only).
+func (s *Mem) corruptEntry(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.m[key]
+	if !ok || len(data) == 0 {
+		return false
+	}
+	cp := append([]byte(nil), data...)
+	cp[len(cp)-1] ^= 0xff
+	s.m[key] = cp
+	return true
+}

@@ -1,0 +1,98 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// maxEvalResponse bounds a worker's response body; a shard of results is
+// well under a megabyte, so anything near this is a broken peer.
+const maxEvalResponse = 256 << 20
+
+// Client is the HTTP Evaluator for a remote eendd worker.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns an Evaluator for the daemon at base (e.g.
+// "http://host:8080"). hc == nil uses a client with no overall timeout —
+// shard runtimes are workload-dependent, so deadlines belong to the
+// caller's ctx.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &Client{base: strings.TrimSuffix(base, "/"), hc: hc}
+}
+
+// Addr identifies the worker.
+func (c *Client) Addr() string { return c.base }
+
+// Evaluate posts the batch to the worker's /v1/evaluate and decodes the
+// results. Any transport fault, non-200 status, or malformed response is
+// an error (the coordinator's cue to retry elsewhere).
+func (c *Client) Evaluate(ctx context.Context, scenarios []string) ([]EvalResult, error) {
+	body, err := json.Marshal(EvalRequest{Scenarios: scenarios})
+	if err != nil {
+		return nil, fmt.Errorf("dist: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/evaluate", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("dist: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker %s: %w", c.base, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxEvalResponse))
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker %s: %w", c.base, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("dist: worker %s: status %d: %s", c.base, resp.StatusCode, firstLine(data))
+	}
+	var er EvalResponse
+	if err := json.Unmarshal(data, &er); err != nil {
+		return nil, fmt.Errorf("dist: worker %s: malformed response: %w", c.base, err)
+	}
+	if len(er.Results) != len(scenarios) {
+		return nil, fmt.Errorf("dist: worker %s: %d results for %d scenarios", c.base, len(er.Results), len(scenarios))
+	}
+	return er.Results, nil
+}
+
+// firstLine truncates an error body for a readable message.
+func firstLine(data []byte) string {
+	s := strings.TrimSpace(string(data))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	return s
+}
+
+// sleep waits d or until ctx is cancelled.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

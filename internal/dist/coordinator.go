@@ -1,0 +1,271 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eend"
+	"eend/internal/exec"
+)
+
+// Coordinator defaults.
+const (
+	defaultShardSize = 8
+	defaultBackoff   = 50 * time.Millisecond
+	maxBackoff       = 2 * time.Second
+	// suspectAfter consecutive failures sidelines a worker: later shards
+	// prefer its siblings, and it rejoins on its next success (retries
+	// still reach it when every worker is sidelined).
+	suspectAfter = 2
+)
+
+// RetryEvent describes one failed shard attempt about to be retried.
+type RetryEvent struct {
+	// Shard is the shard's index within the batch.
+	Shard int
+	// Worker is the address of the worker that failed.
+	Worker string
+	// Attempt counts attempts made so far (1 = the first try failed).
+	Attempt int
+	// Err is the transport-level failure.
+	Err error
+}
+
+// Coordinator spreads a batch of scenarios across a fleet of workers. It
+// deduplicates by fingerprint, partitions the unique scenarios into
+// shards, dispatches shards concurrently on the shared execution
+// scheduler, retries failed shards on surviving workers with bounded
+// exponential backoff, and merges results back to input order. Because
+// every worker simulates from the same canonical encodings and the merge
+// is positional, a distributed run is bit-identical to a local one.
+//
+// The zero value is not usable; Workers must hold at least one Evaluator.
+// A Coordinator is safe for concurrent use and carries worker-health
+// state across batches.
+type Coordinator struct {
+	// Workers are the fleet members shards are dispatched to.
+	Workers []Evaluator
+	// ShardSize is the maximum number of unique scenarios per shard
+	// (<= 0: 8). Smaller shards spread better and retry cheaper; larger
+	// shards amortize HTTP overhead.
+	ShardSize int
+	// Parallel bounds shards in flight (<= 0: 2 per worker).
+	Parallel int
+	// Retries is the extra attempts a failed shard gets beyond its first
+	// (<= 0: 2 per worker). Each attempt prefers workers that haven't
+	// recently failed.
+	Retries int
+	// Backoff is the delay before the first retry, doubling per attempt
+	// up to a 2s cap (<= 0: 50ms).
+	Backoff time.Duration
+	// OnRetry, when non-nil, observes every failed attempt that will be
+	// retried. Calls may be concurrent (one per in-flight shard).
+	OnRetry func(RetryEvent)
+
+	once  sync.Once
+	fails []atomic.Int32 // consecutive failures per worker
+	rr    atomic.Uint64  // round-robin dispatch cursor
+}
+
+func (c *Coordinator) init() {
+	c.once.Do(func() { c.fails = make([]atomic.Int32, len(c.Workers)) })
+}
+
+func (c *Coordinator) shardSize() int {
+	if c.ShardSize > 0 {
+		return c.ShardSize
+	}
+	return defaultShardSize
+}
+
+func (c *Coordinator) parallel() int {
+	if c.Parallel > 0 {
+		return c.Parallel
+	}
+	return 2 * len(c.Workers)
+}
+
+func (c *Coordinator) retries() int {
+	if c.Retries > 0 {
+		return c.Retries
+	}
+	return 2 * len(c.Workers)
+}
+
+func (c *Coordinator) backoff() time.Duration {
+	if c.Backoff > 0 {
+		return c.Backoff
+	}
+	return defaultBackoff
+}
+
+// pick selects the n-th worker to try, preferring ones that haven't
+// recently failed; when every worker is suspect, all of them are
+// candidates again (a retry must go somewhere).
+func (c *Coordinator) pick(n int) (Evaluator, int) {
+	var healthy []int
+	for i := range c.Workers {
+		if c.fails[i].Load() < suspectAfter {
+			healthy = append(healthy, i)
+		}
+	}
+	if len(healthy) == 0 {
+		healthy = make([]int, len(c.Workers))
+		for i := range healthy {
+			healthy[i] = i
+		}
+	}
+	wi := healthy[n%len(healthy)]
+	return c.Workers[wi], wi
+}
+
+// evaluateShard runs one shard to completion: try a worker, and on a
+// transport-level failure back off and move to the next candidate. Only
+// when the attempt budget is exhausted does the shard fail.
+func (c *Coordinator) evaluateShard(ctx context.Context, shard int, scenarios []string) ([]EvalResult, error) {
+	attempts := 1 + c.retries()
+	backoff := c.backoff()
+	start := int(c.rr.Add(1))
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		w, wi := c.pick(start + a)
+		res, err := w.Evaluate(ctx, scenarios)
+		if err == nil {
+			c.fails[wi].Store(0)
+			return res, nil
+		}
+		lastErr = err
+		c.fails[wi].Add(1)
+		if a == attempts-1 {
+			break
+		}
+		if c.OnRetry != nil {
+			c.OnRetry(RetryEvent{Shard: shard, Worker: w.Addr(), Attempt: a + 1, Err: err})
+		}
+		if err := sleep(ctx, backoff); err != nil {
+			return nil, err
+		}
+		backoff = min(2*backoff, maxBackoff)
+	}
+	return nil, fmt.Errorf("dist: shard %d failed on every worker (%d attempts): %w", shard, attempts, lastErr)
+}
+
+// RunBatch is the distributed drop-in for eend.RunBatch: same signature,
+// same channel contract (results stream in completion order, correlated by
+// Index; the channel closes when every deliverable result is in; scenarios
+// never dispatched after cancellation don't appear) — but the simulations
+// run on the fleet. The BatchOptions are accepted for signature
+// compatibility and ignored: local worker-pool size is meaningless here,
+// and fleet concurrency is the Coordinator's Parallel.
+//
+// Scenarios are deduplicated by fingerprint before sharding, so a batch
+// with repeated scenarios costs one evaluation per unique fingerprint. A
+// worker whose reported fingerprint disagrees with the coordinator's —
+// divergent simulator builds — yields an error result, never a silently
+// wrong one.
+func (c *Coordinator) RunBatch(ctx context.Context, scenarios []*eend.Scenario, _ ...eend.BatchOption) <-chan eend.BatchResult {
+	c.init()
+	out := make(chan eend.BatchResult, len(scenarios))
+
+	// Deduplicate: unique fingerprints in first-seen order, each carrying
+	// every input index it must fan back to.
+	type group struct {
+		text    string
+		indices []int
+	}
+	var order []string
+	groups := make(map[string]*group)
+	for i, sc := range scenarios {
+		fp := sc.Fingerprint()
+		g := groups[fp]
+		if g == nil {
+			g = &group{text: sc.Canonical()}
+			groups[fp] = g
+			order = append(order, fp)
+		}
+		g.indices = append(g.indices, i)
+	}
+
+	// Partition the unique scenarios into contiguous shards.
+	size := c.shardSize()
+	type shard struct {
+		fps   []string
+		texts []string
+	}
+	var shards []shard
+	for lo := 0; lo < len(order); lo += size {
+		hi := min(lo+size, len(order))
+		s := shard{fps: order[lo:hi]}
+		for _, fp := range s.fps {
+			s.texts = append(s.texts, groups[fp].text)
+		}
+		shards = append(shards, s)
+	}
+
+	items := make([]exec.Item, len(shards))
+	for i, s := range shards {
+		items[i] = exec.Item{
+			Index:    i,
+			Priority: exec.PriorityBatch,
+			Do: func(ctx context.Context) (any, error) {
+				return c.evaluateShard(ctx, i, s.texts)
+			},
+		}
+	}
+
+	emit := func(sc *eend.Scenario, index int, dup bool, er EvalResult) {
+		br := eend.BatchResult{Index: index, Scenario: sc, Cached: er.Cached}
+		switch {
+		case er.Error != "":
+			br.Err = errors.New(er.Error)
+		case er.Results == nil:
+			br.Err = fmt.Errorf("dist: worker returned no results and no error")
+		default:
+			br.Results = er.Results
+			if dup {
+				br.Results = copyResults(er.Results)
+			}
+		}
+		out <- br
+	}
+
+	go func() {
+		defer close(out)
+		sched := exec.New(c.parallel())
+		for r := range sched.Stream(ctx, items) {
+			if r.Skipped {
+				continue
+			}
+			s := shards[r.Index]
+			if r.Err != nil {
+				// The whole shard failed: every index it covers errors.
+				for _, fp := range s.fps {
+					for _, i := range groups[fp].indices {
+						out <- eend.BatchResult{Index: i, Scenario: scenarios[i], Err: r.Err}
+					}
+				}
+				continue
+			}
+			results := r.Value.([]EvalResult)
+			for j, fp := range s.fps {
+				er := results[j]
+				if er.Error == "" && er.Fingerprint != fp {
+					er = EvalResult{Error: fmt.Sprintf(
+						"dist: worker fingerprint %s disagrees with coordinator %s (divergent simulator builds?)",
+						er.Fingerprint, fp)}
+				}
+				for n, i := range groups[fp].indices {
+					emit(scenarios[i], i, n > 0, er)
+				}
+			}
+		}
+	}()
+	return out
+}

@@ -1,0 +1,202 @@
+// Package dist is the distributed execution fleet: the worker protocol a
+// daemon speaks (POST /v1/evaluate — canonical scenarios in, fingerprinted
+// results out) and the sharding coordinator that spreads one sweep or
+// search across many daemons.
+//
+// The design keeps the determinism contract intact across machine
+// boundaries. A scenario travels as its canonical encoding — the exact
+// byte string its fingerprint hashes — and the worker reconstructs it with
+// eend.ParseCanonical, whose round-trip self-check guarantees the rebuilt
+// scenario re-encodes to the same bytes. A worker therefore simulates
+// precisely what the coordinator fingerprinted, every result is keyed by
+// that shared fingerprint, and a distributed run merges bit-identically to
+// a local one. The shared result cache (internal/cache) uses the same keys,
+// so a fleet warms one cache regardless of which daemon computed what.
+package dist
+
+import (
+	"context"
+	"encoding/json"
+
+	"eend"
+	"eend/internal/cache"
+)
+
+// EvalRequest is the body of POST /v1/evaluate: a batch of scenarios in
+// canonical encoding (eend.Scenario.Canonical).
+type EvalRequest struct {
+	Scenarios []string `json:"scenarios"`
+}
+
+// EvalResult is one scenario's outcome, in request order.
+type EvalResult struct {
+	// Fingerprint is the scenario's content address as computed by the
+	// worker; a coordinator cross-checks it against its own fingerprint to
+	// detect a worker running divergent simulator code.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Cached reports the result was answered from the worker's cache.
+	Cached bool `json:"cached,omitempty"`
+	// Results is nil when Error is set.
+	Results *eend.Results `json:"results,omitempty"`
+	// Error reports a scenario that failed to parse or to simulate.
+	Error string `json:"error,omitempty"`
+}
+
+// EvalResponse is the body answering POST /v1/evaluate.
+type EvalResponse struct {
+	Results []EvalResult `json:"results"`
+}
+
+// Engine evaluates batches of canonical scenarios. It is the worker side
+// of the protocol, shared by the eendd HTTP handler and the in-process
+// Local evaluator.
+type Engine struct {
+	// Store, when non-nil, answers fingerprints it holds without
+	// simulating and stores fresh results for the fleet.
+	Store cache.Store
+	// Workers bounds concurrent simulations (<= 0: GOMAXPROCS).
+	Workers int
+}
+
+// runBatch is swapped by tests to prove cached batches never simulate.
+var runBatch = eend.RunBatch
+
+// Evaluate answers a batch: parse every canonical encoding, serve what the
+// cache holds, simulate the rest (deduplicated by fingerprint), and store
+// fresh results. Per-scenario failures are reported in their slot — one
+// malformed scenario cannot fail a batch. The response always has exactly
+// one result per request scenario, in request order.
+func (e Engine) Evaluate(ctx context.Context, scenarios []string) []EvalResult {
+	out := make([]EvalResult, len(scenarios))
+
+	// Parse and deduplicate: identical scenarios (same fingerprint) in one
+	// batch simulate once and fan back to every slot.
+	type group struct {
+		sc      *eend.Scenario
+		indices []int
+	}
+	var order []string
+	groups := make(map[string]*group)
+	for i, text := range scenarios {
+		sc, err := eend.ParseCanonical(text)
+		if err != nil {
+			out[i].Error = err.Error()
+			continue
+		}
+		fp := sc.Fingerprint()
+		out[i].Fingerprint = fp
+		g := groups[fp]
+		if g == nil {
+			g = &group{sc: sc}
+			groups[fp] = g
+			order = append(order, fp)
+		}
+		g.indices = append(g.indices, i)
+	}
+
+	deliver := func(indices []int, res *eend.Results, cached bool) {
+		for n, i := range indices {
+			r := res
+			if n > 0 {
+				r = copyResults(res)
+			}
+			out[i].Results = r
+			out[i].Cached = cached
+		}
+	}
+
+	// Cache pass, then one batch over the misses.
+	var missFP []string
+	var missScs []*eend.Scenario
+	for _, fp := range order {
+		if data, ok := storeGet(e.Store, fp); ok {
+			var res eend.Results
+			if err := json.Unmarshal(data, &res); err == nil {
+				deliver(groups[fp].indices, &res, true)
+				continue
+			}
+			// A corrupt entry is a miss; the fresh result overwrites it.
+		}
+		missFP = append(missFP, fp)
+		missScs = append(missScs, groups[fp].sc)
+	}
+	if len(missScs) == 0 {
+		return out
+	}
+	for br := range runBatch(ctx, missScs, eend.Workers(e.Workers)) {
+		fp := missFP[br.Index]
+		if br.Err != nil {
+			for _, i := range groups[fp].indices {
+				out[i].Error = br.Err.Error()
+			}
+			continue
+		}
+		if e.Store != nil {
+			if data, err := json.Marshal(br.Results); err == nil {
+				// A failed write only costs a future re-simulation.
+				_ = e.Store.Put(fp, data)
+			}
+		}
+		deliver(groups[fp].indices, br.Results, false)
+	}
+	return out
+}
+
+// storeGet is a nil-tolerant store read; I/O faults degrade to misses.
+func storeGet(store cache.Store, key string) ([]byte, bool) {
+	if store == nil {
+		return nil, false
+	}
+	data, ok, err := store.Get(key)
+	if err != nil || !ok {
+		return nil, false
+	}
+	return data, true
+}
+
+// copyResults clones a Results through its lossless JSON round trip, so
+// slots sharing a fingerprint never alias one mutable value.
+func copyResults(res *eend.Results) *eend.Results {
+	data, err := json.Marshal(res)
+	if err != nil {
+		return res
+	}
+	cp := new(eend.Results)
+	if err := json.Unmarshal(data, cp); err != nil {
+		return res
+	}
+	return cp
+}
+
+// Evaluator is one worker a coordinator can dispatch a shard to: a remote
+// daemon (Client) or the local process (Local).
+type Evaluator interface {
+	// Addr identifies the worker in retry events and logs.
+	Addr() string
+	// Evaluate runs a batch of canonical scenarios. The error covers
+	// transport-level failure (worker unreachable, malformed response);
+	// per-scenario failures ride inside the results.
+	Evaluate(ctx context.Context, scenarios []string) ([]EvalResult, error)
+}
+
+// Local is the in-process Evaluator: the same engine a daemon serves over
+// HTTP, without the network. A daemon participating in its own fleet uses
+// one, and tests compose coordinators from them.
+type Local struct {
+	Engine
+	// Name is reported by Addr; "local" when empty.
+	Name string
+}
+
+// Addr identifies the evaluator.
+func (l *Local) Addr() string {
+	if l.Name == "" {
+		return "local"
+	}
+	return l.Name
+}
+
+// Evaluate runs the batch in process.
+func (l *Local) Evaluate(ctx context.Context, scenarios []string) ([]EvalResult, error) {
+	return l.Engine.Evaluate(ctx, scenarios), nil
+}

@@ -55,12 +55,15 @@ type Store[V any] struct {
 	retain int
 	clock  func() time.Time
 
+	jn *journal
+
 	mu   sync.Mutex
 	seq  int
 	jobs map[string]*Job[V]
 }
 
-// NewStore builds a job store whose jobs run under base.
+// NewStore builds an in-memory job store whose jobs run under base; a
+// restart forgets everything. NewJournaled is the persistent variant.
 func NewStore[V any](base context.Context, o Options) *Store[V] {
 	if o.Prefix == "" {
 		o.Prefix = "job"
@@ -79,6 +82,41 @@ func NewStore[V any](base context.Context, o Options) *Store[V] {
 		jobs:   make(map[string]*Job[V]),
 	}
 }
+
+// NewJournaled builds a job store that journals status transitions to
+// <dir>/<prefix>.journal and replays the journal on construction: jobs a
+// previous process left running come back as Failed ("interrupted by
+// daemon restart") so their clients learn the truth instead of a 404, and
+// the id sequence continues where it left off. Payloads are not persisted
+// — a replayed job carries its final status and a zero payload.
+func NewJournaled[V any](base context.Context, dir string, o Options) (*Store[V], error) {
+	s := NewStore[V](base, o)
+	jn, interrupted, maxSeq, err := openJournal(dir, s.prefix)
+	if err != nil {
+		return nil, err
+	}
+	s.jn = jn
+	s.seq = maxSeq
+	for _, r := range interrupted {
+		s.jobs[r.ID] = &Job[V]{
+			id:      r.ID,
+			seq:     r.Seq,
+			created: r.Time,
+			cancel:  func() {},
+			status:  Failed,
+			errText: r.Err,
+		}
+	}
+	s.mu.Lock()
+	s.evictLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Close releases the store's journal handle (a nil journal is a no-op).
+// Running jobs are unaffected; their final transitions simply stop being
+// recorded, which the next replay reports as an interruption.
+func (s *Store[V]) Close() error { return s.jn.Close() }
 
 // Retain returns the store's effective retention cap.
 func (s *Store[V]) Retain() int { return s.retain }
@@ -174,24 +212,31 @@ func (s *Store[V]) Start(init func(v *V), run func(ctx context.Context, j *Job[V
 	s.jobs[j.id] = j
 	s.evictLocked()
 	s.mu.Unlock()
+	// Journal failures are deliberately non-fatal: the job still runs, at
+	// worst its transition is lost to the next replay.
+	_ = s.jn.append(record{ID: j.id, Seq: j.seq, Status: Running, Time: j.created})
 
 	go func() {
 		defer cancel()
 		err := run(ctx, j)
+		status, errText := Done, ""
+		switch {
+		case err == nil:
+		case ctx.Err() != nil:
+			status = Cancelled
+		default:
+			status, errText = Failed, err.Error()
+		}
+		// Journal before publishing: once a poller can observe the final
+		// status, a restart's replay agrees with it.
+		_ = s.jn.append(record{ID: j.id, Seq: j.seq, Status: status, Err: errText, Time: s.clock()})
 		j.mu.Lock()
 		defer j.mu.Unlock()
 		if j.finalize != nil {
 			j.finalize(&j.value)
 			j.finalize = nil
 		}
-		switch {
-		case err == nil:
-			j.status = Done
-		case ctx.Err() != nil:
-			j.status = Cancelled
-		default:
-			j.status, j.errText = Failed, err.Error()
-		}
+		j.status, j.errText = status, errText
 	}()
 	return j
 }

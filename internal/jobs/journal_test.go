@@ -1,0 +1,170 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestJournalReplayMarksInterrupted is the satellite's core contract: a
+// job left running by a dead process is reported Failed after restart,
+// with the interruption recorded as its error.
+func TestJournalReplayMarksInterrupted(t *testing.T) {
+	dir := t.TempDir()
+	base := context.Background()
+	s1, err := NewJournaled[payload](base, dir, Options{Prefix: "sweep"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make(chan struct{})
+	j := s1.Start(nil, func(ctx context.Context, j *Job[payload]) error {
+		<-block
+		return nil
+	})
+	done := s1.Start(nil, func(ctx context.Context, j *Job[payload]) error { return nil })
+	waitStatus(t, done, Done)
+
+	// "Restart": a second store over the same state dir, while the first
+	// process's job never got to record a terminal status.
+	s2, err := NewJournaled[payload](base, dir, Options{Prefix: "sweep"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(j.ID())
+	if !ok {
+		t.Fatalf("interrupted job %s not replayed", j.ID())
+	}
+	status, errText, _ := got.Snapshot()
+	if status != Failed || !strings.Contains(errText, "interrupted") {
+		t.Fatalf("replayed job = (%s, %q), want failed/interrupted", status, errText)
+	}
+	// The cleanly finished job is not resurrected.
+	if _, ok := s2.Get(done.ID()); ok {
+		t.Error("finished job replayed as live state")
+	}
+	close(block)
+}
+
+// TestJournalSequenceContinues: a restarted store must not reissue ids the
+// previous process already handed to clients.
+func TestJournalSequenceContinues(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewJournaled[payload](context.Background(), dir, Options{Prefix: "opt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1 := s1.Start(nil, func(context.Context, *Job[payload]) error { return nil })
+	waitStatus(t, j1, Done)
+	if j1.ID() != "opt-1" {
+		t.Fatalf("first id = %s", j1.ID())
+	}
+
+	s2, err := NewJournaled[payload](context.Background(), dir, Options{Prefix: "opt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2 := s2.Start(nil, func(context.Context, *Job[payload]) error { return nil })
+	waitStatus(t, j2, Done)
+	if j2.ID() != "opt-2" {
+		t.Fatalf("post-restart id = %s, want opt-2", j2.ID())
+	}
+}
+
+// TestJournalCompaction: restarting over and over must not grow the
+// journal — each open rewrites it down to the interrupted set.
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 5; i++ {
+		s, err := NewJournaled[payload](context.Background(), dir, Options{Prefix: "c"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 10; k++ {
+			j := s.Start(nil, func(context.Context, *Job[payload]) error { return nil })
+			waitStatus(t, j, Done)
+		}
+		s.Close()
+	}
+	s, err := NewJournaled[payload](context.Background(), dir, Options{Prefix: "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Len(); n != 0 {
+		t.Fatalf("%d jobs replayed from cleanly finished history, want 0", n)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "c.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 0 {
+		t.Fatalf("compacted journal still holds %d bytes: %q", len(data), data)
+	}
+}
+
+// TestJournalSurvivesTornTail: replay must tolerate a torn last line (the
+// crash happened mid-append) and keep every parsable record.
+func TestJournalSurvivesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewJournaled[payload](context.Background(), dir, Options{Prefix: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make(chan struct{})
+	defer close(block)
+	j := s1.Start(nil, func(context.Context, *Job[payload]) error { <-block; return nil })
+
+	path := filepath.Join(dir, "t.journal")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprint(f, `{"id":"t-9","seq":9,"stat`) // torn mid-record
+	f.Close()
+
+	s2, err := NewJournaled[payload](context.Background(), dir, Options{Prefix: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(j.ID()); !ok {
+		t.Fatal("record before the torn tail was lost")
+	}
+}
+
+// TestJournaledStoreStillEvicts: replayed failures count as finished jobs
+// and age out under the retention cap like any other.
+func TestJournaledStoreStillEvicts(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewJournaled[payload](context.Background(), dir, Options{Prefix: "e", Retain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make(chan struct{})
+	defer close(block)
+	for i := 0; i < 5; i++ {
+		s1.Start(nil, func(context.Context, *Job[payload]) error { <-block; return nil })
+	}
+	s2, err := NewJournaled[payload](context.Background(), dir, Options{Prefix: "e", Retain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s2.Len(); n > 2 {
+		t.Fatalf("replay retained %d jobs over a cap of 2", n)
+	}
+}
+
+// waitStatus polls a job until it reaches want (or the test times out).
+func waitStatus[V any](t *testing.T, j *Job[V], want Status) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if j.Status() == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s (now %s)", j.ID(), want, j.Status())
+}

@@ -8,6 +8,7 @@ import (
 
 	"eend"
 	"eend/internal/cache"
+	"eend/internal/dist"
 	"eend/internal/exec"
 )
 
@@ -41,6 +42,16 @@ type SimConfig struct {
 	// content-addressed result cache: candidates already simulated — in
 	// this run, a previous run, or a sweep — are answered from disk.
 	CacheDir string
+	// Store, when non-nil, is the result store to use instead of opening
+	// CacheDir — any cache.Store works (tiered over remote peers,
+	// in-memory for tests). Store takes precedence over CacheDir.
+	Store cache.Store
+	// Remote, when non-empty, runs candidate simulations on the eendd
+	// workers at these base URLs instead of in process, through the dist
+	// coordinator (fingerprint-checked, retried on surviving workers).
+	// The search trajectory is unchanged — remote results are
+	// bit-identical to local ones.
+	Remote []string
 	// Replicates > 1 averages that many seed-derived simulations per
 	// candidate (eend.WithReplicates), scoring the replicate mean.
 	Replicates int
@@ -73,7 +84,8 @@ type SimStats struct {
 // fingerprint into a single simulator run.
 type Simulated struct {
 	p          *Problem
-	store      *cache.Store
+	store      cache.Store
+	remote     *dist.Coordinator
 	replicates int
 
 	mu     sync.Mutex
@@ -96,7 +108,17 @@ func (p *Problem) Simulated(cfg SimConfig) (*Simulated, error) {
 		return nil, fmt.Errorf("opt: problem has no deployment scenario; build it with opt.FromScenario")
 	}
 	s := &Simulated{p: p, memo: make(map[string]float64), replicates: cfg.Replicates}
-	if cfg.CacheDir != "" {
+	if len(cfg.Remote) > 0 {
+		workers := make([]dist.Evaluator, len(cfg.Remote))
+		for i, u := range cfg.Remote {
+			workers[i] = dist.NewClient(u, nil)
+		}
+		s.remote = &dist.Coordinator{Workers: workers}
+	}
+	switch {
+	case cfg.Store != nil:
+		s.store = cfg.Store
+	case cfg.CacheDir != "":
 		store, err := cache.Open(cfg.CacheDir)
 		if err != nil {
 			return nil, err
@@ -162,7 +184,7 @@ func (s *Simulated) Evaluate(ctx context.Context, d *Design) (float64, error) {
 				// A corrupt entry degrades to a miss and is overwritten below.
 			}
 		}
-		res, err := runScenario(ctx, sc)
+		res, err := s.run(ctx, sc)
 		if err != nil {
 			return 0.0, err
 		}
@@ -189,6 +211,18 @@ func (s *Simulated) Evaluate(ctx context.Context, d *Design) (float64, error) {
 	s.memo[fp] = e
 	s.mu.Unlock()
 	return e, nil
+}
+
+// run simulates a candidate locally, or on the remote fleet when the
+// objective was configured with SimConfig.Remote.
+func (s *Simulated) run(ctx context.Context, sc *eend.Scenario) (*eend.Results, error) {
+	if s.remote == nil {
+		return runScenario(ctx, sc)
+	}
+	for br := range s.remote.RunBatch(ctx, []*eend.Scenario{sc}) {
+		return br.Results, br.Err
+	}
+	return nil, fmt.Errorf("opt: remote evaluation returned no result")
 }
 
 // energyOf extracts the objective value from simulation results: total

@@ -8,6 +8,7 @@ import (
 
 	"eend"
 	"eend/internal/cache"
+	"eend/internal/dist"
 )
 
 // Progress is a live snapshot of a sweep run.
@@ -48,6 +49,20 @@ type Runner struct {
 	// answered from disk without simulating, and fresh results are stored
 	// for the next sweep.
 	CacheDir string
+	// Cache, when non-nil, is the result store to use instead of opening
+	// CacheDir — any cache.Store works (tiered over remote peers, in-memory
+	// for tests). Cache takes precedence over CacheDir.
+	Cache cache.Store
+	// Remote, when non-empty, runs the simulations on the eendd workers at
+	// these base URLs (e.g. "http://host:8080") instead of in process: the
+	// sweep is sharded across the fleet by the dist coordinator, failed
+	// shards retry on surviving workers, and the merged results are
+	// bit-identical to a local run. Workers then bounds shards in flight
+	// rather than local simulator goroutines.
+	Remote []string
+	// OnRetry, when non-nil, observes every failed remote dispatch that
+	// will be retried (ignored for local runs). Calls may be concurrent.
+	OnRetry func(worker string, err error)
 	// OnProgress, when non-nil, is called after every completed point with
 	// a monotone snapshot. Calls are sequential (never concurrent).
 	OnProgress func(Progress)
@@ -187,12 +202,13 @@ func (st *pointState) finish(sr Result) Result {
 func (p *Prepared) Stream(ctx context.Context) (<-chan Result, error) {
 	r := p.runner
 	results := p.results
-	var store *cache.Store
-	if r.CacheDir != "" {
-		var err error
-		if store, err = cache.Open(r.CacheDir); err != nil {
+	store := r.Cache
+	if store == nil && r.CacheDir != "" {
+		disk, err := cache.Open(r.CacheDir)
+		if err != nil {
 			return nil, err
 		}
+		store = disk
 	}
 
 	out := make(chan Result, len(results))
@@ -259,7 +275,7 @@ func (p *Prepared) Stream(ctx context.Context) (<-chan Result, error) {
 		return out, nil
 	}
 
-	batch := runBatch(ctx, scenarios, eend.Workers(r.Workers))
+	batch := r.batchFn()(ctx, scenarios, eend.Workers(r.Workers))
 	go func() {
 		defer close(out)
 		for br := range batch {
@@ -271,6 +287,11 @@ func (p *Prepared) Stream(ctx context.Context) (<-chan Result, error) {
 				}
 			} else {
 				st.runs[missRep[br.Index]] = br.Results
+				if br.Cached {
+					// A remote worker answered from the fleet cache; the
+					// point is as cached as a local hit would have been.
+					st.cached++
+				}
 				if store != nil {
 					if data, err := json.Marshal(br.Results); err == nil {
 						// A failed write only costs a future re-simulation.
@@ -286,8 +307,25 @@ func (p *Prepared) Stream(ctx context.Context) (<-chan Result, error) {
 	return out, nil
 }
 
+// batchFn selects the simulation backend: the local batch runner, or a
+// dist coordinator over the configured remote workers.
+func (r Runner) batchFn() func(context.Context, []*eend.Scenario, ...eend.BatchOption) <-chan eend.BatchResult {
+	if len(r.Remote) == 0 {
+		return runBatch
+	}
+	workers := make([]dist.Evaluator, len(r.Remote))
+	for i, u := range r.Remote {
+		workers[i] = dist.NewClient(u, nil)
+	}
+	co := &dist.Coordinator{Workers: workers, Parallel: r.Workers}
+	if r.OnRetry != nil {
+		co.OnRetry = func(e dist.RetryEvent) { r.OnRetry(e.Worker, e.Err) }
+	}
+	return co.RunBatch
+}
+
 // cacheGet is a nil-tolerant store read; I/O faults degrade to misses.
-func cacheGet(store *cache.Store, key string) ([]byte, bool) {
+func cacheGet(store cache.Store, key string) ([]byte, bool) {
 	if store == nil {
 		return nil, false
 	}
