@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"eend/internal/buildinfo"
 	"eend/internal/cache"
 	"eend/internal/dist"
 )
@@ -78,7 +79,10 @@ func registerFleet(mux *http.ServeMux, store cache.Store, met *metrics) {
 				met.evaluations.Add(1)
 			}
 		}
-		writeJSON(w, http.StatusOK, dist.EvalResponse{Results: results})
+		writeJSON(w, http.StatusOK, dist.EvalResponse{
+			Results: results,
+			Version: buildinfo.Version(),
+		})
 	})
 
 	if store != nil {

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	eendd [-addr :8080] [-grace 15s] [-cache dir] [-retain n]
-//	      [-peers host1,host2] [-state dir]
+//	      [-peers host1,host2] [-state dir] [-pprof] [-version]
 //
 // Endpoints:
 //
@@ -14,8 +14,10 @@
 //	POST /v1/sweeps              start an async parameter sweep -> 202 + job JSON
 //	GET  /v1/sweeps              list sweep jobs
 //	GET  /v1/sweeps/{id}         live progress (SSE with Accept: text/event-stream)
+//	GET  /v1/sweeps/{id}/trace   the finished sweep's span tree
 //	DELETE /v1/sweeps/{id}       cancel a sweep
 //	POST /v1/optimize            start an async design search -> 202 + job JSON
+//	GET  /v1/optimize/{id}/trace the finished search's span tree
 //	POST /v1/evaluate            run a batch of canonical scenarios (worker protocol)
 //	GET  /v1/cache/{fp}          read a cached result by fingerprint
 //	PUT  /v1/cache/{fp}          store a result under its fingerprint
@@ -46,6 +48,8 @@ import (
 	"strings"
 	"syscall"
 	"time"
+
+	"eend/internal/buildinfo"
 )
 
 func main() {
@@ -75,8 +79,14 @@ func run(args []string) error {
 	retain := fs.Int("retain", 0, "finished async jobs retained per endpoint for polling (0: default 32)")
 	peers := fs.String("peers", "", "comma-separated base URLs of peer eendd workers to shard sweeps/searches across")
 	stateDir := fs.String("state", "", "job journal directory; replayed on restart (empty: jobs are in-memory only)")
+	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof profiling handlers under /debug/pprof/")
+	version := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println("eendd", buildinfo.Version())
+		return nil
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -92,6 +102,7 @@ func run(args []string) error {
 		retainJobs: *retain,
 		peers:      splitHosts(*peers),
 		stateDir:   *stateDir,
+		pprof:      *pprofOn,
 	})
 	if err != nil {
 		return err

@@ -1,12 +1,13 @@
 package main
 
 import (
-	"fmt"
 	"net/http"
-	"strings"
+	"sync"
 	"sync/atomic"
 
+	"eend/internal/buildinfo"
 	"eend/internal/cache"
+	"eend/internal/obs"
 )
 
 // inflightGauge reports how many jobs of one kind are currently running.
@@ -16,8 +17,14 @@ type inflightGauge struct {
 }
 
 // metrics is the daemon's counter set, served at GET /metrics in the
-// Prometheus text exposition format. Counters accumulate since process
-// start; the cache figures are read live from the store.
+// Prometheus text exposition format. The server-scoped families (the
+// evaluation, shard-retry, cache-tier and job-gauge names pinned since
+// they first shipped) live on a per-server obs.Registry so two test
+// servers never share state; the process-wide registry (obs.Default,
+// where the sim kernel, exec scheduler, cache backends, dist coordinator
+// and search layers register) is appended to the same exposition. The
+// two registries use disjoint family names, so the concatenation is one
+// valid exposition.
 type metrics struct {
 	// evaluations counts simulator runs performed for /v1/evaluate (cache
 	// hits excluded — the warm-fleet contract is "this stays flat").
@@ -28,40 +35,56 @@ type metrics struct {
 
 	store    cache.Store
 	inflight []inflightGauge
+
+	once sync.Once
+	reg  *obs.Registry
+}
+
+// stats reads the store's live counters (zero without a store).
+func (m *metrics) stats() cache.Stats {
+	if m.store == nil {
+		return cache.Stats{}
+	}
+	return m.store.Stats()
+}
+
+// build registers the server-scoped families. It runs on the first
+// scrape, after the server wiring has appended every inflight gauge.
+func (m *metrics) build() {
+	r := obs.NewRegistry()
+	r.CounterFunc("eend_evaluations_total",
+		"Simulator runs performed for /v1/evaluate (cache hits excluded).",
+		func() float64 { return float64(m.evaluations.Load()) })
+	r.CounterFunc("eend_shard_retries_total",
+		"Distributed shards retried on another worker after a dispatch failed.",
+		func() float64 { return float64(m.shardRetries.Load()) })
+	r.CounterFunc("eend_cache_hits_total",
+		"Result-cache hits by tier (remote = served by a fleet peer).",
+		func() float64 { return float64(m.stats().Hits) }, obs.L("tier", "local"))
+	r.CounterFunc("eend_cache_hits_total",
+		"Result-cache hits by tier (remote = served by a fleet peer).",
+		func() float64 { return float64(m.stats().RemoteHits) }, obs.L("tier", "remote"))
+	r.CounterFunc("eend_cache_misses_total", "Result-cache misses.",
+		func() float64 { return float64(m.stats().Misses) })
+	r.CounterFunc("eend_cache_corrupt_total",
+		"Cache entries rejected by the envelope checksum.",
+		func() float64 { return float64(m.stats().Corrupt) })
+	for _, g := range m.inflight {
+		r.GaugeFunc("eend_jobs_inflight", "Async jobs currently running, by kind.",
+			func() float64 { return float64(g.fn()) }, obs.L("kind", g.kind))
+	}
+	r.GaugeFunc("eend_build_info",
+		"Build identity of this daemon; the value is always 1.",
+		func() float64 { return 1 }, obs.L("version", buildinfo.Version()))
+	m.reg = r
 }
 
 // serveHTTP renders the exposition. The content type is the Prometheus
 // text format's, not JSON — the one deliberate exception on this API.
 func (m *metrics) serveHTTP(w http.ResponseWriter, r *http.Request) {
-	var b strings.Builder
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	counter("eend_evaluations_total",
-		"Simulator runs performed for /v1/evaluate (cache hits excluded).",
-		m.evaluations.Load())
-	counter("eend_shard_retries_total",
-		"Distributed shards retried on another worker after a dispatch failed.",
-		m.shardRetries.Load())
-
-	var st cache.Stats
-	if m.store != nil {
-		st = m.store.Stats()
-	}
-	fmt.Fprintf(&b, "# HELP eend_cache_hits_total Result-cache hits by tier (remote = served by a fleet peer).\n")
-	fmt.Fprintf(&b, "# TYPE eend_cache_hits_total counter\n")
-	fmt.Fprintf(&b, "eend_cache_hits_total{tier=\"local\"} %d\n", st.Hits)
-	fmt.Fprintf(&b, "eend_cache_hits_total{tier=\"remote\"} %d\n", st.RemoteHits)
-	counter("eend_cache_misses_total", "Result-cache misses.", st.Misses)
-	counter("eend_cache_corrupt_total", "Cache entries rejected by the envelope checksum.", st.Corrupt)
-
-	fmt.Fprintf(&b, "# HELP eend_jobs_inflight Async jobs currently running, by kind.\n")
-	fmt.Fprintf(&b, "# TYPE eend_jobs_inflight gauge\n")
-	for _, g := range m.inflight {
-		fmt.Fprintf(&b, "eend_jobs_inflight{kind=%q} %d\n", g.kind, g.fn())
-	}
-
+	m.once.Do(m.build)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write([]byte(b.String()))
+	_ = m.reg.WriteText(w)
+	_ = obs.Default().WriteText(w)
 }

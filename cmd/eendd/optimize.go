@@ -9,6 +9,7 @@ import (
 	"eend/internal/cache"
 	"eend/internal/exec"
 	"eend/internal/jobs"
+	"eend/internal/obs"
 	"eend/opt"
 )
 
@@ -65,6 +66,8 @@ type optState struct {
 	workers   int
 	progress  optProgress
 	result    *opt.Result
+	trace     string       // deterministic trace ID (scenario/heuristic/seed)
+	sink      *obs.MemSink // span events; nil for journal-replayed jobs
 }
 
 // optStatus is the JSON representation of an optimize job.
@@ -76,7 +79,12 @@ type optStatus struct {
 	// Workers is the normalized worker count restart searches fan out on.
 	Workers  int         `json:"workers"`
 	Progress optProgress `json:"progress"`
-	Created  time.Time   `json:"created"`
+	// TraceID names the job's span tree (GET /v1/optimize/{id}/trace); it
+	// is derived from the scenario fingerprint, heuristic, objective and
+	// seed, so identical searches share it. Present in every snapshot,
+	// including SSE progress frames.
+	TraceID string    `json:"trace_id,omitempty"`
+	Created time.Time `json:"created"`
 	// Error is set when Status is "failed".
 	Error string `json:"error,omitempty"`
 	// Result is the search outcome (the best-so-far for cancelled jobs),
@@ -89,7 +97,7 @@ func optSnapshot(j *jobs.Job[optState], withResult bool) optStatus {
 	status, errText, v := j.Snapshot()
 	st := optStatus{
 		ID: j.ID(), Status: string(status), Heuristic: v.heuristic, Objective: v.objective,
-		Workers: v.workers, Progress: v.progress, Created: j.Created(), Error: errText,
+		Workers: v.workers, Progress: v.progress, TraceID: v.trace, Created: j.Created(), Error: errText,
 	}
 	if withResult {
 		st.Result = v.result
@@ -183,6 +191,10 @@ func (m *optimizeManager) start(req optimizeRequest) (*jobs.Job[optState], error
 		total = 1 // a Section 4 approach is a single evaluation
 	}
 	workers := exec.Workers(req.Workers)
+	sink := obs.NewMemSink()
+	traceID := obs.TraceID(fmt.Sprintf("opt:%s/%s/%s/%d",
+		sc.Fingerprint(), req.Heuristic, req.Objective, req.OptSeed))
+	tracer := obs.NewTracer(traceID, sink)
 
 	return m.store.Start(
 		func(v *optState) {
@@ -190,6 +202,8 @@ func (m *optimizeManager) start(req optimizeRequest) (*jobs.Job[optState], error
 			v.objective = req.Objective
 			v.workers = workers
 			v.progress.Total = total
+			v.trace = traceID
+			v.sink = sink
 		},
 		func(ctx context.Context, j *jobs.Job[optState]) error {
 			onStep := func(s opt.Step) {
@@ -214,6 +228,7 @@ func (m *optimizeManager) start(req optimizeRequest) (*jobs.Job[optState], error
 				Workers:    workers,
 				Trace:      req.Trace,
 				OnStep:     onStep,
+				Tracer:     tracer,
 			})
 			// Finalize lands the result atomically with the status flip,
 			// so pollers never see a final result on a running job.
@@ -271,6 +286,16 @@ func (m *optimizeManager) register(mux *http.ServeMux) {
 			return
 		}
 		writeJSON(w, http.StatusOK, optSnapshot(job, true))
+	})
+
+	mux.HandleFunc("GET /v1/optimize/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.store.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown optimization %q", r.PathValue("id")))
+			return
+		}
+		status, _, v := job.Snapshot()
+		serveTrace(w, job.ID(), status, v.trace, v.sink)
 	})
 
 	mux.HandleFunc("DELETE /v1/optimize/{id}", func(w http.ResponseWriter, r *http.Request) {

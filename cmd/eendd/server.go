@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
 	"eend"
+	"eend/internal/buildinfo"
 )
 
 // scenarioRequest is the JSON body of POST /v1/scenarios. Every field is
@@ -212,6 +214,9 @@ type serverConfig struct {
 	// sseInterval is the snapshot cadence of the text/event-stream
 	// progress endpoints (<= 0: 1s). Tests shrink it.
 	sseInterval time.Duration
+	// pprof registers net/http/pprof's handlers under /debug/pprof/ (off
+	// by default; the -pprof flag).
+	pprof bool
 }
 
 // sseCadence returns the effective SSE snapshot interval.
@@ -279,9 +284,23 @@ func newServerWith(base context.Context, cfg serverConfig) (http.Handler, error)
 
 	registerFleet(mux, store, met)
 	mux.HandleFunc("GET /metrics", met.serveHTTP)
+	if cfg.pprof {
+		// Registered only when asked for: profiling handlers on a fleet
+		// worker's public port are an operator decision, not a default.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		// The version lets a coordinator (or an operator with curl) check
+		// fleet build homogeneity before trusting cross-worker fingerprints.
+		writeJSON(w, http.StatusOK, map[string]string{
+			"status":  "ok",
+			"version": buildinfo.Version(),
+		})
 	})
 
 	mux.HandleFunc("GET /v1/experiments", func(w http.ResponseWriter, r *http.Request) {

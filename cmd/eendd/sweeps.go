@@ -10,6 +10,7 @@ import (
 	"eend/internal/cache"
 	"eend/internal/exec"
 	"eend/internal/jobs"
+	"eend/internal/obs"
 	"eend/sweep"
 )
 
@@ -35,6 +36,8 @@ type sweepState struct {
 	workers  int
 	progress sweep.Progress
 	results  []sweep.Result
+	trace    string       // deterministic trace ID (from the grid spec)
+	sink     *obs.MemSink // span events; nil for journal-replayed jobs
 }
 
 // sweepStatus is the JSON representation of a sweep job.
@@ -45,7 +48,11 @@ type sweepStatus struct {
 	// Workers is the normalized worker count the sweep runs with.
 	Workers  int            `json:"workers"`
 	Progress sweep.Progress `json:"progress"`
-	Created  time.Time      `json:"created"`
+	// TraceID names the job's span tree (GET /v1/sweeps/{id}/trace); it is
+	// derived from the grid spec, so identical sweeps share it. Present in
+	// every snapshot, including SSE progress frames.
+	TraceID string    `json:"trace_id,omitempty"`
+	Created time.Time `json:"created"`
 	// Error is set when Status is "failed".
 	Error string `json:"error,omitempty"`
 	// Results holds the points completed so far (grid order once done,
@@ -58,7 +65,7 @@ func sweepSnapshot(j *jobs.Job[sweepState], withResults bool) sweepStatus {
 	status, errText, v := j.Snapshot()
 	st := sweepStatus{
 		ID: j.ID(), Status: string(status), Grid: v.grid, Workers: v.workers,
-		Progress: v.progress, Created: j.Created(), Error: errText,
+		Progress: v.progress, TraceID: v.trace, Created: j.Created(), Error: errText,
 	}
 	if withResults {
 		st.Results = v.results
@@ -112,11 +119,14 @@ func (m *sweepManager) start(req sweepRequest) (*jobs.Job[sweepState], error) {
 		return nil, fmt.Errorf("grid expands to %d points, limit %d", g.Size(), maxSweepPoints)
 	}
 	workers := exec.Workers(req.Workers)
+	sink := obs.NewMemSink()
+	traceID := obs.TraceID("sweep:" + req.Grid)
 	r := sweep.Runner{
 		Workers: workers,
 		Cache:   m.cache,
 		Remote:  m.peers,
 		OnRetry: func(string, error) { m.met.shardRetries.Add(1) },
+		Trace:   obs.NewTracer(traceID, sink),
 	}
 	prep, err := r.Prepare(g)
 	if err != nil {
@@ -128,6 +138,8 @@ func (m *sweepManager) start(req sweepRequest) (*jobs.Job[sweepState], error) {
 			v.grid = g.Axes()
 			v.workers = workers
 			v.progress.Total = prep.Total()
+			v.trace = traceID
+			v.sink = sink
 		},
 		func(ctx context.Context, j *jobs.Job[sweepState]) error {
 			ch, err := prep.Stream(ctx)
@@ -211,6 +223,16 @@ func (m *sweepManager) register(mux *http.ServeMux) {
 			return
 		}
 		writeJSON(w, http.StatusOK, sweepSnapshot(job, true))
+	})
+
+	mux.HandleFunc("GET /v1/sweeps/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.store.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+			return
+		}
+		status, _, v := job.Snapshot()
+		serveTrace(w, job.ID(), status, v.trace, v.sink)
 	})
 
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {

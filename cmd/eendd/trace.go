@@ -1,0 +1,43 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+
+	"eend/internal/jobs"
+	"eend/internal/obs"
+)
+
+// traceResponse is the JSON body of the per-job trace endpoints. Events
+// are the job's spans in start order; piping them through `jq -c
+// '.events[]'` yields the same JSONL the CLIs' -trace flag writes.
+type traceResponse struct {
+	ID      string      `json:"id"`
+	TraceID string      `json:"trace_id"`
+	Events  []obs.Event `json:"events"`
+	// Dropped counts events discarded after the in-memory cap was hit
+	// (a pathologically large job; the tree is truncated, not wrong).
+	Dropped int `json:"dropped,omitempty"`
+}
+
+// serveTrace answers GET /v1/{sweeps,optimize}/{id}/trace: 409 while the
+// job still runs (the tree is complete only once the job settles), 404
+// when no trace was recorded (a journal-replayed job from a previous
+// process), the full span tree otherwise.
+func serveTrace(w http.ResponseWriter, id string, status jobs.Status, traceID string, sink *obs.MemSink) {
+	if status == jobs.Running {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("job %s is still running; its trace is complete only after it finishes", id))
+		return
+	}
+	if sink == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("no trace recorded for job %s (it ran in a previous process)", id))
+		return
+	}
+	events := sink.Events()
+	obs.SortEvents(events)
+	writeJSON(w, http.StatusOK, traceResponse{
+		ID: id, TraceID: traceID, Events: events, Dropped: sink.Dropped(),
+	})
+}

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	eendfig [-fig all|table1|fig7|fig8|...|fig16] [-scale quick|full]
-//	        [-format text|json|csv] [-csv dir] [-v]
+//	        [-format text|json|csv] [-csv dir] [-v] [-version]
 //
 // At -scale full the random-field experiments use the paper's parameters
 // (up to 200 nodes, 600-900 s, 5-10 seeds) and can take an hour; -scale
@@ -27,6 +27,7 @@ import (
 	"syscall"
 
 	"eend"
+	"eend/internal/cliobs"
 )
 
 func main() {
@@ -47,8 +48,12 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 	format := fs.String("format", "text", "output format: text, json or csv")
 	csvDir := fs.String("csv", "", "directory to write per-figure CSV files (optional)")
 	verbose := fs.Bool("v", false, "print per-run progress")
+	cf := cliobs.BindVersion(fs, "eendfig")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if cf.Version(out) {
+		return nil
 	}
 	switch *format {
 	case "text", "json", "csv":

@@ -7,7 +7,7 @@
 // Example:
 //
 //	eendopt -heuristic anneal                         # 20-node clustered topology, closed-form objective
-//	eendopt -heuristic anneal -format csv -trace      # accept/reject trajectory as CSV
+//	eendopt -heuristic anneal -format csv             # accept/reject trajectory as CSV
 //	eendopt -heuristic anneal -objective sim -cache ~/.cache/eend -iterations 40
 //
 // The objective is -objective analytic (the closed-form Enetwork of Eq. 5)
@@ -16,6 +16,12 @@
 // cache, so a re-run with the same seeds against a warm cache performs
 // zero new simulator invocations). -heuristic also accepts the plain
 // Section 4 approaches (comm-first, joint, idle-first) for baseline runs.
+//
+// -trajectory records the accept/reject trajectory in the result (implied
+// by -format csv). -trace search.jsonl records the search's span tree —
+// the search root, per-candidate evaluate spans and the best-so-far
+// timeline — as JSON lines; -profile cpu|mem captures a pprof profile
+// into eendopt.<mode>.pprof. Neither changes the search's outcome.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"time"
 
 	"eend"
+	"eend/internal/cliobs"
 	"eend/opt"
 )
 
@@ -47,9 +54,10 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, out, errw io.Writer, args []string) error {
+func run(ctx context.Context, out, errw io.Writer, args []string) (err error) {
 	fs := flag.NewFlagSet("eendopt", flag.ContinueOnError)
 	fs.SetOutput(errw)
+	cf := cliobs.Bind(fs, "eendopt")
 	var (
 		nodes     = fs.Int("nodes", 20, "node count")
 		fieldSpec = fs.String("field", "600", "field side in meters, or WxH")
@@ -70,10 +78,13 @@ func run(ctx context.Context, out, errw io.Writer, args []string) error {
 		cacheDir   = fs.String("cache", "", "content-addressed result cache directory (-objective sim)")
 		remote     = fs.String("workers-remote", "", "comma-separated eendd worker base URLs to run candidate simulations on (-objective sim)")
 		format     = fs.String("format", "text", "output format: text|json|csv")
-		trace      = fs.Bool("trace", false, "record the accept/reject trajectory (implied by -format csv)")
+		trajectory = fs.Bool("trajectory", false, "record the accept/reject trajectory (implied by -format csv)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if cf.Version(out) {
+		return nil
 	}
 	topo, err := eend.ParseTopology(*topoName)
 	if err != nil {
@@ -119,12 +130,25 @@ func run(ctx context.Context, out, errw io.Writer, args []string) error {
 		return fmt.Errorf("unknown objective %q (want analytic|sim)", *objective)
 	}
 
+	// The trace ID matches eendd's optimize jobs: derived from the
+	// scenario fingerprint, method, objective and search seed.
+	ob, err := cf.Start(fmt.Sprintf("opt:%s/%s/%s/%d", sc.Fingerprint(), *method, *objective, *optSeed))
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := ob.Close(); err == nil {
+			err = cerr
+		}
+	}()
+
 	start := time.Now()
 	res, err := p.SearchMethod(ctx, *method, obj, opt.Options{
 		Seed:       *optSeed,
 		Iterations: *iterations,
 		Restarts:   *restarts,
-		Trace:      *trace || *format == "csv",
+		Trace:      *trajectory || *format == "csv",
+		Tracer:     ob.Tracer(),
 	})
 	if err != nil {
 		return err

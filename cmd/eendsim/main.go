@@ -8,6 +8,10 @@
 // -json prints the run's eend.Results as JSON instead of the text summary.
 // -replicates N averages N seed-derived runs (the paper's 5-10 runs per
 // point) and reports each headline metric as mean ± 95% CI.
+//
+// -trace run.jsonl records the run's span tree (one "sim" span per
+// replicate) as JSON lines; -profile cpu|mem captures a pprof profile
+// into eendsim.<mode>.pprof. Neither changes the simulation results.
 package main
 
 import (
@@ -23,6 +27,8 @@ import (
 	"time"
 
 	"eend"
+	"eend/internal/cliobs"
+	"eend/internal/obs"
 )
 
 func main() {
@@ -34,8 +40,9 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, out io.Writer, args []string) error {
+func run(ctx context.Context, out io.Writer, args []string) (err error) {
 	fs := flag.NewFlagSet("eendsim", flag.ContinueOnError)
+	cf := cliobs.Bind(fs, "eendsim")
 	var (
 		nodes   = fs.Int("nodes", 50, "number of nodes")
 		field   = fs.Float64("field", 500, "square field side (m)")
@@ -56,6 +63,9 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if cf.Version(out) {
+		return nil
 	}
 
 	routing, err := eend.ParseRouting(*proto)
@@ -109,6 +119,18 @@ func run(ctx context.Context, out io.Writer, args []string) error {
 	sc, err := eend.NewScenario(opts...)
 	if err != nil {
 		return err
+	}
+	ob, err := cf.Start("sim:" + sc.Fingerprint())
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := ob.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if tr := ob.Tracer(); tr != nil {
+		ctx = obs.WithTracer(ctx, tr)
 	}
 	res, err := sc.Run(ctx)
 	if err != nil {

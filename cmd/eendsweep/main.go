@@ -19,6 +19,11 @@
 // anneal, restart) pins a static design produced by that method instead
 // of running a reactive protocol, putting Section 4 designs and eend/opt
 // searches in the same grid as the protocol stacks.
+//
+// -trace sweep.jsonl records the sweep's span tree — sweep, point,
+// replicate and cache/sim leaves, plus shard spans for remote execution —
+// as JSON lines; -profile cpu|mem captures a pprof profile into
+// eendsweep.<mode>.pprof. Neither changes the sweep's results.
 package main
 
 import (
@@ -34,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"eend/internal/cliobs"
 	"eend/sweep"
 )
 
@@ -46,9 +52,10 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, out, errw io.Writer, args []string) error {
+func run(ctx context.Context, out, errw io.Writer, args []string) (err error) {
 	fs := flag.NewFlagSet("eendsweep", flag.ContinueOnError)
 	fs.SetOutput(errw)
+	cf := cliobs.Bind(fs, "eendsweep")
 	var (
 		gridSpec = fs.String("grid", "", "grid spec, e.g. \"nodes=10,20 seed=1..5 stack=titan-pc/odpm\" (also taken from positional args)")
 		cacheDir = fs.String("cache", "", "content-addressed result cache directory (empty: no cache)")
@@ -59,6 +66,9 @@ func run(ctx context.Context, out, errw io.Writer, args []string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if cf.Version(out) {
+		return nil
 	}
 	spec := *gridSpec
 	if rest := strings.Join(fs.Args(), " "); rest != "" {
@@ -72,7 +82,19 @@ func run(ctx context.Context, out, errw io.Writer, args []string) error {
 		return err
 	}
 
-	r := sweep.Runner{Workers: *workers, CacheDir: *cacheDir, Remote: splitHosts(*remote)}
+	// The trace ID derives from the grid spec, matching eendd's sweep
+	// jobs: the same grid always produces the same span identifiers.
+	ob, err := cf.Start("sweep:" + spec)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := ob.Close(); err == nil {
+			err = cerr
+		}
+	}()
+
+	r := sweep.Runner{Workers: *workers, CacheDir: *cacheDir, Remote: splitHosts(*remote), Trace: ob.Tracer()}
 	if !*quiet && len(r.Remote) > 0 {
 		r.OnRetry = func(worker string, err error) {
 			fmt.Fprintf(errw, "\neendsweep: retrying shard after %s failed: %v\n", worker, err)

@@ -5,9 +5,12 @@ import (
 	"context"
 	"encoding/csv"
 	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"eend/internal/obs"
 )
 
 const tinyGrid = "nodes=5,7 seed=1 field=200 dur=25s flows=1 rate=2"
@@ -94,5 +97,62 @@ func TestRunErrors(t *testing.T) {
 		if err := run(context.Background(), &out, &errw, args); err == nil {
 			t.Errorf("%s: run accepted %v", name, args)
 		}
+	}
+}
+
+// TestRunTraceFile: -trace writes a JSONL span file whose tree reaches
+// from one sweep root through the points down to sim leaves, without
+// changing the sweep's output.
+func TestRunTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	var out, errw bytes.Buffer
+	args := []string{"-grid", tinyGrid, "-format", "json", "-quiet", "-trace", path}
+	if err := run(context.Background(), &out, &errw, args); err != nil {
+		t.Fatal(err)
+	}
+	var res sweepOutput
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(res.Results))
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]obs.Event{}
+	names := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		byID[ev.Span] = ev
+		names[ev.Name]++
+	}
+	if names["sweep"] != 1 || names["point"] != 2 || names["sim"] != 2 {
+		t.Fatalf("span census %v, want 1 sweep / 2 points / 2 sims", names)
+	}
+	for _, ev := range byID {
+		if ev.Name != "sim" {
+			continue
+		}
+		point, ok := byID[ev.Parent]
+		if !ok || point.Name != "replicate" {
+			t.Fatalf("sim span %s not parented under a replicate", ev.Span)
+		}
+	}
+}
+
+// TestRunVersion: -version prints the build identity and skips the sweep.
+func TestRunVersion(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(context.Background(), &out, &errw, []string{"-version"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "eendsweep ") || strings.TrimSpace(out.String()) == "eendsweep" {
+		t.Fatalf("version output = %q", out.String())
 	}
 }

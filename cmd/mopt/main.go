@@ -11,6 +11,7 @@ import (
 
 	"eend"
 	"eend/design"
+	"eend/internal/cliobs"
 )
 
 func main() {
@@ -24,8 +25,12 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("mopt", flag.ContinueOnError)
 	table1Only := fs.Bool("table1", false, "print only the radio parameter table")
 	rb := fs.Float64("rb", 0.25, "bandwidth utilization R/B for the verdict column")
+	cf := cliobs.BindVersion(fs, "mopt")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if cf.Version(os.Stdout) {
+		return nil
 	}
 
 	ctx := context.Background()

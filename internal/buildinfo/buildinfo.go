@@ -1,0 +1,51 @@
+// Package buildinfo reports the running binary's build identity: module
+// version and VCS revision from debug.ReadBuildInfo. Every CLI's -version
+// flag, eendd's /healthz, the eend_build_info metric and the worker
+// protocol's version stamp all read from here, so a fleet can attribute a
+// fingerprint cross-check failure to a mismatched worker build.
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+// Version returns the binary's build identity, e.g. "v1.2.3",
+// "(devel) a1b2c3d4e5f6" or "(devel) a1b2c3d4e5f6+dirty". It never
+// returns the empty string: with no build info at all it reports
+// "unknown".
+var Version = sync.OnceValue(func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	if v == "" {
+		v = "unknown"
+	}
+	var rev string
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		// A VCS pseudo-version (vX.Y.Z-<stamp>-<rev>) already embeds the
+		// revision; appending it again would just repeat it.
+		if !strings.Contains(v, rev) {
+			v += " " + rev
+		}
+		if dirty && !strings.HasSuffix(v, "+dirty") {
+			v += "+dirty"
+		}
+	}
+	return v
+})

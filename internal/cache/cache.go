@@ -24,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync/atomic"
+	"time"
 )
 
 // Store is a content-addressed blob store. A missing entry is (nil, false,
@@ -151,6 +152,7 @@ func (s *Disk) Get(key string) ([]byte, bool, error) {
 	if err := ValidKey(key); err != nil {
 		return nil, false, err
 	}
+	defer obsDisk.gets.ObserveSince(time.Now())
 	data, err := os.ReadFile(s.path(key))
 	switch {
 	case err == nil:
@@ -158,12 +160,15 @@ func (s *Disk) Get(key string) ([]byte, bool, error) {
 		if !ok {
 			s.corrupt.Add(1)
 			s.misses.Add(1)
+			obsDisk.misses.Inc()
 			return nil, false, nil
 		}
 		s.hits.Add(1)
+		obsDisk.hits.Inc()
 		return payload, true, nil
 	case os.IsNotExist(err):
 		s.misses.Add(1)
+		obsDisk.misses.Inc()
 		return nil, false, nil
 	default:
 		return nil, false, fmt.Errorf("cache: %w", err)
@@ -176,6 +181,7 @@ func (s *Disk) Put(key string, value []byte) error {
 	if err := ValidKey(key); err != nil {
 		return err
 	}
+	defer obsDisk.puts.ObserveSince(time.Now())
 	dst := s.path(key)
 	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
 		return fmt.Errorf("cache: %w", err)

@@ -1,6 +1,9 @@
 package cache
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Mem is an in-memory Store: the local tier of a peered daemon running
 // without a -cache directory, and a convenient backend for tests. Entries
@@ -20,20 +23,24 @@ func (s *Mem) Get(key string) ([]byte, bool, error) {
 	if err := ValidKey(key); err != nil {
 		return nil, false, err
 	}
+	defer obsMem.gets.ObserveSince(time.Now())
 	s.mu.RLock()
 	data, ok := s.m[key]
 	s.mu.RUnlock()
 	if !ok {
 		s.misses.Add(1)
+		obsMem.misses.Inc()
 		return nil, false, nil
 	}
 	payload, ok := unseal(data)
 	if !ok {
 		s.corrupt.Add(1)
 		s.misses.Add(1)
+		obsMem.misses.Inc()
 		return nil, false, nil
 	}
 	s.hits.Add(1)
+	obsMem.hits.Inc()
 	return payload, true, nil
 }
 
@@ -42,6 +49,7 @@ func (s *Mem) Put(key string, value []byte) error {
 	if err := ValidKey(key); err != nil {
 		return err
 	}
+	defer obsMem.puts.ObserveSince(time.Now())
 	sealed := seal(value)
 	s.mu.Lock()
 	s.m[key] = sealed

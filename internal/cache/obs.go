@@ -1,0 +1,39 @@
+package cache
+
+import "eend/internal/obs"
+
+// backendObs is one backend's process-wide instrumentation: lifetime
+// hit/miss counts and per-operation latency. Distinct from each store
+// instance's own Stats (which stay per-instance) and from eendd's
+// store-scoped /metrics families.
+type backendObs struct {
+	hits, misses *obs.Counter
+	gets, puts   *obs.Histogram
+}
+
+func newBackendObs(backend string) backendObs {
+	l := obs.L("backend", backend)
+	return backendObs{
+		hits: obs.Default().Counter("eend_cache_backend_hits_total",
+			"Cache hits, by store backend.", l),
+		misses: obs.Default().Counter("eend_cache_backend_misses_total",
+			"Cache misses, by store backend.", l),
+		gets: obs.Default().Histogram("eend_cache_op_seconds",
+			"Cache operation latency in seconds, by backend and op.",
+			obs.LatencyBuckets, l, obs.L("op", "get")),
+		puts: obs.Default().Histogram("eend_cache_op_seconds",
+			"Cache operation latency in seconds, by backend and op.",
+			obs.LatencyBuckets, l, obs.L("op", "put")),
+	}
+}
+
+var (
+	obsDisk   = newBackendObs("disk")
+	obsMem    = newBackendObs("mem")
+	obsRemote = newBackendObs("remote")
+	obsTiered = newBackendObs("tiered")
+
+	// backfills counts peer hits a Tiered store copied into its local tier.
+	backfills = obs.Default().Counter("eend_cache_backfills_total",
+		"Peer cache hits backfilled into a tiered store's local tier.")
+)

@@ -47,29 +47,35 @@ func (s *Remote) Get(key string) ([]byte, bool, error) {
 	if err := ValidKey(key); err != nil {
 		return nil, false, err
 	}
+	defer obsRemote.gets.ObserveSince(time.Now())
 	resp, err := s.hc.Get(s.url(key))
 	if err != nil {
 		s.misses.Add(1)
+		obsRemote.misses.Inc()
 		return nil, false, nil
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 		s.misses.Add(1)
+		obsRemote.misses.Inc()
 		return nil, false, nil
 	}
 	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRemoteEntry))
 	if err != nil {
 		s.misses.Add(1)
+		obsRemote.misses.Inc()
 		return nil, false, nil
 	}
 	payload, ok := unseal(data)
 	if !ok {
 		s.corrupt.Add(1)
 		s.misses.Add(1)
+		obsRemote.misses.Inc()
 		return nil, false, nil
 	}
 	s.hits.Add(1)
+	obsRemote.hits.Inc()
 	return payload, true, nil
 }
 
@@ -78,6 +84,7 @@ func (s *Remote) Put(key string, value []byte) error {
 	if err := ValidKey(key); err != nil {
 		return err
 	}
+	defer obsRemote.puts.ObserveSince(time.Now())
 	req, err := http.NewRequest(http.MethodPut, s.url(key), bytes.NewReader(seal(value)))
 	if err != nil {
 		return fmt.Errorf("cache: %w", err)

@@ -1,5 +1,7 @@
 package cache
 
+import "time"
+
 // Tiered layers a local store over remote peers so a fleet of daemons
 // shares one warm cache. Get tries the local tier first, then each peer in
 // order; a peer hit is backfilled into the local tier so the next lookup
@@ -21,12 +23,14 @@ func NewTiered(local Store, remotes ...Store) *Tiered {
 
 // Get returns the value stored under key in the nearest tier that has it.
 func (s *Tiered) Get(key string) ([]byte, bool, error) {
+	defer obsTiered.gets.ObserveSince(time.Now())
 	payload, ok, err := s.local.Get(key)
 	if err != nil {
 		return nil, false, err
 	}
 	if ok {
 		s.hits.Add(1)
+		obsTiered.hits.Inc()
 		return payload, true, nil
 	}
 	for _, r := range s.remotes {
@@ -35,11 +39,14 @@ func (s *Tiered) Get(key string) ([]byte, bool, error) {
 			continue
 		}
 		s.remoteHits.Add(1)
+		obsTiered.hits.Inc()
 		// Backfill best-effort: a failed local write still served the hit.
 		s.local.Put(key, payload)
+		backfills.Inc()
 		return payload, true, nil
 	}
 	s.misses.Add(1)
+	obsTiered.misses.Inc()
 	return nil, false, nil
 }
 
@@ -53,6 +60,7 @@ func (s *Tiered) Local() Store { return s.local }
 // Put stores value in the local tier and writes it through to every peer
 // (best-effort: an unreachable peer does not fail the Put).
 func (s *Tiered) Put(key string, value []byte) error {
+	defer obsTiered.puts.ObserveSince(time.Now())
 	if err := s.local.Put(key, value); err != nil {
 		return err
 	}

@@ -1,0 +1,108 @@
+// Package cliobs wires the observability flags shared by the eend
+// command-line tools: -version on every CLI, plus -trace (JSONL span
+// export) and -profile (pprof capture) on the ones that run simulations.
+// It exists so each main package binds one Flags value instead of
+// repeating the file and profile plumbing five times.
+package cliobs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"eend/internal/buildinfo"
+	"eend/internal/obs"
+)
+
+// Flags holds the observability flag values bound by Bind or BindVersion.
+type Flags struct {
+	name    string
+	version bool
+	trace   string
+	profile string
+}
+
+// BindVersion registers only -version on fs, for CLIs with no run to
+// trace or profile. name is the command name echoed by Version.
+func BindVersion(fs *flag.FlagSet, name string) *Flags {
+	f := &Flags{name: name}
+	fs.BoolVar(&f.version, "version", false, "print the build version and exit")
+	return f
+}
+
+// Bind registers -version, -trace and -profile on fs.
+func Bind(fs *flag.FlagSet, name string) *Flags {
+	f := BindVersion(fs, name)
+	fs.StringVar(&f.trace, "trace", "", "write the run's span trace as JSON lines to this file")
+	fs.StringVar(&f.profile, "profile", "",
+		"capture a pprof profile, cpu or mem, into "+name+".<mode>.pprof")
+	return f
+}
+
+// Version prints "<name> <build version>" when -version was given and
+// reports whether it did; callers return immediately on true.
+func (f *Flags) Version(out io.Writer) bool {
+	if !f.version {
+		return false
+	}
+	fmt.Fprintln(out, f.name, buildinfo.Version())
+	return true
+}
+
+// Run is one invocation's active observability: an optional tracer
+// streaming spans to the -trace file and an optional in-flight profile.
+// The zero value (both flags unset) is inert and Close is a no-op.
+type Run struct {
+	tracer    *obs.Tracer
+	traceFile *os.File
+	stop      func() error
+}
+
+// Start opens the trace sink and starts the profile requested by the
+// flags. traceSeed derives the deterministic trace ID when -trace is
+// set, so identical invocations produce identical span identifiers.
+func (f *Flags) Start(traceSeed string) (*Run, error) {
+	r := &Run{}
+	if f.trace != "" {
+		file, err := os.Create(f.trace)
+		if err != nil {
+			return nil, err
+		}
+		r.traceFile = file
+		r.tracer = obs.NewTracer(obs.TraceID(traceSeed), obs.NewJSONLSink(file))
+	}
+	if f.profile != "" {
+		stop, err := obs.StartProfile(f.profile, fmt.Sprintf("%s.%s.pprof", f.name, f.profile))
+		if err != nil {
+			if r.traceFile != nil {
+				r.traceFile.Close()
+			}
+			return nil, err
+		}
+		r.stop = stop
+	}
+	return r, nil
+}
+
+// Tracer returns the run's tracer; nil — which every instrumented layer
+// treats as disabled — when -trace is unset.
+func (r *Run) Tracer() *obs.Tracer { return r.tracer }
+
+// Close finishes the profile and flushes the trace file. It must run
+// even when the traced work failed, so partial traces still land.
+func (r *Run) Close() error {
+	var profErr, traceErr error
+	if r.stop != nil {
+		profErr = r.stop()
+		r.stop = nil
+	}
+	if r.traceFile != nil {
+		traceErr = r.traceFile.Close()
+		r.traceFile = nil
+	}
+	if profErr != nil {
+		return profErr
+	}
+	return traceErr
+}

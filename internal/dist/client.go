@@ -57,6 +57,7 @@ func (c *Client) Evaluate(ctx context.Context, scenarios []string) ([]EvalResult
 	if err != nil {
 		return nil, fmt.Errorf("dist: worker %s: %w", c.base, err)
 	}
+	bytesRecv.Add(uint64(len(data)))
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("dist: worker %s: status %d: %s", c.base, resp.StatusCode, firstLine(data))
 	}
@@ -66,6 +67,9 @@ func (c *Client) Evaluate(ctx context.Context, scenarios []string) ([]EvalResult
 	}
 	if len(er.Results) != len(scenarios) {
 		return nil, fmt.Errorf("dist: worker %s: %d results for %d scenarios", c.base, len(er.Results), len(scenarios))
+	}
+	for i := range er.Results {
+		er.Results[i].WorkerVersion = er.Version
 	}
 	return er.Results, nil
 }

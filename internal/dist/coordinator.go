@@ -4,12 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"eend"
+	"eend/internal/buildinfo"
 	"eend/internal/exec"
+	"eend/internal/obs"
 )
 
 // Coordinator defaults.
@@ -65,6 +68,14 @@ type Coordinator struct {
 	// OnRetry, when non-nil, observes every failed attempt that will be
 	// retried. Calls may be concurrent (one per in-flight shard).
 	OnRetry func(RetryEvent)
+	// Trace, when non-nil, records one span per shard under Span, carrying
+	// the worker that served it, the attempt count, request payload bytes,
+	// and — for failed shards — the last failure's cause. Tracing observes
+	// dispatch only and never changes results.
+	Trace *obs.Tracer
+	// Span is the parent the shard spans attach under; the zero Span hangs
+	// them off the trace root.
+	Span obs.Span
 
 	once  sync.Once
 	fails []atomic.Int32 // consecutive failures per worker
@@ -127,18 +138,30 @@ func (c *Coordinator) pick(n int) (Evaluator, int) {
 // transport-level failure back off and move to the next candidate. Only
 // when the attempt budget is exhausted does the shard fail.
 func (c *Coordinator) evaluateShard(ctx context.Context, shard int, scenarios []string) ([]EvalResult, error) {
+	var reqBytes int64
+	for _, s := range scenarios {
+		reqBytes += int64(len(s))
+	}
+	sp := c.Trace.Start(c.Span, "shard", strconv.Itoa(shard))
 	attempts := 1 + c.retries()
 	backoff := c.backoff()
 	start := int(c.rr.Add(1))
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		if err := ctx.Err(); err != nil {
+			sp.End(obs.A("error", err.Error()))
 			return nil, err
 		}
 		w, wi := c.pick(start + a)
+		bytesSent.Add(uint64(reqBytes))
+		t0 := time.Now()
 		res, err := w.Evaluate(ctx, scenarios)
+		dispatchSeconds.ObserveSince(t0)
 		if err == nil {
 			c.fails[wi].Store(0)
+			shardsDone.Inc()
+			sp.End(obs.A("worker", w.Addr()), obs.AInt("attempt", int64(a+1)),
+				obs.AInt("scenarios", int64(len(scenarios))), obs.AInt("bytes", reqBytes))
 			return res, nil
 		}
 		lastErr = err
@@ -146,14 +169,19 @@ func (c *Coordinator) evaluateShard(ctx context.Context, shard int, scenarios []
 		if a == attempts-1 {
 			break
 		}
+		countRetry(err)
 		if c.OnRetry != nil {
 			c.OnRetry(RetryEvent{Shard: shard, Worker: w.Addr(), Attempt: a + 1, Err: err})
 		}
 		if err := sleep(ctx, backoff); err != nil {
+			sp.End(obs.A("error", err.Error()))
 			return nil, err
 		}
 		backoff = min(2*backoff, maxBackoff)
 	}
+	shardsFailed.Inc()
+	sp.End(obs.A("cause", retryCause(lastErr)), obs.A("error", lastErr.Error()),
+		obs.AInt("attempts", int64(attempts)))
 	return nil, fmt.Errorf("dist: shard %d failed on every worker (%d attempts): %w", shard, attempts, lastErr)
 }
 
@@ -257,9 +285,15 @@ func (c *Coordinator) RunBatch(ctx context.Context, scenarios []*eend.Scenario, 
 			for j, fp := range s.fps {
 				er := results[j]
 				if er.Error == "" && er.Fingerprint != fp {
-					er = EvalResult{Error: fmt.Sprintf(
+					msg := fmt.Sprintf(
 						"dist: worker fingerprint %s disagrees with coordinator %s (divergent simulator builds?)",
-						er.Fingerprint, fp)}
+						er.Fingerprint, fp)
+					if er.WorkerVersion != "" {
+						msg = fmt.Sprintf(
+							"dist: worker fingerprint %s (worker build %s) disagrees with coordinator %s (coordinator build %s): divergent simulator builds",
+							er.Fingerprint, er.WorkerVersion, fp, buildinfo.Version())
+					}
+					er = EvalResult{Error: msg}
 				}
 				for n, i := range groups[fp].indices {
 					emit(scenarios[i], i, n > 0, er)

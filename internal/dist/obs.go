@@ -1,0 +1,55 @@
+package dist
+
+import (
+	"context"
+	"errors"
+
+	"eend/internal/obs"
+)
+
+// Fleet instrumentation on the process-wide registry.
+var (
+	dispatchSeconds = obs.Default().Histogram("eend_dist_dispatch_seconds",
+		"One shard dispatch attempt (request to response) in seconds.",
+		obs.LatencyBuckets)
+	shardsDone = obs.Default().Counter("eend_dist_shards_total",
+		"Shards completed.", obs.L("outcome", "ok"))
+	shardsFailed = obs.Default().Counter("eend_dist_shards_total",
+		"Shards completed.", obs.L("outcome", "failed"))
+	bytesSent = obs.Default().Counter("eend_dist_bytes_total",
+		"Worker-protocol payload bytes, by direction.", obs.L("dir", "sent"))
+	bytesRecv = obs.Default().Counter("eend_dist_bytes_total",
+		"Worker-protocol payload bytes, by direction.", obs.L("dir", "recv"))
+
+	retriesTimeout = obs.Default().Counter("eend_dist_retries_total",
+		"Shard attempts retried, by failure cause.", obs.L("cause", "timeout"))
+	retriesCancel = obs.Default().Counter("eend_dist_retries_total",
+		"Shard attempts retried, by failure cause.", obs.L("cause", "cancelled"))
+	retriesTransport = obs.Default().Counter("eend_dist_retries_total",
+		"Shard attempts retried, by failure cause.", obs.L("cause", "transport"))
+)
+
+// retryCause classifies a failed attempt for the retry counter and shard
+// span attributes.
+func retryCause(err error) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "cancelled"
+	default:
+		return "transport"
+	}
+}
+
+// countRetry records one retried attempt under its cause.
+func countRetry(err error) {
+	switch retryCause(err) {
+	case "timeout":
+		retriesTimeout.Inc()
+	case "cancelled":
+		retriesCancel.Inc()
+	default:
+		retriesTransport.Inc()
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 
 	"eend"
+	"eend/internal/buildinfo"
 	"eend/internal/cache"
 )
 
@@ -40,11 +41,19 @@ type EvalResult struct {
 	Results *eend.Results `json:"results,omitempty"`
 	// Error reports a scenario that failed to parse or to simulate.
 	Error string `json:"error,omitempty"`
+	// WorkerVersion is the build identity of the worker that produced the
+	// result. It does not travel per-result on the wire — evaluators stamp
+	// it from the response-level Version — but a coordinator uses it to
+	// attribute a fingerprint cross-check failure to a mismatched build.
+	WorkerVersion string `json:"-"`
 }
 
 // EvalResponse is the body answering POST /v1/evaluate.
 type EvalResponse struct {
 	Results []EvalResult `json:"results"`
+	// Version is the worker's build identity (internal/buildinfo), so the
+	// coordinator can tell *which* build answered when results diverge.
+	Version string `json:"version,omitempty"`
 }
 
 // Engine evaluates batches of canonical scenarios. It is the worker side
@@ -198,5 +207,9 @@ func (l *Local) Addr() string {
 
 // Evaluate runs the batch in process.
 func (l *Local) Evaluate(ctx context.Context, scenarios []string) ([]EvalResult, error) {
-	return l.Engine.Evaluate(ctx, scenarios), nil
+	res := l.Engine.Evaluate(ctx, scenarios)
+	for i := range res {
+		res[i].WorkerVersion = buildinfo.Version()
+	}
+	return res, nil
 }

@@ -265,6 +265,7 @@ func (s *Scheduler) enqueue(sub *submission) {
 		s.seq++
 		s.queue.push(entry{sub: sub, idx: i, seq: s.seq})
 	}
+	queueDepth.Add(int64(len(sub.items)))
 	s.spawnLocked()
 	s.mu.Unlock()
 }
@@ -297,6 +298,7 @@ func (s *Scheduler) worker() {
 			s.mu.Unlock()
 			return
 		}
+		queueDepth.Dec()
 		s.mu.Unlock()
 		s.runEntry(e)
 	}
@@ -326,7 +328,7 @@ func (s *Scheduler) runEntry(e entry) {
 		return
 	}
 	if it.Key == "" {
-		v, err := it.Do(markWorker(ctx))
+		v, err := timedDo(markWorker(ctx), it.Do)
 		e.sub.deliver(Result{Index: it.Index, Seed: it.Seed, Value: v, Err: err})
 		return
 	}
@@ -337,7 +339,7 @@ func (s *Scheduler) runEntry(e entry) {
 			// The in-flight leader is this very call chain (a nested item
 			// reusing its ancestor's key): waiting would deadlock, so run
 			// fresh — determinism makes the value identical anyway.
-			v, err := it.Do(markWorker(ctx))
+			v, err := timedDo(markWorker(ctx), it.Do)
 			e.sub.deliver(Result{Index: it.Index, Seed: it.Seed, Value: v, Err: err})
 			return
 		}
@@ -353,6 +355,7 @@ func (s *Scheduler) runEntry(e entry) {
 			e.sub.deliver(Result{Index: it.Index, Seed: it.Seed, Err: ctx.Err()})
 			return
 		}
+		coalesced.Inc()
 		e.sub.deliver(Result{Index: it.Index, Seed: it.Seed, Value: c.val, Err: c.err, Shared: true})
 		return
 	}
@@ -361,7 +364,7 @@ func (s *Scheduler) runEntry(e entry) {
 	s.mu.Unlock()
 	// The Do ctx records the held key: if this call chain fans out and
 	// helps drain the queue, it must not wait on its own flight.
-	c.val, c.err = it.Do(withHeldKey(markWorker(ctx), it.Key))
+	c.val, c.err = timedDo(withHeldKey(markWorker(ctx), it.Key), it.Do)
 	s.mu.Lock()
 	delete(s.flight, it.Key)
 	s.mu.Unlock()
@@ -455,6 +458,9 @@ func (s *Scheduler) Gather(ctx context.Context, items []Item) []Result {
 			}
 			s.mu.Lock()
 			e, ok := s.queue.popOwn(sub)
+			if ok {
+				queueDepth.Dec()
+			}
 			s.mu.Unlock()
 			if !ok {
 				s.park(func() { <-done })

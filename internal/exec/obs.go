@@ -1,0 +1,34 @@
+package exec
+
+import (
+	"context"
+	"time"
+
+	"eend/internal/obs"
+)
+
+// Scheduler instrumentation, shared by every scheduler in the process
+// (the unified runtime means per-scheduler splits carry no signal).
+var (
+	queueDepth = obs.Default().Gauge("eend_exec_queue_depth",
+		"Items currently queued across all schedulers.")
+	itemsDone = obs.Default().Counter("eend_exec_items_total",
+		"Items executed to completion (own Do run; coalesced followers excluded).")
+	coalesced = obs.Default().Counter("eend_exec_coalesced_total",
+		"Items that received a single-flight leader's value instead of running.")
+	busySeconds = obs.Default().FloatCounter("eend_exec_busy_seconds_total",
+		"Wall-clock seconds workers spent inside item Do functions.")
+	itemSeconds = obs.Default().Histogram("eend_exec_item_seconds",
+		"Per-item Do latency in seconds.", obs.LatencyBuckets)
+)
+
+// timedDo runs an item's Do under the worker-busy and latency metrics.
+func timedDo(ctx context.Context, do func(context.Context) (any, error)) (any, error) {
+	start := time.Now()
+	v, err := do(ctx)
+	d := time.Since(start).Seconds()
+	busySeconds.Add(d)
+	itemSeconds.Observe(d)
+	itemsDone.Inc()
+	return v, err
+}

@@ -59,7 +59,7 @@ func (c *Coordinator) mac(id int) *MAC { return c.byID[id] }
 
 // Start schedules the repeating beacon. The first beacon fires immediately.
 func (c *Coordinator) Start() {
-	c.sim.Schedule(0, c.beaconFn)
+	schedule(c.sim, 0, c.beaconFn)
 }
 
 func (c *Coordinator) onBeacon() {
@@ -69,8 +69,8 @@ func (c *Coordinator) onBeacon() {
 	for _, m := range c.macs {
 		m.onBeacon()
 	}
-	c.sim.Schedule(c.atim, c.windowEndFn)
-	c.sim.Schedule(c.bi, c.beaconFn)
+	schedule(c.sim, c.atim, c.windowEndFn)
+	schedule(c.sim, c.bi, c.beaconFn)
 }
 
 func (c *Coordinator) onWindowEnd() {

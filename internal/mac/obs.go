@@ -1,0 +1,22 @@
+package mac
+
+import (
+	"eend/internal/obs"
+	"eend/internal/sim"
+)
+
+// timers feeds the per-layer kernel timer breakdown in /metrics.
+var timers = obs.Default().Counter("eend_sim_timers_total",
+	"Timers scheduled in the sim kernel, by protocol layer.", obs.L("layer", "mac"))
+
+// schedule wraps sim.Schedule with the layer's timer counter.
+func schedule(s *sim.Simulator, d sim.Time, fn func()) sim.Timer {
+	timers.Inc()
+	return s.Schedule(d, fn)
+}
+
+// scheduleAt wraps sim.ScheduleAt with the layer's timer counter.
+func scheduleAt(s *sim.Simulator, at sim.Time, fn func()) sim.Timer {
+	timers.Inc()
+	return s.ScheduleAt(at, fn)
+}

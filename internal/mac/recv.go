@@ -88,7 +88,7 @@ func (m *MAC) respond(dst int, bytes int, fr *frame) {
 	if m.respTimer.Pending() {
 		return
 	}
-	m.respTimer = m.sim.Schedule(m.cfg.SIFS, func() {
+	m.respTimer = schedule(m.sim, m.cfg.SIFS, func() {
 		if m.radio.Transmitting() || m.radio.Asleep() {
 			return
 		}

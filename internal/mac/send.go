@@ -124,7 +124,7 @@ func (m *MAC) scheduleAttempt() {
 	j := m.current
 	slots := m.sim.RNG().IntN(j.cw + 1)
 	delay := m.cfg.DIFS + sim.Time(slots)*m.cfg.SlotTime
-	m.pending = m.sim.Schedule(delay, m.attemptFn)
+	m.pending = schedule(m.sim, delay, m.attemptFn)
 }
 
 // attempt performs the carrier-sense check and transmits the next frame of
@@ -146,7 +146,7 @@ func (m *MAC) attempt() {
 
 	// Defer to our own in-flight frame or pending CTS/ACK response.
 	if m.radio.Transmitting() || m.respTimer.Pending() {
-		m.pending = m.sim.Schedule(m.cfg.SIFS+m.airtime(sizeCTS)+m.cfg.DIFS, m.attemptFn)
+		m.pending = schedule(m.sim, m.cfg.SIFS+m.airtime(sizeCTS)+m.cfg.DIFS, m.attemptFn)
 		return
 	}
 
@@ -162,7 +162,7 @@ func (m *MAC) attempt() {
 	}
 	if busyFor > 0 {
 		slots := m.sim.RNG().IntN(j.cw + 1)
-		m.pending = m.sim.Schedule(busyFor+m.cfg.DIFS+sim.Time(slots)*m.cfg.SlotTime, m.attemptFn)
+		m.pending = schedule(m.sim, busyFor+m.cfg.DIFS+sim.Time(slots)*m.cfg.SlotTime, m.attemptFn)
 		return
 	}
 
@@ -188,7 +188,7 @@ func (m *MAC) transmit(dst int, bytes int, power float64, kind radio.TxKind, fr 
 	m.radio.StartTx(now, power, kind)
 	pf := &phy.Frame{Src: m.id, Dst: dst, Bytes: bytes, Power: power, Payload: fr}
 	end := m.med.Transmit(pf)
-	m.sim.ScheduleAt(end, func() {
+	scheduleAt(m.sim, end, func() {
 		m.radio.EndTx(m.sim.Now())
 		if after != nil {
 			after()
@@ -209,7 +209,7 @@ func (m *MAC) sendRTS(j *job) {
 		}
 		m.await = frameCTS
 		timeout := m.cfg.SIFS + m.airtime(sizeCTS) + 2*m.cfg.SlotTime
-		m.awaitTmr = m.sim.Schedule(timeout, func() { m.retry(j) })
+		m.awaitTmr = schedule(m.sim, timeout, func() { m.retry(j) })
 	})
 }
 
@@ -219,7 +219,7 @@ func (m *MAC) gotCTS(j *job, power float64) {
 	if power > 0 && power < m.TxPowerFor(j.dst) {
 		m.tpc[j.dst] = power
 	}
-	m.sim.Schedule(m.cfg.SIFS, func() {
+	schedule(m.sim, m.cfg.SIFS, func() {
 		if m.current != j {
 			return
 		}
@@ -231,7 +231,7 @@ func (m *MAC) sendData(j *job) {
 	if m.radio.Transmitting() {
 		// A control response of ours is still on the air; try again as soon
 		// as it can have ended.
-		m.sim.Schedule(m.airtime(sizeAck)+m.cfg.SIFS, func() {
+		schedule(m.sim, m.airtime(sizeAck)+m.cfg.SIFS, func() {
 			if m.current == j {
 				m.sendData(j)
 			}
@@ -253,7 +253,7 @@ func (m *MAC) sendData(j *job) {
 		}
 		m.await = frameAck
 		timeout := m.cfg.SIFS + m.airtime(sizeAck) + 2*m.cfg.SlotTime
-		m.awaitTmr = m.sim.Schedule(timeout, func() { m.retry(j) })
+		m.awaitTmr = schedule(m.sim, timeout, func() { m.retry(j) })
 	})
 }
 
@@ -323,7 +323,7 @@ func (m *MAC) sendUnicastATIM(j *job) {
 		}
 		m.await = frameATIMAck
 		timeout := m.cfg.SIFS + m.airtime(sizeAck) + 2*m.cfg.SlotTime
-		m.awaitTmr = m.sim.Schedule(timeout, func() { m.retryATIM(j) })
+		m.awaitTmr = schedule(m.sim, timeout, func() { m.retryATIM(j) })
 	})
 }
 

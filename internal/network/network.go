@@ -206,6 +206,7 @@ func Build(sc Scenario) (*Network, error) {
 	}
 
 	s := sim.New(sc.Seed)
+	s.CountEvents(simEvents)
 	med := phy.NewMedium(s, phy.Config{
 		Bandwidth: sc.Bandwidth,
 		RangeAt:   card.RangeAt,
@@ -365,8 +366,15 @@ func (nw *Network) ExecuteContext(ctx context.Context) (Results, error) {
 	if nw.sc.BatteryJ > 0 {
 		lifetime = nw.watchLifetime(nw.sc.BatteryJ)
 	}
+	wallStart := time.Now()
 	if _, err := nw.sim.RunContext(ctx, nw.sc.Duration); err != nil {
 		return Results{}, err
+	}
+	wall := time.Since(wallStart).Seconds()
+	simRuns.Inc()
+	simWall.Add(wall)
+	if wall > 0 {
+		simSpeedup.Observe(nw.sc.Duration.Seconds() / wall)
 	}
 
 	res := Results{

@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Lint validates a Prometheus text-format exposition: metric and label
+// name charsets, HELP-before-TYPE-before-samples ordering, one TYPE per
+// family, and well-formed histograms (cumulative _bucket series ending in
+// +Inf, with matching _sum and _count). It returns every violation found,
+// so a conformance test can report them all at once.
+func Lint(exposition string) []error {
+	var errs []error
+	fail := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	type famState struct {
+		helpSeen, typeSeen, sampleSeen bool
+		typ                            string
+		// histogram bookkeeping per child label signature (le stripped)
+		buckets map[string][]float64 // le bounds in order of appearance
+		bCum    map[string][]uint64  // cumulative bucket values
+		sum     map[string]bool
+		count   map[string]uint64
+		hasCnt  map[string]bool
+	}
+	fams := make(map[string]*famState)
+	fam := func(name string) *famState {
+		f := fams[name]
+		if f == nil {
+			f = &famState{
+				buckets: make(map[string][]float64),
+				bCum:    make(map[string][]uint64),
+				sum:     make(map[string]bool),
+				count:   make(map[string]uint64),
+				hasCnt:  make(map[string]bool),
+			}
+			fams[name] = f
+		}
+		return f
+	}
+
+	lines := strings.Split(exposition, "\n")
+	for i, line := range lines {
+		n := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, _ := strings.Cut(rest, " ")
+			if !validMetricName(name) {
+				fail(n, "HELP for invalid metric name %q", name)
+				continue
+			}
+			f := fam(name)
+			if f.helpSeen {
+				fail(n, "duplicate HELP for %s", name)
+			}
+			if f.typeSeen || f.sampleSeen {
+				fail(n, "HELP for %s after its TYPE or samples", name)
+			}
+			f.helpSeen = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || !validMetricName(name) {
+				fail(n, "malformed TYPE line %q", line)
+				continue
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				fail(n, "unknown metric type %q for %s", typ, name)
+			}
+			f := fam(name)
+			if f.typeSeen {
+				fail(n, "duplicate TYPE for %s", name)
+			}
+			if f.sampleSeen {
+				fail(n, "TYPE for %s after its samples", name)
+			}
+			f.typeSeen = true
+			f.typ = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			fail(n, "%v", err)
+			continue
+		}
+		// Histogram series attach _bucket/_sum/_count to the family name.
+		base, suffix := name, ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, sfx)
+			if trimmed != name {
+				if f, ok := fams[trimmed]; ok && f.typ == "histogram" {
+					base, suffix = trimmed, sfx
+				}
+				break
+			}
+		}
+		f := fams[base]
+		if f == nil || !f.typeSeen {
+			fail(n, "sample %s before its TYPE", name)
+			f = fam(base)
+		}
+		f.sampleSeen = true
+
+		if f.typ == "histogram" {
+			sig, le, hasLE := splitLE(labels)
+			switch suffix {
+			case "_bucket":
+				if !hasLE {
+					fail(n, "%s_bucket without le label", base)
+					continue
+				}
+				bound := math.Inf(1)
+				if le != "+Inf" {
+					bound, err = strconv.ParseFloat(le, 64)
+					if err != nil {
+						fail(n, "unparseable le=%q", le)
+						continue
+					}
+				}
+				bs := f.buckets[sig]
+				if len(bs) > 0 && bound <= bs[len(bs)-1] {
+					fail(n, "%s buckets not in ascending le order", base)
+				}
+				cum := uint64(value)
+				prev := f.bCum[sig]
+				if len(prev) > 0 && cum < prev[len(prev)-1] {
+					fail(n, "%s bucket counts not cumulative", base)
+				}
+				f.buckets[sig] = append(bs, bound)
+				f.bCum[sig] = append(prev, cum)
+			case "_sum":
+				f.sum[sig] = true
+			case "_count":
+				f.count[sig] = uint64(value)
+				f.hasCnt[sig] = true
+			default:
+				fail(n, "histogram %s has bare sample (want _bucket/_sum/_count)", base)
+			}
+		}
+	}
+
+	// Cross-line checks per family.
+	for name, f := range fams {
+		if f.sampleSeen && !f.helpSeen {
+			errs = append(errs, fmt.Errorf("family %s has samples but no HELP", name))
+		}
+		if f.typ != "histogram" {
+			continue
+		}
+		for sig, bounds := range f.buckets {
+			if len(bounds) == 0 || !math.IsInf(bounds[len(bounds)-1], 1) {
+				errs = append(errs, fmt.Errorf("histogram %s%s missing +Inf bucket", name, sig))
+				continue
+			}
+			if !f.sum[sig] {
+				errs = append(errs, fmt.Errorf("histogram %s%s missing _sum", name, sig))
+			}
+			if !f.hasCnt[sig] {
+				errs = append(errs, fmt.Errorf("histogram %s%s missing _count", name, sig))
+				continue
+			}
+			cum := f.bCum[sig]
+			if inf := cum[len(cum)-1]; inf != f.count[sig] {
+				errs = append(errs, fmt.Errorf("histogram %s%s +Inf bucket %d != _count %d",
+					name, sig, inf, f.count[sig]))
+			}
+		}
+		for sig := range f.hasCnt {
+			if len(f.buckets[sig]) == 0 {
+				errs = append(errs, fmt.Errorf("histogram %s%s has _count but no buckets", name, sig))
+			}
+		}
+	}
+	return errs
+}
+
+// parseSample splits one sample line into name, label block and value.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unterminated label block in %q", line)
+		}
+		labels = rest[i : j+1]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		var ok bool
+		name, rest, ok = strings.Cut(rest, " ")
+		if !ok {
+			return "", "", 0, fmt.Errorf("sample without value: %q", line)
+		}
+	}
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	if err := lintLabels(labels); err != nil {
+		return "", "", 0, err
+	}
+	// Value may be followed by an optional timestamp.
+	valStr, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
+	value, err = parseValue(valStr)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("unparseable value %q in %q", valStr, line)
+	}
+	return name, labels, value, nil
+}
+
+// parseValue accepts Prometheus sample values including +Inf/-Inf/NaN.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// lintLabels validates the keys inside a rendered label block.
+func lintLabels(block string) error {
+	for _, key := range labelKeys(block) {
+		if !validLabelKey(key) {
+			return fmt.Errorf("invalid label name %q", key)
+		}
+	}
+	return nil
+}
+
+// labelKeys extracts the label names from a `{k="v",...}` block.
+func labelKeys(block string) []string {
+	if block == "" {
+		return nil
+	}
+	var keys []string
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	for len(inner) > 0 {
+		eq := strings.IndexByte(inner, '=')
+		if eq < 0 {
+			break
+		}
+		keys = append(keys, inner[:eq])
+		// Skip the quoted value, honoring escapes.
+		rest := inner[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			break
+		}
+		i := 1
+		for i < len(rest) {
+			if rest[i] == '\\' {
+				i += 2
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			i++
+		}
+		inner = strings.TrimPrefix(strings.TrimPrefix(rest[min(i+1, len(rest)):], ","), " ")
+	}
+	return keys
+}
+
+// splitLE removes the le label from a rendered label block, returning the
+// remaining signature and the le value.
+func splitLE(block string) (sig, le string, ok bool) {
+	if block == "" {
+		return "", "", false
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	var kept []string
+	for _, part := range splitLabelParts(inner) {
+		key, val, found := strings.Cut(part, "=")
+		if found && key == "le" {
+			le = strings.Trim(val, `"`)
+			ok = true
+			continue
+		}
+		kept = append(kept, part)
+	}
+	if len(kept) == 0 {
+		return "", le, ok
+	}
+	return "{" + strings.Join(kept, ",") + "}", le, ok
+}
+
+// splitLabelParts splits `k1="v1",k2="v2"` on commas outside quotes.
+func splitLabelParts(inner string) []string {
+	var parts []string
+	start, inQuote := 0, false
+	for i := 0; i < len(inner); i++ {
+		switch inner[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				parts = append(parts, inner[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(inner) {
+		parts = append(parts, inner[start:])
+	}
+	return parts
+}

@@ -1,0 +1,44 @@
+// Package obs is the zero-dependency observability core: a typed metric
+// registry rendered in the Prometheus text exposition format, and a
+// lightweight span tracer emitting JSONL trace events to a pluggable sink.
+//
+// # Metrics
+//
+// A Registry holds metric families — counters, gauges and fixed-bucket
+// histograms, optionally carrying static labels — and renders them all
+// through one shared text encoder (WriteText). Measurement is lock-free
+// (atomic adds on the instruments); registration takes the registry lock
+// and is meant to happen once, in package variable initializers:
+//
+//	var simRuns = obs.Default().Counter("eend_sim_runs_total",
+//	        "Completed simulator runs.")
+//
+// The process-wide Default registry collects instrumentation from every
+// internal layer (sim, exec, cache, dist, sweep, opt); servers with
+// endpoint-scoped metrics build their own Registry and render both.
+//
+// # Tracing
+//
+// A Tracer records spans: named, keyed, attributed intervals that form a
+// tree through parent links. Span identifiers are deterministic — derived
+// by hashing (parent id, name, key), with the trace id itself derived from
+// a scenario or grid fingerprint — so two runs of the same workload
+// produce structurally identical traces regardless of scheduling, and a
+// span's id can be predicted by any layer that knows its key. Only the
+// recorded wall-clock timestamps differ between runs.
+//
+// A nil *Tracer is the disabled tracer: every method is a safe no-op and
+// Enabled() reports false, so instrumented call sites cost a nil check
+// (and zero allocations) when tracing is off. The determinism contract
+// extends to tracing: enabling a tracer never changes simulation results,
+// which stay bit-identical to an untraced run.
+package obs
+
+import "sync"
+
+// defaultRegistry is the process-wide registry every internal layer
+// instruments against.
+var defaultRegistry = sync.OnceValue(NewRegistry)
+
+// Default returns the process-wide metric registry.
+func Default() *Registry { return defaultRegistry() }

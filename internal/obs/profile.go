@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfile begins writing a profile of the given mode ("cpu" or
+// "mem") to path and returns a stop function that finishes the profile
+// and closes the file. For "mem" the heap profile is captured at stop
+// time, after a GC, so it reflects live allocations at the end of the
+// run. An unknown mode is an error.
+func StartProfile(mode, path string) (stop func() error, err error) {
+	switch mode {
+	case "cpu":
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		}, nil
+	case "mem":
+		return func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown profile mode %q (want cpu or mem)", mode)
+	}
+}

@@ -1,0 +1,384 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one static key=value pair attached to a metric at registration.
+type Label struct{ Key, Value string }
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// FloatCounter is a monotonically increasing float metric (sums of
+// seconds, joules — quantities without a natural integer unit).
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add adds v (v < 0 is ignored: counters never decrease).
+func (c *FloatCounter) Add(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current sum.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is an integer metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution metric. Buckets are upper
+// bounds in ascending order; an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; the last is +Inf
+	sum    atomic.Uint64   // float64 bits
+	count  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start. Handy in defers:
+// the start argument is captured when the defer statement runs.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Common bucket layouts.
+var (
+	// LatencyBuckets spans sub-millisecond cache reads to minute-long
+	// simulation batches (seconds).
+	LatencyBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+	// RatioBuckets spans the sim-time/wall-time speedup ratio: below 1
+	// (slower than real time) to 10^5 x real time.
+	RatioBuckets = []float64{0.1, 1, 10, 100, 1000, 10000, 100000}
+)
+
+// kind discriminates a family's instrument type.
+type kind string
+
+const (
+	kindCounter   kind = "counter"
+	kindGauge     kind = "gauge"
+	kindHistogram kind = "histogram"
+)
+
+// child is one labeled instrument within a family.
+type child struct {
+	labels  string // rendered label set: `{a="b",c="d"}` or ""
+	counter *Counter
+	fcount  *FloatCounter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64 // CounterFunc/GaugeFunc children
+}
+
+// family is all instruments sharing one metric name.
+type family struct {
+	name, help string
+	kind       kind
+	children   map[string]*child
+	order      []string // registration order of child label sets
+}
+
+// Registry is a set of metric families rendered together. The zero value
+// is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter registered under name and labels, creating
+// it on first use. Registering the same (name, labels) twice returns the
+// same instrument; reusing a name with a different metric type panics.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := r.child(name, help, kindCounter, labels)
+	if c.counter == nil {
+		c.counter = &Counter{}
+	}
+	return c.counter
+}
+
+// FloatCounter returns the float counter registered under name and labels.
+func (r *Registry) FloatCounter(name, help string, labels ...Label) *FloatCounter {
+	c := r.child(name, help, kindCounter, labels)
+	if c.fcount == nil {
+		c.fcount = &FloatCounter{}
+	}
+	return c.fcount
+}
+
+// Gauge returns the gauge registered under name and labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	c := r.child(name, help, kindGauge, labels)
+	if c.gauge == nil {
+		c.gauge = &Gauge{}
+	}
+	return c.gauge
+}
+
+// Histogram returns the histogram registered under name and labels, with
+// the given ascending bucket upper bounds (an implicit +Inf bucket is
+// always added).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	c := r.child(name, help, kindHistogram, labels)
+	if c.hist == nil {
+		for i := 1; i < len(buckets); i++ {
+			if buckets[i] <= buckets[i-1] {
+				panic(fmt.Sprintf("obs: histogram %s buckets not ascending", name))
+			}
+		}
+		c.hist = &Histogram{
+			bounds: append([]float64(nil), buckets...),
+			counts: make([]atomic.Uint64, len(buckets)+1),
+		}
+	}
+	return c.hist
+}
+
+// CounterFunc registers a counter whose value is read live from fn at
+// render time (lifetime totals kept by another component, like a cache
+// store's own counters). Re-registering replaces the function.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.child(name, help, kindCounter, labels).fn = fn
+}
+
+// GaugeFunc registers a gauge read live from fn at render time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.child(name, help, kindGauge, labels).fn = fn
+}
+
+// child finds or creates the instrument slot for (name, labels).
+func (r *Registry) child(name, help string, k kind, labels []Label) *child {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	ls := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k, children: make(map[string]*child)}
+		r.families[name] = f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %s re-registered as %s (was %s)", name, k, f.kind))
+	}
+	c := f.children[ls]
+	if c == nil {
+		c = &child{labels: ls}
+		f.children[ls] = c
+		f.order = append(f.order, ls)
+	}
+	return c
+}
+
+// validMetricName enforces the Prometheus metric-name charset.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, ch := range name {
+		switch {
+		case ch >= 'a' && ch <= 'z', ch >= 'A' && ch <= 'Z', ch == '_', ch == ':':
+		case ch >= '0' && ch <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels renders a label set as `{k1="v1",k2="v2"}` with escaped
+// values, or "" for no labels. Labels render in the order given; the
+// caller's declaration order is part of the metric's identity.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if !validLabelKey(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label key %q", l.Key))
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// validLabelKey enforces the Prometheus label-name charset.
+func validLabelKey(key string) bool {
+	if key == "" {
+		return false
+	}
+	for i, ch := range key {
+		switch {
+		case ch >= 'a' && ch <= 'z', ch >= 'A' && ch <= 'Z', ch == '_':
+		case ch >= '0' && ch <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabelValue(v string) string { return labelEscaper.Replace(v) }
+
+// formatFloat renders a sample value: plain decimal notation, shortest
+// exact representation ("0", "42", "0.25").
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+// WriteText renders every family in the Prometheus text exposition format
+// (version 0.0.4): families sorted by name, one HELP and TYPE comment per
+// family, children in registration order.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, helpEscaper.Replace(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, ls := range f.order {
+			c := f.children[ls]
+			switch {
+			case c.hist != nil:
+				writeHistogram(&b, f.name, c)
+			case c.fn != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, c.labels, formatFloat(c.fn()))
+			case c.counter != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, c.labels, c.counter.Value())
+			case c.fcount != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, c.labels, formatFloat(c.fcount.Value()))
+			case c.gauge != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, c.labels, c.gauge.Value())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram child: cumulative _bucket samples
+// (le labels appended to the child's own), then _sum and _count.
+func writeHistogram(b *strings.Builder, name string, c *child) {
+	h := c.hist
+	// Splice the le label into the child's label set.
+	leLabel := func(le string) string {
+		if c.labels == "" {
+			return `{le="` + le + `"}`
+		}
+		return c.labels[:len(c.labels)-1] + `,le="` + le + `"}`
+	}
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, leLabel(strconv.FormatFloat(bound, 'g', -1, 64)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, leLabel("+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, c.labels, formatFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, c.labels, cum)
+}

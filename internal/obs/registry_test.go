@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Operations.", L("kind", "read"))
+	c.Add(3)
+	c.Inc()
+	g := r.Gauge("test_depth", "Queue depth.")
+	g.Set(7)
+	g.Dec()
+	fc := r.FloatCounter("test_busy_seconds_total", "Busy seconds.")
+	fc.Add(0.25)
+	fc.Add(0.25)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_ops_total Operations.\n# TYPE test_ops_total counter\ntest_ops_total{kind=\"read\"} 4\n",
+		"# HELP test_depth Queue depth.\n# TYPE test_depth gauge\ntest_depth 6\n",
+		"test_busy_seconds_total 0.5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_total", "x")
+	b := r.Counter("test_total", "x")
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	c := r.Counter("test_total", "x", L("k", "v"))
+	if a == c {
+		t.Fatal("different labels returned the same counter")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("test_total", "x")
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"", "1bad", "has-dash", "has space", "ünïcode"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("metric name %q accepted", name)
+				}
+			}()
+			r.Counter(name, "x")
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("label key with dash accepted")
+			}
+		}()
+		r.Counter("test_ok_total", "x", L("bad-key", "v"))
+	}()
+}
+
+func TestHistogramRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1, 10}, L("op", "get"))
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`test_latency_seconds_bucket{op="get",le="0.1"} 1`,
+		`test_latency_seconds_bucket{op="get",le="1"} 3`,
+		`test_latency_seconds_bucket{op="get",le="10"} 4`,
+		`test_latency_seconds_bucket{op="get",le="+Inf"} 5`,
+		`test_latency_seconds_sum{op="get"} 56.05`,
+		`test_latency_seconds_count{op="get"} 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count() = %d, want 5", h.Count())
+	}
+}
+
+func TestHistogramBoundaryGoesInBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_h", "x", []float64{1})
+	h.Observe(1) // le is an upper bound, inclusive
+	var b strings.Builder
+	r.WriteText(&b)
+	if !strings.Contains(b.String(), `test_h_bucket{le="1"} 1`) {
+		t.Errorf("observation at bucket boundary not counted in le=\"1\":\n%s", b.String())
+	}
+}
+
+func TestFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	v := 3.0
+	r.GaugeFunc("test_live", "Live value.", func() float64 { return v })
+	r.CounterFunc("test_ext_total", "External count.", func() float64 { return 42 }, L("tier", "local"))
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	if !strings.Contains(out, "test_live 3\n") {
+		t.Errorf("gauge func not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, `test_ext_total{tier="local"} 42`+"\n") {
+		t.Errorf("counter func not rendered:\n%s", out)
+	}
+	v = 5
+	b.Reset()
+	r.WriteText(&b)
+	if !strings.Contains(b.String(), "test_live 5\n") {
+		t.Errorf("gauge func not re-read at render time:\n%s", b.String())
+	}
+}
+
+func TestFamiliesSortedAndLabelValuesEscaped(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zzz_total", "z")
+	r.Counter("aaa_total", "a", L("path", "a\"b\\c\nd"))
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	if strings.Index(out, "aaa_total") > strings.Index(out, "zzz_total") {
+		t.Errorf("families not sorted by name:\n%s", out)
+	}
+	if !strings.Contains(out, `aaa_total{path="a\"b\\c\nd"} 0`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+// TestConformance is the table-driven text-format conformance test: every
+// line the shared encoder renders — across counters, float counters,
+// gauges, func metrics, and labeled histograms — must pass Lint, which
+// checks name charset, HELP/TYPE ordering, and histogram triples.
+func TestConformance(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(r *Registry)
+	}{
+		{"counter", func(r *Registry) {
+			r.Counter("eend_test_total", "A counter.").Add(9)
+		}},
+		{"labeled_counters", func(r *Registry) {
+			r.Counter("eend_test_total", "A counter.", L("kind", "a")).Inc()
+			r.Counter("eend_test_total", "A counter.", L("kind", "b")).Inc()
+		}},
+		{"float_counter", func(r *Registry) {
+			r.FloatCounter("eend_busy_seconds_total", "Busy.").Add(1.5)
+		}},
+		{"gauge", func(r *Registry) {
+			r.Gauge("eend_depth", "Depth.").Set(-2)
+		}},
+		{"func_metrics", func(r *Registry) {
+			r.GaugeFunc("eend_live", "Live.", func() float64 { return 0.5 })
+			r.CounterFunc("eend_ext_total", "Ext.", func() float64 { return 10 }, L("tier", "remote"))
+		}},
+		{"histogram_bare", func(r *Registry) {
+			h := r.Histogram("eend_lat_seconds", "Latency.", LatencyBuckets)
+			h.Observe(0.002)
+			h.Observe(120)
+		}},
+		{"histogram_labeled", func(r *Registry) {
+			h := r.Histogram("eend_lat_seconds", "Latency.", []float64{0.01, 0.1}, L("op", "get"))
+			h.Observe(0.05)
+			r.Histogram("eend_lat_seconds", "Latency.", []float64{0.01, 0.1}, L("op", "put"))
+		}},
+		{"escaped_labels", func(r *Registry) {
+			r.Counter("eend_esc_total", "Esc.", L("v", `quote " slash \ nl`+"\n")).Inc()
+		}},
+		{"mixed", func(r *Registry) {
+			r.Counter("eend_a_total", "a").Inc()
+			r.Gauge("eend_b", "b").Set(3)
+			r.Histogram("eend_c_seconds", "c", RatioBuckets).Observe(42)
+			r.FloatCounter("eend_d_seconds_total", "d").Add(0.1)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			tc.build(r)
+			var b strings.Builder
+			if err := r.WriteText(&b); err != nil {
+				t.Fatal(err)
+			}
+			for _, err := range Lint(b.String()) {
+				t.Errorf("conformance: %v", err)
+			}
+			if t.Failed() {
+				t.Logf("exposition:\n%s", b.String())
+			}
+		})
+	}
+}
+
+func TestLintCatchesMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"type_after_sample", "# HELP x_total h\nx_total 1\n# TYPE x_total counter\n"},
+		{"duplicate_type", "# HELP x_total h\n# TYPE x_total counter\n# TYPE x_total counter\nx_total 1\n"},
+		{"bad_name", "# HELP 1bad h\n"},
+		{"missing_inf", "# HELP h_s h\n# TYPE h_s histogram\nh_s_bucket{le=\"1\"} 1\nh_s_sum 1\nh_s_count 1\n"},
+		{"non_cumulative", "# HELP h_s h\n# TYPE h_s histogram\nh_s_bucket{le=\"1\"} 5\nh_s_bucket{le=\"+Inf\"} 3\nh_s_sum 1\nh_s_count 3\n"},
+		{"inf_count_mismatch", "# HELP h_s h\n# TYPE h_s histogram\nh_s_bucket{le=\"+Inf\"} 3\nh_s_sum 1\nh_s_count 4\n"},
+		{"missing_sum", "# HELP h_s h\n# TYPE h_s histogram\nh_s_bucket{le=\"+Inf\"} 3\nh_s_count 3\n"},
+		{"sample_no_help", "# TYPE x_total counter\nx_total 1\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if errs := Lint(tc.text); len(errs) == 0 {
+				t.Errorf("Lint accepted malformed exposition:\n%s", tc.text)
+			}
+		})
+	}
+}

@@ -238,7 +238,7 @@ func (m *Medium) Transmit(f *Frame) sim.Time {
 	}
 
 	fin := m.newFinisher(f)
-	m.sim.ScheduleAt(f.End, fin.fn)
+	scheduleAt(m.sim, f.End, fin.fn)
 	return f.End
 }
 

@@ -1,0 +1,16 @@
+package power
+
+import (
+	"eend/internal/obs"
+	"eend/internal/sim"
+)
+
+// timers feeds the per-layer kernel timer breakdown in /metrics.
+var timers = obs.Default().Counter("eend_sim_timers_total",
+	"Timers scheduled in the sim kernel, by protocol layer.", obs.L("layer", "power"))
+
+// scheduleAt wraps sim.ScheduleAt with the layer's timer counter.
+func scheduleAt(s *sim.Simulator, at sim.Time, fn func()) sim.Timer {
+	timers.Inc()
+	return s.ScheduleAt(at, fn)
+}

@@ -136,13 +136,13 @@ func (o *ODPM) arm() {
 		}
 	}
 	o.timer.Cancel()
-	o.timer = o.sim.ScheduleAt(o.deadline, o.expireFn)
+	o.timer = scheduleAt(o.sim, o.deadline, o.expireFn)
 }
 
 func (o *ODPM) expire() {
 	now := o.sim.Now()
 	if now < o.deadline {
-		o.timer = o.sim.ScheduleAt(o.deadline, o.expireFn)
+		o.timer = scheduleAt(o.sim, o.deadline, o.expireFn)
 		return
 	}
 	o.setMode(mac.PSM)

@@ -96,14 +96,14 @@ func (d *DSDV) Start() {
 	d.table[d.env.ID] = &dsdvEntry{next: d.env.ID, metric: 0, seq: 0}
 	d.periodicFn = d.periodic
 	first := jitter(d.env.RNG(), dsdvPeriod)
-	d.env.Sim.Schedule(first, d.periodicFn)
+	schedule(d.env.Sim, first, d.periodicFn)
 }
 
 func (d *DSDV) periodic() {
 	d.mySeq += 2
 	d.table[d.env.ID].seq = d.mySeq
 	d.broadcastFull()
-	d.env.Sim.Schedule(dsdvPeriod, d.periodicFn)
+	schedule(d.env.Sim, dsdvPeriod, d.periodicFn)
 }
 
 func (d *DSDV) broadcastFull() {
@@ -141,7 +141,7 @@ func (d *DSDV) trigger() {
 	if next := d.lastTrig + dsdvTrigMinGap; next > now {
 		wait = next - now
 	}
-	d.trigArm = d.env.Sim.Schedule(wait, func() {
+	d.trigArm = schedule(d.env.Sim, wait, func() {
 		d.lastTrig = d.env.Sim.Now()
 		d.broadcastFull()
 	})

@@ -190,7 +190,7 @@ func (d *DSR) sendRREQ(dst int, rate float64) {
 
 func (d *DSR) armRetry(dst int, disc *discovery) {
 	timeout := discoveryTimeout << uint(disc.tries)
-	disc.timer = d.env.Sim.Schedule(timeout, func() {
+	disc.timer = schedule(d.env.Sim, timeout, func() {
 		cur, ok := d.pending[dst]
 		if !ok || cur != disc {
 			return
@@ -281,7 +281,7 @@ func (d *DSR) handleRREQ(from int, req *rreq) {
 	if d.v.ForwardDelay != nil {
 		delay += d.v.ForwardDelay(d)
 	}
-	d.env.Sim.Schedule(delay, func() {
+	schedule(d.env.Sim, delay, func() {
 		// Suppress if a strictly better copy has been forwarded meanwhile.
 		if cur := d.seen[key]; cur < cost {
 			return

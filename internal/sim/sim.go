@@ -35,6 +35,8 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"time"
+
+	"eend/internal/obs"
 )
 
 // Time is a virtual timestamp measured from the start of the simulation.
@@ -99,6 +101,11 @@ type Simulator struct {
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
+
+	// evCount, when non-nil, receives one increment per fired event
+	// (CountEvents). Kept as a raw counter pointer — not a callback — so
+	// the hot loop pays a nil check and an atomic add, nothing more.
+	evCount *obs.Counter
 }
 
 // New returns a simulator whose RNG is seeded from seed.
@@ -122,6 +129,12 @@ func (s *Simulator) Events() uint64 { return s.fired }
 // Pending returns the number of events still queued. Cancelled events are
 // removed from the queue at Cancel time, so the count is exact.
 func (s *Simulator) Pending() int { return len(s.heap) }
+
+// CountEvents attaches a metric counter that receives one increment per
+// fired event, feeding live kernel throughput into /metrics. Passing nil
+// detaches it. Counting never touches simulation state, so an observed
+// run stays bit-identical to an unobserved one.
+func (s *Simulator) CountEvents(c *obs.Counter) { s.evCount = c }
 
 // Schedule runs fn after delay of virtual time. A negative delay is an error
 // in the model; it panics to surface the bug immediately.
@@ -313,6 +326,9 @@ func (s *Simulator) RunContext(ctx context.Context, until Time) (Time, error) {
 		s.freeSlot(top)
 		s.now = at
 		s.fired++
+		if s.evCount != nil {
+			s.evCount.Inc()
+		}
 		fn()
 	}
 	if s.now < until {

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"eend/internal/obs"
+)
+
+// BenchmarkKernelTraced is the instrumented-kernel hot-path bench: one
+// pooled event scheduled and fired per op with the event counter attached
+// and a disabled tracer consulted around each event, the way instrumented
+// call sites run in production with tracing off. Must report 0 allocs/op
+// (also enforced by TestKernelTracedDoesNotAllocate and the bench-smoke
+// CI gate on BENCH_kernel.json).
+func BenchmarkKernelTraced(b *testing.B) {
+	b.ReportAllocs()
+	s := New(1)
+	s.CountEvents(obs.NewRegistry().Counter("bench_events_total", "bench"))
+	var tr *obs.Tracer // disabled: the production default
+	n := 0
+	var tick func()
+	tick = func() {
+		sp := tr.Start(obs.Span{}, "event", "")
+		n++
+		s.Schedule(time.Microsecond, tick)
+		sp.End()
+	}
+	s.Schedule(0, tick)
+	b.ResetTimer()
+	s.Run(time.Duration(b.N) * time.Microsecond)
+	if n < b.N {
+		b.Fatalf("fired %d events, want >= %d", n, b.N)
+	}
+}
+
+// TestKernelTracedDoesNotAllocate pins the hard constraint directly: the
+// kernel hot path with a counter attached and a disabled tracer is
+// allocation-free.
+func TestKernelTracedDoesNotAllocate(t *testing.T) {
+	s := New(1)
+	s.CountEvents(obs.NewRegistry().Counter("test_events_total", "test"))
+	var tr *obs.Tracer
+	var tick func()
+	tick = func() {
+		sp := tr.Start(obs.Span{}, "event", "")
+		s.Schedule(time.Microsecond, tick)
+		sp.End()
+	}
+	s.Schedule(0, tick)
+	// Warm the slab and heap so steady state is measured.
+	s.Run(100 * time.Microsecond)
+	horizon := s.Now()
+	allocs := testing.AllocsPerRun(1000, func() {
+		horizon += time.Microsecond
+		s.Run(horizon)
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented hot path allocates %v per event, want 0", allocs)
+	}
+}
+
+// TestCountEventsMatchesFired checks the attached counter tracks the
+// kernel's own fired count exactly.
+func TestCountEventsMatchesFired(t *testing.T) {
+	s := New(7)
+	c := obs.NewRegistry().Counter("test_events_total", "test")
+	s.CountEvents(c)
+	for i := 0; i < 50; i++ {
+		s.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	s.Drain()
+	if c.Value() != s.Events() {
+		t.Fatalf("counter %d != fired %d", c.Value(), s.Events())
+	}
+}

@@ -1,0 +1,16 @@
+package traffic
+
+import (
+	"eend/internal/obs"
+	"eend/internal/sim"
+)
+
+// timers feeds the per-layer kernel timer breakdown in /metrics.
+var timers = obs.Default().Counter("eend_sim_timers_total",
+	"Timers scheduled in the sim kernel, by protocol layer.", obs.L("layer", "traffic"))
+
+// schedule wraps sim.Schedule with the layer's timer counter.
+func schedule(s *sim.Simulator, d sim.Time, fn func()) sim.Timer {
+	timers.Inc()
+	return s.Schedule(d, fn)
+}

@@ -191,7 +191,7 @@ func (s *Source) Start() {
 	if w := s.flow.StartMax - s.flow.StartMin; w > 0 {
 		start += time.Duration(s.sim.RNG().Int64N(int64(w)))
 	}
-	s.sim.Schedule(start, s.emitFn)
+	schedule(s.sim, start, s.emitFn)
 }
 
 func (s *Source) emit() {
@@ -206,7 +206,7 @@ func (s *Source) emit() {
 		s.col.OnSend(s.flow.ID)
 	}
 	s.send(s.flow.Dst, s.flow.PacketBytes, &Datum{Flow: s.flow.ID, Seq: s.seq}, s.flow.Rate)
-	s.sim.Schedule(s.flow.Interval(), s.emitFn)
+	schedule(s.sim, s.flow.Interval(), s.emitFn)
 }
 
 // Sent returns the number of packets this source has originated.

@@ -1,0 +1,17 @@
+package opt
+
+import "eend/internal/obs"
+
+// Search instrumentation on the process-wide registry. Steps are counted
+// where they are recorded (searchState.step), so restart merges never
+// double-count a restart's own evaluations.
+var (
+	stepsAccepted = obs.Default().Counter("eend_opt_steps_total",
+		"Search steps, by acceptance verdict.", obs.L("verdict", "accepted"))
+	stepsRejected = obs.Default().Counter("eend_opt_steps_total",
+		"Search steps, by acceptance verdict.", obs.L("verdict", "rejected"))
+	evalSeconds = obs.Default().Histogram("eend_opt_eval_seconds",
+		"One objective evaluation in seconds.", obs.LatencyBuckets)
+	searchesDone = obs.Default().Counter("eend_opt_searches_total",
+		"Searches completed (all methods).")
+)

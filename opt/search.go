@@ -6,9 +6,12 @@ import (
 	"math"
 	"math/rand/v2"
 	"slices"
+	"strconv"
+	"time"
 
 	"eend/internal/core"
 	"eend/internal/exec"
+	"eend/internal/obs"
 )
 
 // ValidMethod reports whether name is a SolveMethod method, so axis
@@ -84,10 +87,20 @@ func (p *Problem) SearchMethod(ctx context.Context, method string, obj Objective
 		if err != nil {
 			return nil, err
 		}
+		sp := o.Tracer.Start(obs.Span{}, "search", method+"/"+obj.Name())
+		esp := o.Tracer.Start(sp, "evaluate", "1")
+		t0 := time.Now()
 		e, err := obj.Evaluate(ctx, d)
+		evalSeconds.ObserveSince(t0)
 		if err != nil {
+			esp.End(obs.A("error", err.Error()))
+			sp.End(obs.A("error", err.Error()))
 			return nil, err
 		}
+		esp.End(obs.A("energy", strconv.FormatFloat(e, 'g', -1, 64)))
+		sp.End(obs.A("best_energy", strconv.FormatFloat(e, 'g', -1, 64)),
+			obs.AInt("iterations", 1))
+		searchesDone.Inc()
 		_, base, err := p.bestHeuristic()
 		if err != nil {
 			return nil, err
@@ -157,6 +170,14 @@ type Options struct {
 	// OnStep, when non-nil, observes every step as it happens (live
 	// best-so-far for the HTTP surface). Calls are sequential.
 	OnStep func(Step)
+	// Tracer, when non-nil, records the search's span tree: one root
+	// "search" span, an "evaluate" span per objective evaluation, and a
+	// zero-duration "best" point each time the best-so-far improves (the
+	// timeline a trace viewer plots). Span IDs derive from the method,
+	// objective, seed and step number, so identical searches produce
+	// identical trees; tracing observes timings only and never changes the
+	// trajectory.
+	Tracer *obs.Tracer
 }
 
 // Step is one search iteration's outcome.
@@ -208,13 +229,17 @@ type searchState struct {
 	o   *Options
 	rng *rand.Rand
 
-	cur     *Design
-	curE    float64
-	best    *Design
-	bestE   float64
-	iter    int
-	res     *Result
-	stopped bool // iteration budget exhausted
+	cur      *Design
+	curE     float64
+	best     *Design
+	bestE    float64
+	lastBest float64 // best-so-far already reported to the tracer
+	iter     int
+	res      *Result
+	stopped  bool // iteration budget exhausted
+
+	tr   *obs.Tracer // nil when untraced (and always nil inside restarts)
+	span obs.Span    // the root "search" span
 }
 
 // step records one candidate evaluation and its verdict.
@@ -222,9 +247,12 @@ func (st *searchState) step(move string, e float64, accepted bool, temp float64)
 	st.iter++
 	if accepted {
 		st.res.Accepted++
+		stepsAccepted.Inc()
 	} else {
 		st.res.Rejected++
+		stepsRejected.Inc()
 	}
+	st.markBest(st.bestE, move)
 	s := Step{Iter: st.iter, Move: move, Energy: e, Best: st.bestE, Accepted: accepted, Temp: temp}
 	if st.o.Trace {
 		st.res.Trajectory = append(st.res.Trajectory, s)
@@ -237,14 +265,30 @@ func (st *searchState) step(move string, e float64, accepted bool, temp float64)
 	}
 }
 
+// markBest emits a zero-duration "best" point on the search span when the
+// best-so-far improved: the timeline a trace viewer plots.
+func (st *searchState) markBest(best float64, move string) {
+	if st.tr.Enabled() && best < st.lastBest {
+		st.lastBest = best
+		st.span.Point("best", strconv.Itoa(st.iter),
+			obs.A("energy", strconv.FormatFloat(best, 'g', -1, 64)),
+			obs.A("move", move), obs.AInt("iter", int64(st.iter)))
+	}
+}
+
 // consider evaluates a candidate and folds it into cur/best under the
 // acceptance rule: accept strict improvements always, uphill moves with
 // Metropolis probability when temp > 0.
 func (st *searchState) consider(ctx context.Context, cand *Design, move string, temp float64) error {
+	esp := st.tr.Start(st.span, "evaluate", strconv.Itoa(st.iter+1))
+	t0 := time.Now()
 	e, err := st.obj.Evaluate(ctx, cand)
+	evalSeconds.ObserveSince(t0)
 	if err != nil {
+		esp.End(obs.A("error", err.Error()))
 		return err
 	}
+	esp.End(obs.A("move", move), obs.A("energy", strconv.FormatFloat(e, 'g', -1, 64)))
 	accept := e < st.curE
 	if !accept && temp > 0 {
 		accept = st.rng.Float64() < math.Exp(-(e-st.curE)/temp)
@@ -305,9 +349,13 @@ func (p *Problem) Search(ctx context.Context, obj Objective, o Options) (*Result
 		p: p, obj: obj, o: &o,
 		rng: rand.New(rand.NewPCG(o.Seed, 0x0e31)),
 		cur: initial, curE: initE,
-		best: initial, bestE: initE,
+		best: initial, bestE: initE, lastBest: math.Inf(1),
 		res: res,
+		tr:  o.Tracer,
 	}
+	st.span = st.tr.Start(obs.Span{}, "search",
+		o.Algorithm.String()+"/"+obj.Name()+"/"+strconv.FormatUint(o.Seed, 10))
+	st.markBest(initE, "initial")
 
 	switch o.Algorithm {
 	case Greedy:
@@ -328,6 +376,17 @@ func (p *Problem) Search(ctx context.Context, obj Objective, o Options) (*Result
 	if sim, ok := obj.(*Simulated); ok {
 		stats := sim.Stats()
 		res.Sim = &stats
+	}
+	searchesDone.Inc()
+	if err != nil {
+		st.span.End(obs.A("error", err.Error()),
+			obs.AInt("iterations", int64(st.iter)))
+	} else {
+		st.span.End(
+			obs.A("best_energy", strconv.FormatFloat(st.bestE, 'g', -1, 64)),
+			obs.AInt("iterations", int64(st.iter)),
+			obs.AInt("accepted", int64(res.Accepted)),
+			obs.AInt("rejected", int64(res.Rejected)))
 	}
 	return res, err
 }
@@ -548,6 +607,7 @@ func (st *searchState) runRestart(ctx context.Context) error {
 			if s.Best < best {
 				best = s.Best
 			}
+			st.markBest(best, s.Move)
 			ms := Step{Iter: st.iter, Move: s.Move, Energy: s.Energy, Best: best, Accepted: s.Accepted}
 			if st.o.Trace {
 				st.res.Trajectory = append(st.res.Trajectory, ms)

@@ -12,6 +12,7 @@ import (
 
 	"eend/internal/geom"
 	"eend/internal/network"
+	"eend/internal/obs"
 	"eend/internal/radio"
 	"eend/internal/topology"
 	"eend/internal/traffic"
@@ -371,10 +372,17 @@ func (s *Scenario) Run(ctx context.Context) (*Results, error) {
 	if s.Replicates() > 1 {
 		return s.runReplicated(ctx)
 	}
+	// The span brackets the run without touching it: the tracer observes
+	// wall time only, so a traced run's Results (and fingerprint-keyed
+	// cache entries) are bit-identical to an untraced one's.
+	tr := obs.TracerFrom(ctx)
+	sp := tr.Start(obs.SpanFrom(ctx), "sim", s.Fingerprint())
 	res, err := network.RunContext(ctx, s.sc)
 	if err != nil {
+		sp.End(obs.A("error", err.Error()))
 		return nil, err
 	}
+	sp.End(obs.A("fp", s.Fingerprint()), obs.AInt("events", int64(res.Events)))
 	return &res, nil
 }
 

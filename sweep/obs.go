@@ -1,0 +1,25 @@
+package sweep
+
+import "eend/internal/obs"
+
+// Sweep instrumentation on the process-wide registry.
+var (
+	pointsOK = obs.Default().Counter("eend_sweep_points_total",
+		"Sweep points completed, by outcome.", obs.L("outcome", "ok"))
+	pointsCached = obs.Default().Counter("eend_sweep_points_total",
+		"Sweep points completed, by outcome.", obs.L("outcome", "cached"))
+	pointsError = obs.Default().Counter("eend_sweep_points_total",
+		"Sweep points completed, by outcome.", obs.L("outcome", "error"))
+)
+
+// countPoint records one finished point under its outcome.
+func countPoint(sr Result) {
+	switch {
+	case sr.Err != nil:
+		pointsError.Inc()
+	case sr.Cached:
+		pointsCached.Inc()
+	default:
+		pointsOK.Inc()
+	}
+}

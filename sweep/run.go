@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"eend"
 	"eend/internal/cache"
 	"eend/internal/dist"
+	"eend/internal/obs"
 )
 
 // Progress is a live snapshot of a sweep run.
@@ -66,6 +68,14 @@ type Runner struct {
 	// OnProgress, when non-nil, is called after every completed point with
 	// a monotone snapshot. Calls are sequential (never concurrent).
 	OnProgress func(Progress)
+	// Trace, when non-nil, records the sweep's span tree: one root "sweep"
+	// span, a "point" span per grid point, a "replicate" span per derived
+	// seed, and "cache"/"sim" leaves for each lookup and simulation. Remote
+	// runs additionally hang the coordinator's "shard" spans off the root.
+	// Span IDs derive from scenario fingerprints, so two runs of the same
+	// grid produce identical trees; tracing observes timings only and never
+	// changes results.
+	Trace *obs.Tracer
 }
 
 // runBatch is swapped by tests to prove that fully cached sweeps never
@@ -165,6 +175,7 @@ type pointState struct {
 	cached  int             // replicates answered from the cache
 	missing int             // replicates still being simulated
 	err     error           // first replicate failure, if any
+	span    obs.Span        // the point's span (inert when untraced)
 }
 
 // finish folds a completed replicate set into the point's Result: the
@@ -211,9 +222,12 @@ func (p *Prepared) Stream(ctx context.Context) (<-chan Result, error) {
 		store = disk
 	}
 
+	tr := r.Trace
+	sweepSp := tr.Start(obs.Span{}, "sweep", strconv.Itoa(len(results)))
+
 	out := make(chan Result, len(results))
 	progress := Progress{Total: len(results)}
-	emit := func(sr Result) {
+	emit := func(sr Result, st *pointState) {
 		progress.Done++
 		if sr.Cached {
 			progress.CacheHits++
@@ -222,10 +236,22 @@ func (p *Prepared) Stream(ctx context.Context) (<-chan Result, error) {
 			sr.Error = sr.Err.Error()
 			progress.Errors++
 		}
+		countPoint(sr)
+		if sr.Err != nil {
+			st.span.End(obs.A("error", sr.Err.Error()))
+		} else {
+			st.span.End(obs.A("cached", strconv.FormatBool(sr.Cached)),
+				obs.AInt("replicates", int64(len(st.runs))))
+		}
 		out <- sr
 		if r.OnProgress != nil {
 			r.OnProgress(progress)
 		}
+	}
+	finishSweep := func() {
+		sweepSp.End(obs.AInt("points", int64(progress.Total)),
+			obs.AInt("cache_hits", int64(progress.CacheHits)),
+			obs.AInt("errors", int64(progress.Errors)))
 	}
 
 	// Expand every point into replicates, answer what the cache has, and
@@ -235,11 +261,14 @@ func (p *Prepared) Stream(ctx context.Context) (<-chan Result, error) {
 	var missPoint []int
 	var missRep []int
 	var missFP []string
+	var missSpan []obs.Span // the replicate's span, ended when its result lands
+	var missSim []obs.Span  // the queued "sim" leaf under it
 	var scenarios []*eend.Scenario
 	for i := range results {
 		sc := results[i].Scenario
 		n := sc.Replicates()
 		st := &pointState{seeds: make([]uint64, n), runs: make([]*eend.Results, n)}
+		st.span = tr.Start(sweepSp, "point", results[i].Fingerprint)
 		states[i] = st
 		for k := 0; k < n; k++ {
 			rep, err := sc.Replicate(k)
@@ -251,11 +280,21 @@ func (p *Prepared) Stream(ctx context.Context) (<-chan Result, error) {
 			}
 			st.seeds[k] = rep.Seed()
 			fp := rep.Fingerprint()
-			if data, ok := cacheGet(store, fp); ok {
+			rsp := tr.Start(st.span, "replicate", fp)
+			csp := obs.Span{}
+			if store != nil {
+				csp = tr.Start(rsp, "cache", fp)
+			}
+			data, hit := cacheGet(store, fp)
+			if store != nil {
+				csp.End(obs.A("hit", strconv.FormatBool(hit)))
+			}
+			if hit {
 				var res eend.Results
 				if err := json.Unmarshal(data, &res); err == nil {
 					st.runs[k] = &res
 					st.cached++
+					rsp.End(obs.A("cached", "true"))
 					continue
 				}
 				// A corrupt entry is a miss; the fresh result overwrites it.
@@ -264,28 +303,36 @@ func (p *Prepared) Stream(ctx context.Context) (<-chan Result, error) {
 			missPoint = append(missPoint, i)
 			missRep = append(missRep, k)
 			missFP = append(missFP, fp)
+			missSpan = append(missSpan, rsp)
+			missSim = append(missSim, tr.Start(rsp, "sim", fp))
 			scenarios = append(scenarios, rep)
 		}
 		if st.missing == 0 {
-			emit(st.finish(results[i]))
+			emit(st.finish(results[i]), st)
 		}
 	}
 	if len(scenarios) == 0 {
+		finishSweep()
 		close(out)
 		return out, nil
 	}
 
-	batch := r.batchFn()(ctx, scenarios, eend.Workers(r.Workers))
+	batch := r.batchFn(sweepSp)(ctx, scenarios, eend.Workers(r.Workers))
 	go func() {
 		defer close(out)
+		defer finishSweep()
 		for br := range batch {
 			i := missPoint[br.Index]
 			st := states[i]
 			if br.Err != nil {
+				missSim[br.Index].End(obs.A("error", br.Err.Error()))
+				missSpan[br.Index].End(obs.A("error", br.Err.Error()))
 				if st.err == nil {
 					st.err = br.Err
 				}
 			} else {
+				missSim[br.Index].End(obs.A("cached", strconv.FormatBool(br.Cached)))
+				missSpan[br.Index].End(obs.A("cached", strconv.FormatBool(br.Cached)))
 				st.runs[missRep[br.Index]] = br.Results
 				if br.Cached {
 					// A remote worker answered from the fleet cache; the
@@ -300,7 +347,7 @@ func (p *Prepared) Stream(ctx context.Context) (<-chan Result, error) {
 				}
 			}
 			if st.missing--; st.missing == 0 {
-				emit(st.finish(results[i]))
+				emit(st.finish(results[i]), st)
 			}
 		}
 	}()
@@ -308,8 +355,9 @@ func (p *Prepared) Stream(ctx context.Context) (<-chan Result, error) {
 }
 
 // batchFn selects the simulation backend: the local batch runner, or a
-// dist coordinator over the configured remote workers.
-func (r Runner) batchFn() func(context.Context, []*eend.Scenario, ...eend.BatchOption) <-chan eend.BatchResult {
+// dist coordinator over the configured remote workers. parent is the span
+// the coordinator's shard spans attach under when the sweep is traced.
+func (r Runner) batchFn(parent obs.Span) func(context.Context, []*eend.Scenario, ...eend.BatchOption) <-chan eend.BatchResult {
 	if len(r.Remote) == 0 {
 		return runBatch
 	}
@@ -317,7 +365,7 @@ func (r Runner) batchFn() func(context.Context, []*eend.Scenario, ...eend.BatchO
 	for i, u := range r.Remote {
 		workers[i] = dist.NewClient(u, nil)
 	}
-	co := &dist.Coordinator{Workers: workers, Parallel: r.Workers}
+	co := &dist.Coordinator{Workers: workers, Parallel: r.Workers, Trace: r.Trace, Span: parent}
 	if r.OnRetry != nil {
 		co.OnRetry = func(e dist.RetryEvent) { r.OnRetry(e.Worker, e.Err) }
 	}

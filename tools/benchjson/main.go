@@ -6,11 +6,17 @@
 // readable point on the performance trajectory.
 //
 //	go test -run=- -bench . -benchmem -benchtime=100000x ./internal/sim | go run ./tools/benchjson
+//
+// -assert-zero-allocs name1,name2 turns the converter into a gate: each
+// named benchmark must be present with allocs/op == 0 or the exit status
+// is non-zero. CI uses it to pin the disabled-tracer kernel hot path at
+// zero allocations.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -85,11 +91,38 @@ func Parse(r io.Reader) (map[string]Measurements, error) {
 	return out, sc.Err()
 }
 
+// AssertZeroAllocs verifies each named benchmark was measured with
+// allocs/op == 0. A missing benchmark fails too: a renamed or skipped
+// bench must not silently pass the gate.
+func AssertZeroAllocs(benches map[string]Measurements, names []string) error {
+	for _, name := range names {
+		m, ok := benches[name]
+		switch {
+		case !ok:
+			return fmt.Errorf("benchmark %s not found in input", name)
+		case m.AllocsPerOp == nil:
+			return fmt.Errorf("benchmark %s has no allocs/op (run with -benchmem)", name)
+		case *m.AllocsPerOp != 0:
+			return fmt.Errorf("benchmark %s allocates: %g allocs/op, want 0", name, *m.AllocsPerOp)
+		}
+	}
+	return nil
+}
+
 func main() {
+	zeroAllocs := flag.String("assert-zero-allocs", "",
+		"comma-separated benchmark names that must report 0 allocs/op")
+	flag.Parse()
 	benches, err := Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *zeroAllocs != "" {
+		if err := AssertZeroAllocs(benches, strings.Split(*zeroAllocs, ",")); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -60,3 +60,30 @@ func TestParseIgnoresGarbage(t *testing.T) {
 		t.Fatalf("garbage parsed as benchmarks: %v", got)
 	}
 }
+
+func TestAssertZeroAllocs(t *testing.T) {
+	benches, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AssertZeroAllocs(benches, []string{"BenchmarkScheduleFire", "BenchmarkDeepHeap"}); err != nil {
+		t.Fatalf("zero-alloc benchmarks rejected: %v", err)
+	}
+	// Missing benchmark: the gate must not silently pass.
+	if err := AssertZeroAllocs(benches, []string{"BenchmarkGone"}); err == nil {
+		t.Fatal("missing benchmark passed the gate")
+	}
+	// No -benchmem columns (the bit/J line has no allocs/op).
+	if err := AssertZeroAllocs(benches, []string{"BenchmarkAblationODPMKeepAlive/5s-10s"}); err == nil {
+		t.Fatal("benchmark without allocs/op passed the gate")
+	}
+	// A real allocation count fails.
+	allocing, err := Parse(strings.NewReader(
+		"BenchmarkHot-4   	  1000	  50.0 ns/op	  16 B/op	  2 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AssertZeroAllocs(allocing, []string{"BenchmarkHot"}); err == nil {
+		t.Fatal("allocating benchmark passed the gate")
+	}
+}
