@@ -3,6 +3,7 @@ package eend
 import (
 	"context"
 	"fmt"
+	"math/rand/v2"
 	"testing"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"eend/internal/power"
 	"eend/internal/radio"
 	"eend/internal/sim"
+	"eend/internal/topology"
 	"eend/internal/traffic"
 )
 
@@ -232,6 +234,95 @@ func BenchmarkReplicatedRunFanout(b *testing.B) {
 }
 
 // --- micro benches: simulator hot paths ---
+
+// quietListener is a receive-capable node with no MAC above it, so the
+// medium benches measure pure phy cost.
+type quietListener struct {
+	id  int
+	pos geom.Point
+	rx  int
+}
+
+func (n *quietListener) NodeID() int            { return n.id }
+func (n *quietListener) Pos() geom.Point        { return n.pos }
+func (n *quietListener) CanReceive() bool       { return true }
+func (n *quietListener) RxBegin(*phy.Frame)     {}
+func (n *quietListener) RxEnd(*phy.Frame, bool) { n.rx++ }
+
+// BenchmarkMediumScale is the large-field tier of the kernel baseline: one
+// op is one max-power broadcast frame through Transmit and completion
+// (fan-out, carrier-sense overlay, inbox bookkeeping, RxBegin/RxEnd to
+// every in-range listener) on a field at the paper's reference density.
+// With the spatial index the per-frame cost depends on the ~50-node
+// neighborhood, not the field, so ns/op must stay roughly flat from 1k to
+// 10k nodes — the scaling curve BENCH_kernel.json tracks in CI.
+func BenchmarkMediumScale(b *testing.B) {
+	for _, tier := range []struct {
+		name string
+		n    int
+	}{{"nodes=1k", 1000}, {"nodes=10k", 10000}} {
+		b.Run(tier.name, func(b *testing.B) {
+			b.ReportAllocs()
+			s := sim.New(1)
+			card := radio.Cabletron
+			med := phy.NewMedium(s, phy.Config{RangeAt: card.RangeAt})
+			side := topology.SideForDensity(tier.n)
+			rng := rand.New(rand.NewPCG(uint64(tier.n), 7))
+			pts := geom.UniformPlacement(geom.Field{Width: side, Height: side}, tier.n, rng)
+			nodes := make([]*quietListener, tier.n)
+			for i, p := range pts {
+				nodes[i] = &quietListener{id: i, pos: p}
+				med.Attach(nodes[i])
+			}
+			power := card.MaxTxPower()
+			sent := 0
+			var next func()
+			next = func() {
+				if sent >= b.N {
+					s.Stop()
+					return
+				}
+				end := med.Transmit(&phy.Frame{Src: sent % tier.n, Dst: phy.Broadcast, Bytes: 128, Power: power})
+				sent++
+				s.ScheduleAt(end+sim.Time(time.Microsecond), next)
+			}
+			b.ResetTimer()
+			s.Schedule(0, next)
+			s.Run(sim.Time(b.N+1) * sim.Time(10*time.Millisecond))
+			if sent < b.N {
+				b.Fatalf("transmitted %d frames, want %d", sent, b.N)
+			}
+			received := 0
+			for _, n := range nodes {
+				received += n.rx
+			}
+			b.ReportMetric(float64(received)/float64(sent), "rx/frame")
+		})
+	}
+}
+
+// BenchmarkGridQuery is the steady-state spatial-index probe: candidate
+// lookup around a point on a 10k-node constant-density field, into a
+// retained buffer. CI gates it at 0 allocs/op (tools/benchjson
+// -assert-zero-allocs) so the index can never start allocating per frame.
+func BenchmarkGridQuery(b *testing.B) {
+	b.ReportAllocs()
+	const n = 10000
+	side := topology.SideForDensity(n)
+	rng := rand.New(rand.NewPCG(n, 7))
+	pts := geom.UniformPlacement(geom.Field{Width: side, Height: side}, n, rng)
+	g := geom.NewGrid(radio.Cabletron.Range, pts)
+	buf := make([]int32, 0, 1024)
+	found := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.Query(pts[i%n], radio.Cabletron.Range, buf[:0])
+		found += len(buf)
+	}
+	if found == 0 {
+		b.Fatal("queries found no candidates")
+	}
+}
 
 func BenchmarkSimEventLoop(b *testing.B) {
 	b.ReportAllocs()

@@ -59,10 +59,23 @@ func run(ctx context.Context, out io.Writer, args []string) (err error) {
 		reps    = fs.Int("replicates", 1, "run the scenario over N seed-derived replicates and report mean ± 95% CI")
 		grid    = fs.Int("grid", 0, "if > 0, place nodes on an NxN grid instead of uniformly")
 		topo    = fs.String("topology", "", "placement generator: "+strings.Join(eend.TopologyNames(), "|")+" (default: uniform via the simulator's own stream)")
+		preset  = fs.String("preset", "", "constant-density large-field preset: "+strings.Join(eend.FieldPresetNames(), "|")+" (sets -nodes and -field)")
 		asJSON  = fs.Bool("json", false, "print results as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *preset != "" {
+		var conflict string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "nodes", "field", "grid", "topology":
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			return fmt.Errorf("-preset fixes the field and placement; drop -%s", conflict)
+		}
 	}
 	if cf.Version(out) {
 		return nil
@@ -102,6 +115,12 @@ func run(ctx context.Context, out io.Writer, args []string) (err error) {
 		eend.WithReplicates(*reps),
 	}
 	switch {
+	case *preset != "":
+		p, err := eend.ParseFieldPreset(*preset)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, p.Options()...)
 	case *topo != "" && *grid > 0:
 		return fmt.Errorf("-topology and -grid are mutually exclusive (use -topology grid)")
 	case *topo != "":

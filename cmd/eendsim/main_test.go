@@ -135,3 +135,35 @@ func TestRunRejectsBadReplicates(t *testing.T) {
 		t.Fatal("-replicates 0 accepted")
 	}
 }
+
+func TestRunFieldPreset(t *testing.T) {
+	var out bytes.Buffer
+	err := run(bg, &out, []string{
+		"-preset", "field-100", "-proto", "dsr", "-pm", "active",
+		"-flows", "2", "-rate", "2", "-dur", "40s", "-json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res eend.Results
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("output is not valid results JSON: %v", err)
+	}
+	if res.Sent == 0 {
+		t.Fatal("preset run sent no packets")
+	}
+}
+
+func TestRunPresetConflicts(t *testing.T) {
+	for _, conflicting := range [][]string{
+		{"-preset", "field-1k", "-nodes", "10"},
+		{"-preset", "field-1k", "-field", "300"},
+		{"-preset", "field-1k", "-grid", "4"},
+		{"-preset", "field-1k", "-topology", "uniform"},
+		{"-preset", "no-such-preset"},
+	} {
+		if err := run(bg, io.Discard, conflicting); err == nil {
+			t.Fatalf("args %v should be rejected", conflicting)
+		}
+	}
+}

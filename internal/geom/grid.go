@@ -1,0 +1,130 @@
+package geom
+
+import "math"
+
+// Grid is a uniform-cell spatial index over a fixed set of points, built
+// for disk ("all points within radius r of p") queries. The phy medium
+// keys the cell side to the maximum radio range, so a transmission's disk
+// intersects at most a 3×3 cell block and a query visits O(neighbors)
+// points at fixed density instead of every attached node.
+//
+// The index is immutable after construction: points are bucketed once into
+// a CSR-style layout (one flat member array plus per-cell offsets), and
+// every query clamps to the built bounds, so positions outside the
+// original bounding box — including queries centered off the field — are
+// handled by scanning the nearest edge cells. Member indices within a cell
+// are in insertion order; a query may report candidates from several cells
+// out of global order, so order-sensitive callers must sort the returned
+// indices (the medium does, to preserve its attach-order visit contract).
+type Grid struct {
+	cell       float64 // cell side (m)
+	minX, minY float64
+	cols, rows int
+	starts     []int32 // per-cell offsets into members; len cols*rows+1
+	members    []int32 // point indices grouped by cell
+	n          int
+}
+
+// NewGrid buckets pts into square cells of the given side. A non-positive
+// or non-finite cell side collapses the index to a single cell (correct,
+// but every query degenerates to a linear scan); callers with a meaningful
+// maximum query radius should pass it as the cell side.
+func NewGrid(cell float64, pts []Point) *Grid {
+	g := &Grid{cell: cell, n: len(pts), cols: 1, rows: 1}
+	if !(cell > 0) || math.IsInf(cell, 1) {
+		g.cell = math.Inf(1)
+	}
+	if len(pts) > 0 {
+		g.minX, g.minY = pts[0].X, pts[0].Y
+		maxX, maxY := pts[0].X, pts[0].Y
+		for _, p := range pts[1:] {
+			g.minX = math.Min(g.minX, p.X)
+			g.minY = math.Min(g.minY, p.Y)
+			maxX = math.Max(maxX, p.X)
+			maxY = math.Max(maxY, p.Y)
+		}
+		if !math.IsInf(g.cell, 1) {
+			g.cols = int((maxX-g.minX)/g.cell) + 1
+			g.rows = int((maxY-g.minY)/g.cell) + 1
+		}
+	}
+	// Counting sort into the CSR layout: count members per cell, prefix-sum
+	// into starts, then place each point (restoring starts afterwards).
+	g.starts = make([]int32, g.cols*g.rows+1)
+	for _, p := range pts {
+		g.starts[g.CellOf(p)+1]++
+	}
+	for c := 1; c < len(g.starts); c++ {
+		g.starts[c] += g.starts[c-1]
+	}
+	g.members = make([]int32, len(pts))
+	fill := make([]int32, g.cols*g.rows)
+	copy(fill, g.starts[:len(fill)])
+	for i, p := range pts {
+		c := g.CellOf(p)
+		g.members[fill[c]] = int32(i)
+		fill[c]++
+	}
+	return g
+}
+
+// Len returns the number of indexed points.
+func (g *Grid) Len() int { return g.n }
+
+// NumCells returns the number of cells; cell indices are in [0, NumCells).
+func (g *Grid) NumCells() int { return g.cols * g.rows }
+
+// cellCoord maps a coordinate to its cell along one axis, clamped to the
+// built bounds so out-of-field positions land in the nearest edge cell.
+func cellCoord(v, min, cell float64, n int) int {
+	if math.IsInf(cell, 1) {
+		return 0
+	}
+	c := int((v - min) / cell)
+	if c < 0 {
+		return 0
+	}
+	if c >= n {
+		return n - 1
+	}
+	return c
+}
+
+// CellOf returns the (clamped) cell index containing p.
+func (g *Grid) CellOf(p Point) int {
+	return cellCoord(p.Y, g.minY, g.cell, g.rows)*g.cols +
+		cellCoord(p.X, g.minX, g.cell, g.cols)
+}
+
+// CoverRange returns the inclusive clamped cell-coordinate rectangle
+// [x0,x1]×[y0,y1] whose cells a disk of radius r around p can intersect.
+// Callers maintaining per-cell overlays (the medium's active-transmission
+// index) iterate it with CellIndex.
+func (g *Grid) CoverRange(p Point, r float64) (x0, y0, x1, y1 int) {
+	if r < 0 {
+		r = 0
+	}
+	x0 = cellCoord(p.X-r, g.minX, g.cell, g.cols)
+	x1 = cellCoord(p.X+r, g.minX, g.cell, g.cols)
+	y0 = cellCoord(p.Y-r, g.minY, g.cell, g.rows)
+	y1 = cellCoord(p.Y+r, g.minY, g.cell, g.rows)
+	return x0, y0, x1, y1
+}
+
+// CellIndex converts cell coordinates (from CoverRange) to a cell index.
+func (g *Grid) CellIndex(x, y int) int { return y*g.cols + x }
+
+// Query appends to buf the indices of all candidate points whose cell
+// intersects the disk of radius r around p, and returns the extended
+// buffer. The result is a superset of the points actually within r —
+// callers apply the exact distance test — and is not globally sorted.
+func (g *Grid) Query(p Point, r float64, buf []int32) []int32 {
+	x0, y0, x1, y1 := g.CoverRange(p, r)
+	for y := y0; y <= y1; y++ {
+		// Cells x0..x1 of one row are consecutive cell indices, so their
+		// members form one contiguous run in the CSR layout.
+		base := y * g.cols
+		buf = append(buf, g.members[g.starts[base+x0]:g.starts[base+x1+1]]...)
+	}
+	return buf
+}

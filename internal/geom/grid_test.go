@@ -1,0 +1,147 @@
+package geom
+
+import (
+	"math"
+	"math/rand/v2"
+	"slices"
+	"testing"
+)
+
+// bruteWithin returns the indices of pts within r of p, ascending.
+func bruteWithin(pts []Point, p Point, r float64) []int32 {
+	var out []int32
+	for i, q := range pts {
+		if p.Dist(q) <= r {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// filter applies the exact distance test a Grid caller performs on the
+// candidate superset, returning ascending indices.
+func filter(pts []Point, p Point, r float64, cand []int32) []int32 {
+	var out []int32
+	for _, i := range cand {
+		if p.Dist(pts[i]) <= r {
+			out = append(out, i)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+// TestGridQueryMatchesBruteForce cross-checks grid queries against the
+// linear scan on random fields, query centers (inside and outside the
+// field) and radii (including zero and radii above the cell side).
+func TestGridQueryMatchesBruteForce(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 42))
+		f := Field{Width: 100 + rng.Float64()*900, Height: 100 + rng.Float64()*900}
+		pts := UniformPlacement(f, 1+rng.IntN(300), rng)
+		cell := 20 + rng.Float64()*200
+		g := NewGrid(cell, pts)
+		if g.Len() != len(pts) {
+			t.Fatalf("seed %d: Len = %d, want %d", seed, g.Len(), len(pts))
+		}
+		for q := 0; q < 200; q++ {
+			p := Point{X: rng.Float64()*f.Width*1.5 - f.Width/4, Y: rng.Float64()*f.Height*1.5 - f.Height/4}
+			r := rng.Float64() * 2 * cell
+			switch q % 10 {
+			case 0:
+				r = 0
+			case 1:
+				p = pts[rng.IntN(len(pts))] // center exactly on a point
+			}
+			got := filter(pts, p, r, g.Query(p, r, nil))
+			want := bruteWithin(pts, p, r)
+			if !slices.Equal(got, want) {
+				t.Fatalf("seed %d query %d: p=%v r=%g got %v want %v", seed, q, p, r, got, want)
+			}
+		}
+	}
+}
+
+// TestGridPointExactlyAtRadius pins the inclusive boundary: a point at
+// distance exactly r must be a candidate (and survive the exact filter).
+func TestGridPointExactlyAtRadius(t *testing.T) {
+	pts := []Point{{X: 0, Y: 0}, {X: 250, Y: 0}, {X: 250.0000001, Y: 0}}
+	g := NewGrid(250, pts)
+	got := filter(pts, pts[0], 250, g.Query(pts[0], 250, nil))
+	want := []int32{0, 1}
+	if !slices.Equal(got, want) {
+		t.Fatalf("at-radius query = %v, want %v", got, want)
+	}
+}
+
+// TestGridZeroRadius pins that a zero-radius query still reports coincident
+// points: the disk degenerates to its center.
+func TestGridZeroRadius(t *testing.T) {
+	pts := []Point{{X: 10, Y: 10}, {X: 10, Y: 10}, {X: 11, Y: 10}}
+	g := NewGrid(5, pts)
+	got := filter(pts, Point{X: 10, Y: 10}, 0, g.Query(Point{X: 10, Y: 10}, 0, nil))
+	want := []int32{0, 1}
+	if !slices.Equal(got, want) {
+		t.Fatalf("zero-radius query = %v, want %v", got, want)
+	}
+}
+
+// TestGridOutOfFieldQuery pins that query centers far outside the built
+// bounding box clamp to the edge cells and still find in-range points.
+func TestGridOutOfFieldQuery(t *testing.T) {
+	pts := []Point{{X: 0, Y: 0}, {X: 500, Y: 500}}
+	g := NewGrid(100, pts)
+	// Center 50 m left of the field: node 0 is 50 m away.
+	got := filter(pts, Point{X: -50, Y: 0}, 100, g.Query(Point{X: -50, Y: 0}, 100, nil))
+	if !slices.Equal(got, []int32{0}) {
+		t.Fatalf("out-of-field query = %v, want [0]", got)
+	}
+	// Far outside everything: no matches, and no panic.
+	if got := filter(pts, Point{X: -1e6, Y: -1e6}, 100, g.Query(Point{X: -1e6, Y: -1e6}, 100, nil)); len(got) != 0 {
+		t.Fatalf("distant query = %v, want empty", got)
+	}
+}
+
+// TestGridDegenerateCell pins the single-cell fallback for meaningless cell
+// sides: still correct, merely linear.
+func TestGridDegenerateCell(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	pts := UniformPlacement(Field{Width: 100, Height: 100}, 50, rng)
+	for _, cell := range []float64{0, -5, math.Inf(1), math.NaN()} {
+		g := NewGrid(cell, pts)
+		if g.NumCells() != 1 {
+			t.Fatalf("cell %v: NumCells = %d, want 1", cell, g.NumCells())
+		}
+		p := Point{X: 50, Y: 50}
+		got := filter(pts, p, 30, g.Query(p, 30, nil))
+		if !slices.Equal(got, bruteWithin(pts, p, 30)) {
+			t.Fatalf("cell %v: degenerate grid disagrees with brute force", cell)
+		}
+	}
+}
+
+// TestGridEmpty pins that an empty grid answers queries without panicking.
+func TestGridEmpty(t *testing.T) {
+	g := NewGrid(100, nil)
+	if got := g.Query(Point{X: 5, Y: 5}, 50, nil); len(got) != 0 {
+		t.Fatalf("empty grid query = %v, want empty", got)
+	}
+	if g.Len() != 0 {
+		t.Fatalf("empty grid Len = %d", g.Len())
+	}
+}
+
+// TestGridQueryAppends pins the append-into-buffer contract: existing
+// elements are preserved and capacity is reused.
+func TestGridQueryAppends(t *testing.T) {
+	pts := []Point{{X: 0, Y: 0}}
+	g := NewGrid(10, pts)
+	buf := append(make([]int32, 0, 8), 99)
+	out := g.Query(Point{}, 5, buf)
+	if len(out) != 2 || out[0] != 99 || out[1] != 0 {
+		t.Fatalf("Query did not append: %v", out)
+	}
+	if &out[0] != &buf[0] {
+		t.Fatal("Query reallocated a buffer with spare capacity")
+	}
+}

@@ -360,6 +360,25 @@ func (m *MAC) Neighbors() []int {
 	return m.med.Neighbors(m.id, m.cfg.Card.Range)
 }
 
+// NeighborsInto is Neighbors appending into the caller's buffer (truncated
+// first), so repeat callers with a retained buffer allocate nothing.
+func (m *MAC) NeighborsInto(buf []int) []int {
+	return m.med.NeighborsInto(m.id, m.cfg.Card.Range, buf)
+}
+
+// NeighborsCached returns the node's static max-range neighbor list,
+// computed on first use — topologies are static in this simulator. Callers
+// must not mutate the returned slice.
+func (m *MAC) NeighborsCached() []int {
+	if m.neighborIDs == nil {
+		m.neighborIDs = m.Neighbors()
+		if m.neighborIDs == nil {
+			m.neighborIDs = []int{}
+		}
+	}
+	return m.neighborIDs
+}
+
 // SetPowerMode switches between AM and PSM. Entering AM wakes the radio;
 // entering PSM lets the node sleep at the next opportunity.
 func (m *MAC) SetPowerMode(mode PowerMode) {
@@ -406,13 +425,7 @@ func (m *MAC) maybeSleep() {
 // power-save mode; broadcasts must then be announced in the ATIM window.
 // The neighbor list is cached: topologies are static in this simulator.
 func (m *MAC) anyPSMNeighbor() bool {
-	if m.neighborIDs == nil {
-		m.neighborIDs = m.Neighbors()
-		if m.neighborIDs == nil {
-			m.neighborIDs = []int{}
-		}
-	}
-	for _, id := range m.neighborIDs {
+	for _, id := range m.NeighborsCached() {
 		if m.coord.PowerModeOf(id) == PSM {
 			return true
 		}

@@ -125,6 +125,12 @@ type Scenario struct {
 	// and enables the lifetime metrics in Results (the paper's future-work
 	// extension; see lifetime.go).
 	BatteryJ float64
+
+	// LinearMedium builds the phy layer with the O(n) linear-scan
+	// reference instead of the spatial neighbor index. Results are
+	// bit-identical either way; the differential tests run both and
+	// compare fingerprints to prove it. Not for production use.
+	LinearMedium bool
 }
 
 // Results aggregates one run. The JSON field names are the machine-readable
@@ -210,6 +216,7 @@ func Build(sc Scenario) (*Network, error) {
 	med := phy.NewMedium(s, phy.Config{
 		Bandwidth: sc.Bandwidth,
 		RangeAt:   card.RangeAt,
+		Linear:    sc.LinearMedium,
 	})
 	coord := mac.NewCoordinator(s, mac.DefaultBeaconInterval, mac.DefaultATIMWindow)
 

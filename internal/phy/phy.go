@@ -8,10 +8,21 @@
 // receive energy for its airtime by the MAC layer via the RxBegin/RxEnd
 // callbacks, matching the paper's energy model in which Prx is paid for all
 // receptions.
+//
+// The medium is spatially indexed: attached positions are bucketed into a
+// geom.Grid whose cell side is the maximum radio range, so transmission
+// fan-out, carrier sense and neighbor queries visit only the candidate
+// cells around a point — O(neighbors) work per frame at fixed node density
+// instead of O(n). The index is an optimization only: candidates are
+// sorted back into attach order before any callback fires, so results are
+// bit-identical to the Config.Linear reference scan (the differential
+// tests pin this).
 package phy
 
 import (
 	"fmt"
+	"math"
+	"slices"
 	"time"
 
 	"eend/internal/geom"
@@ -38,7 +49,8 @@ const Broadcast = -1
 type Listener interface {
 	// NodeID returns the node's unique id.
 	NodeID() int
-	// Pos returns the node's position.
+	// Pos returns the node's position. The medium captures it at Attach
+	// time (topologies are static in this simulator).
 	Pos() geom.Point
 	// CanReceive reports whether the radio can lock onto a new frame now
 	// (awake and not transmitting).
@@ -55,8 +67,15 @@ type Config struct {
 	Preamble  time.Duration // PHY preamble + PLCP header per frame
 	// RangeAt maps transmit power (W) to communication radius (m); usually
 	// Card.RangeAt. Carrier-sense radius is assumed equal (documented
-	// simplification).
+	// simplification). The spatial index sizes its cells to the maximum
+	// radius, RangeAt(+Inf).
 	RangeAt func(power float64) float64
+	// Linear disables the spatial index: every query falls back to the
+	// original O(n) scan over all attached listeners. Results are
+	// bit-identical either way — the index only prunes candidates and the
+	// visit order is attach order in both modes — which is exactly what
+	// the differential tests assert by running both media on one scenario.
+	Linear bool
 }
 
 // DefaultBandwidth is the 2 Mbit/s DSSS rate of the 802.11 cards the paper
@@ -66,15 +85,24 @@ const DefaultBandwidth = 2e6
 // DefaultPreamble is the 802.11 long preamble + PLCP header duration.
 const DefaultPreamble = 192 * time.Microsecond
 
-type reception struct {
+// rxEntry is one ongoing reception in a listener's inbox. Inboxes are tiny
+// (a handful of overlapping frames at worst), so a value slice beats the
+// map[*Frame]*reception the medium used to churn per frame.
+type rxEntry struct {
 	frame     *Frame
 	corrupted bool
 }
 
+// transmission is the medium's bookkeeping for one frame on the air: its
+// reach, the overlay cells it is registered in for carrier sense, and the
+// attach indices it was delivered to (ascending), so completion visits
+// exactly the recipients instead of scanning every listener.
 type transmission struct {
 	frame  *Frame
 	radius float64
 	pos    geom.Point
+	cells  []int32 // spatial-overlay cell indices (empty in linear mode)
+	recips []int32 // attach indices RxBegin was delivered to, ascending
 }
 
 // finisher is a pooled end-of-frame callback: fn is bound to run exactly
@@ -82,15 +110,15 @@ type transmission struct {
 // costs no closure allocation after the pool warms up.
 type finisher struct {
 	m  *Medium
-	f  *Frame
+	tx *transmission
 	fn func()
 }
 
 func (fin *finisher) run() {
-	f := fin.f
-	fin.f = nil
+	tx := fin.tx
+	fin.tx = nil
 	fin.m.freeFin = append(fin.m.freeFin, fin)
-	fin.m.finish(f)
+	fin.m.finish(tx)
 }
 
 // Medium is the shared channel. It is driven entirely by the simulation
@@ -99,15 +127,27 @@ type Medium struct {
 	sim       *sim.Simulator
 	cfg       Config
 	listeners []Listener
+	pos       []geom.Point // attach index -> position, captured at Attach
 	byID      map[int]Listener
+	idxByID   map[int]int32
 
-	active map[*Frame]*transmission      // ongoing transmissions
-	rx     map[int]map[*Frame]*reception // per-listener ongoing receptions
+	maxRange float64 // index cell side: cfg.RangeAt(+Inf)
 
-	// Free lists recycling the per-frame bookkeeping objects. A busy run
-	// transmits millions of frames, each overheard by every in-range
-	// listener; without pooling these dominate the allocation profile.
-	freeRx  []*reception
+	// Spatial index, rebuilt lazily after an Attach invalidates it. The
+	// activeCells overlay registers each ongoing transmission in every
+	// cell its disk can intersect, so carrier sense scans one cell's list
+	// instead of all active transmissions.
+	grid        *geom.Grid
+	activeCells [][]*transmission
+	scratch     []int32 // reusable candidate buffer (see takeScratch)
+
+	activeAll []*transmission // all ongoing transmissions, start order
+
+	inboxes [][]rxEntry // per-attach-index ongoing receptions
+
+	// Free lists recycling per-frame bookkeeping. A busy run transmits
+	// millions of frames; without pooling these dominate the allocation
+	// profile.
 	freeTx  []*transmission
 	freeFin []*finisher
 
@@ -126,23 +166,106 @@ func NewMedium(s *sim.Simulator, cfg Config) *Medium {
 		panic("phy: Config.RangeAt is required")
 	}
 	return &Medium{
-		sim:    s,
-		cfg:    cfg,
-		byID:   make(map[int]Listener),
-		active: make(map[*Frame]*transmission),
-		rx:     make(map[int]map[*Frame]*reception),
+		sim:      s,
+		cfg:      cfg,
+		byID:     make(map[int]Listener),
+		idxByID:  make(map[int]int32),
+		maxRange: cfg.RangeAt(math.Inf(1)),
 	}
 }
 
-// Attach registers a listener. Node ids must be unique.
+// Attach registers a listener. Node ids must be unique. Attaching
+// invalidates the spatial index; it is rebuilt (and ongoing transmissions
+// re-registered) on the next query.
 func (m *Medium) Attach(l Listener) {
 	id := l.NodeID()
 	if _, dup := m.byID[id]; dup {
 		panic(fmt.Sprintf("phy: duplicate node id %d", id))
 	}
 	m.byID[id] = l
+	m.idxByID[id] = int32(len(m.listeners))
 	m.listeners = append(m.listeners, l)
-	m.rx[id] = make(map[*Frame]*reception)
+	m.pos = append(m.pos, l.Pos())
+	m.inboxes = append(m.inboxes, nil)
+	m.grid, m.activeCells = nil, nil
+}
+
+// ensureIndex builds the spatial index over the attached positions and
+// re-registers every ongoing transmission in the carrier-sense overlay.
+func (m *Medium) ensureIndex() {
+	if m.grid != nil {
+		return
+	}
+	m.grid = geom.NewGrid(m.maxRange, m.pos)
+	m.activeCells = make([][]*transmission, m.grid.NumCells())
+	for _, tx := range m.activeAll {
+		tx.cells = tx.cells[:0]
+		m.registerActive(tx)
+	}
+}
+
+// registerActive adds tx to the overlay list of every cell its disk can
+// intersect, recording the cells for removal at finish.
+func (m *Medium) registerActive(tx *transmission) {
+	x0, y0, x1, y1 := m.grid.CoverRange(tx.pos, tx.radius)
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			c := m.grid.CellIndex(x, y)
+			m.activeCells[c] = append(m.activeCells[c], tx)
+			tx.cells = append(tx.cells, int32(c))
+		}
+	}
+}
+
+// unregisterActive removes tx from its overlay cells and the active list.
+func (m *Medium) unregisterActive(tx *transmission) {
+	for _, c := range tx.cells {
+		cell := m.activeCells[c]
+		for i, t := range cell {
+			if t == tx {
+				cell[i] = cell[len(cell)-1]
+				m.activeCells[c] = cell[:len(cell)-1]
+				break
+			}
+		}
+	}
+	tx.cells = tx.cells[:0]
+	for i, t := range m.activeAll {
+		if t == tx {
+			m.activeAll[i] = m.activeAll[len(m.activeAll)-1]
+			m.activeAll = m.activeAll[:len(m.activeAll)-1]
+			break
+		}
+	}
+}
+
+// takeScratch hands out the medium's candidate buffer; releaseScratch
+// returns it. The swap makes reentrant medium calls from listener
+// callbacks merely allocate a fresh buffer instead of corrupting an
+// in-progress iteration.
+func (m *Medium) takeScratch() []int32 {
+	buf := m.scratch
+	m.scratch = nil
+	return buf[:0]
+}
+
+func (m *Medium) releaseScratch(buf []int32) { m.scratch = buf }
+
+// appendCandidates appends the attach indices of all listeners that may
+// lie within radius of p — every listener in linear mode, the grid's
+// candidate cells otherwise — sorted ascending so callers visit them in
+// attach order, exactly like the reference scan.
+func (m *Medium) appendCandidates(p geom.Point, radius float64, buf []int32) []int32 {
+	if m.cfg.Linear {
+		for i := range m.listeners {
+			buf = append(buf, int32(i))
+		}
+		return buf
+	}
+	m.ensureIndex()
+	buf = m.grid.Query(p, radius, buf)
+	slices.Sort(buf)
+	return buf
 }
 
 // Airtime returns the on-air duration of a frame of the given size.
@@ -157,12 +280,12 @@ func (m *Medium) Frames() uint64 { return m.frames }
 // Busy reports whether node id senses the channel busy: some ongoing
 // transmission (other than its own) covers its position.
 func (m *Medium) Busy(id int) bool {
-	l, ok := m.byID[id]
+	idx, ok := m.idxByID[id]
 	if !ok {
 		panic(fmt.Sprintf("phy: unknown node %d", id))
 	}
-	p := l.Pos()
-	for _, t := range m.active {
+	p := m.pos[idx]
+	for _, t := range m.sensed(p) {
 		if t.frame.Src == id {
 			continue
 		}
@@ -176,10 +299,13 @@ func (m *Medium) Busy(id int) bool {
 // BusyUntil returns the latest end time among ongoing transmissions sensed
 // by node id, or zero if the channel is clear.
 func (m *Medium) BusyUntil(id int) sim.Time {
-	l := m.byID[id]
-	p := l.Pos()
+	idx, ok := m.idxByID[id]
+	if !ok {
+		panic(fmt.Sprintf("phy: unknown node %d", id))
+	}
+	p := m.pos[idx]
 	var until sim.Time
-	for _, t := range m.active {
+	for _, t := range m.sensed(p) {
 		if t.frame.Src == id {
 			continue
 		}
@@ -190,12 +316,23 @@ func (m *Medium) BusyUntil(id int) sim.Time {
 	return until
 }
 
+// sensed returns the ongoing transmissions whose disks can cover p: the
+// overlay list of p's cell, or every active transmission in linear mode.
+// Order is arbitrary — Busy and BusyUntil are order-insensitive.
+func (m *Medium) sensed(p geom.Point) []*transmission {
+	if m.cfg.Linear {
+		return m.activeAll
+	}
+	m.ensureIndex()
+	return m.activeCells[m.grid.CellOf(p)]
+}
+
 // Transmit puts f on the air from its source node. The caller (MAC) is
 // responsible for the transmitter's energy accounting; the medium invokes
 // RxBegin/RxEnd on every in-range listener able to receive. Returns the
 // frame end time.
 func (m *Medium) Transmit(f *Frame) sim.Time {
-	src, ok := m.byID[f.Src]
+	srcIdx, ok := m.idxByID[f.Src]
 	if !ok {
 		panic(fmt.Sprintf("phy: transmit from unknown node %d", f.Src))
 	}
@@ -205,54 +342,47 @@ func (m *Medium) Transmit(f *Frame) sim.Time {
 	m.frames++
 
 	radius := m.cfg.RangeAt(f.Power)
-	tx := m.newTransmission(f, radius, src.Pos())
-	m.active[f] = tx
-
-	// The transmitter stops listening: corrupt its ongoing receptions.
-	for _, r := range m.rx[f.Src] {
-		r.corrupted = true
+	tx := m.newTransmission(f, radius, m.pos[srcIdx])
+	m.activeAll = append(m.activeAll, tx)
+	if !m.cfg.Linear {
+		m.ensureIndex()
+		m.registerActive(tx)
 	}
 
-	// Deliver to in-range listeners. A listener already mid-reception
-	// suffers a collision: both frames corrupt.
-	for _, l := range m.listeners {
-		if l.NodeID() == f.Src {
+	// The transmitter stops listening: corrupt its ongoing receptions.
+	srcInbox := m.inboxes[srcIdx]
+	for i := range srcInbox {
+		srcInbox[i].corrupted = true
+	}
+
+	// Deliver to in-range listeners in attach order. A listener already
+	// mid-reception suffers a collision: both frames corrupt.
+	cand := m.appendCandidates(tx.pos, radius, m.takeScratch())
+	for _, idx := range cand {
+		if idx == srcIdx {
 			continue
 		}
-		if tx.pos.Dist(l.Pos()) > radius {
+		if tx.pos.Dist(m.pos[idx]) > radius {
 			continue
 		}
+		l := m.listeners[idx]
 		if !l.CanReceive() {
 			continue
 		}
-		inbox := m.rx[l.NodeID()]
-		r := m.newReception(f)
-		if len(inbox) > 0 {
-			r.corrupted = true
-			for _, other := range inbox {
-				other.corrupted = true
-			}
+		inbox := m.inboxes[idx]
+		corrupted := len(inbox) > 0
+		for i := range inbox {
+			inbox[i].corrupted = true
 		}
-		inbox[f] = r
+		m.inboxes[idx] = append(inbox, rxEntry{frame: f, corrupted: corrupted})
+		tx.recips = append(tx.recips, idx)
 		l.RxBegin(f)
 	}
+	m.releaseScratch(cand)
 
-	fin := m.newFinisher(f)
+	fin := m.newFinisher(tx)
 	scheduleAt(m.sim, f.End, fin.fn)
 	return f.End
-}
-
-// newReception takes a reception from the pool (or allocates the pool's
-// next entry).
-func (m *Medium) newReception(f *Frame) *reception {
-	if n := len(m.freeRx); n > 0 {
-		r := m.freeRx[n-1]
-		m.freeRx = m.freeRx[:n-1]
-		r.frame = f
-		r.corrupted = false
-		return r
-	}
-	return &reception{frame: f}
 }
 
 // newTransmission takes a transmission from the pool.
@@ -268,72 +398,84 @@ func (m *Medium) newTransmission(f *Frame, radius float64, pos geom.Point) *tran
 
 // newFinisher takes an end-of-frame callback from the pool; its bound fn
 // recycles it after running.
-func (m *Medium) newFinisher(f *Frame) *finisher {
+func (m *Medium) newFinisher(tx *transmission) *finisher {
 	if n := len(m.freeFin); n > 0 {
 		fin := m.freeFin[n-1]
 		m.freeFin = m.freeFin[:n-1]
-		fin.f = f
+		fin.tx = tx
 		return fin
 	}
-	fin := &finisher{m: m, f: f}
+	fin := &finisher{m: m, tx: tx}
 	fin.fn = fin.run
 	return fin
 }
 
-// finish removes the transmission and completes all its receptions.
-// Listeners are visited in attach order so that runs are deterministic.
-func (m *Medium) finish(f *Frame) {
-	if tx, ok := m.active[f]; ok {
-		delete(m.active, f)
-		tx.frame = nil
-		m.freeTx = append(m.freeTx, tx)
-	}
-	for _, l := range m.listeners {
-		inbox := m.rx[l.NodeID()]
-		r, ok := inbox[f]
-		if !ok {
-			continue
+// finish ends tx: it leaves the carrier-sense structures, then every
+// recorded recipient's reception completes, in attach order (recips is
+// ascending by construction) — the same visit order as the reference
+// all-listener scan, without touching uninvolved nodes.
+func (m *Medium) finish(tx *transmission) {
+	f := tx.frame
+	m.unregisterActive(tx)
+	recips := tx.recips
+	for _, idx := range recips {
+		inbox := m.inboxes[idx]
+		for i := range inbox {
+			if inbox[i].frame == f {
+				corrupted := inbox[i].corrupted
+				m.inboxes[idx] = append(inbox[:i], inbox[i+1:]...)
+				m.listeners[idx].RxEnd(f, !corrupted)
+				break
+			}
 		}
-		delete(inbox, f)
-		corrupted := r.corrupted
-		r.frame = nil
-		m.freeRx = append(m.freeRx, r)
-		l.RxEnd(f, !corrupted)
 	}
+	tx.frame = nil
+	tx.recips = recips[:0]
+	m.freeTx = append(m.freeTx, tx)
 }
 
 // Neighbors returns the ids of all nodes within the given radius of node id,
-// in id order. Routing layers use this as their (idealized) neighbor table;
-// the paper's protocols obtain the same information from MAC-level beacons.
+// in attach (= id) order. Routing layers use this as their (idealized)
+// neighbor table; the paper's protocols obtain the same information from
+// MAC-level beacons.
 func (m *Medium) Neighbors(id int, radius float64) []int {
-	l, ok := m.byID[id]
+	return m.NeighborsInto(id, radius, nil)
+}
+
+// NeighborsInto is Neighbors appending into the caller's buffer (truncated
+// first, grown as needed), so steady-state callers with a retained buffer
+// pay zero allocations per query.
+func (m *Medium) NeighborsInto(id int, radius float64, buf []int) []int {
+	idx, ok := m.idxByID[id]
 	if !ok {
 		panic(fmt.Sprintf("phy: unknown node %d", id))
 	}
-	p := l.Pos()
-	var out []int
-	for _, o := range m.listeners {
-		if o.NodeID() == id {
+	p := m.pos[idx]
+	buf = buf[:0]
+	cand := m.appendCandidates(p, radius, m.takeScratch())
+	for _, c := range cand {
+		if c == idx {
 			continue
 		}
-		if p.Dist(o.Pos()) <= radius {
-			out = append(out, o.NodeID())
+		if p.Dist(m.pos[c]) <= radius {
+			buf = append(buf, m.listeners[c].NodeID())
 		}
 	}
-	return out
+	m.releaseScratch(cand)
+	return buf
 }
 
 // Distance returns the distance between two attached nodes.
 func (m *Medium) Distance(a, b int) float64 {
-	la, ok := m.byID[a]
+	ia, ok := m.idxByID[a]
 	if !ok {
 		panic(fmt.Sprintf("phy: unknown node %d", a))
 	}
-	lb, ok := m.byID[b]
+	ib, ok := m.idxByID[b]
 	if !ok {
 		panic(fmt.Sprintf("phy: unknown node %d", b))
 	}
-	return la.Pos().Dist(lb.Pos())
+	return m.pos[ia].Dist(m.pos[ib])
 }
 
 // NodeIDs returns all attached node ids in attach order.

@@ -1,0 +1,183 @@
+package phy
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"eend/internal/geom"
+	"eend/internal/radio"
+	"eend/internal/sim"
+)
+
+// logNode records every medium callback into a shared per-medium log, with
+// a deterministic pseudo-random CanReceive: the answer depends only on the
+// node id and how many times it has been asked, so two media that pose the
+// same questions in the same order see identical radios — and a medium
+// that posed different questions would diverge visibly.
+type logNode struct {
+	id   int
+	pos  geom.Point
+	log  *[]string
+	s    *sim.Simulator
+	asks int
+	deaf int // every deaf-th CanReceive answers false (0: always true)
+}
+
+func (n *logNode) NodeID() int     { return n.id }
+func (n *logNode) Pos() geom.Point { return n.pos }
+
+func (n *logNode) CanReceive() bool {
+	n.asks++
+	ok := n.deaf == 0 || n.asks%n.deaf != 0
+	*n.log = append(*n.log, fmt.Sprintf("t=%d canrecv node=%d ask=%d ok=%v", n.s.Now(), n.id, n.asks, ok))
+	return ok
+}
+
+func (n *logNode) RxBegin(f *Frame) {
+	*n.log = append(*n.log, fmt.Sprintf("t=%d rxbegin node=%d src=%d seq=%v", n.s.Now(), n.id, f.Src, f.Payload))
+}
+
+func (n *logNode) RxEnd(f *Frame, ok bool) {
+	*n.log = append(*n.log, fmt.Sprintf("t=%d rxend node=%d src=%d seq=%v ok=%v", n.s.Now(), n.id, f.Src, f.Payload, ok))
+}
+
+// runMediumScript drives one medium (indexed or linear reference) through a
+// deterministic random storm of transmissions and carrier-sense/neighbor
+// probes, returning the complete observable event log.
+func runMediumScript(seed uint64, linear bool) []string {
+	rng := rand.New(rand.NewPCG(seed, 0xd1f))
+	s := sim.New(seed)
+	card := radio.Cabletron
+	m := NewMedium(s, Config{RangeAt: card.RangeAt, Linear: linear})
+
+	var log []string
+	n := 5 + rng.IntN(40)
+	side := 100 + rng.Float64()*900
+	nodes := make([]*logNode, n)
+	for i := range nodes {
+		p := geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+		switch {
+		case i > 0 && rng.IntN(10) == 0:
+			p = nodes[i-1].pos // coincident pair
+		case i > 0 && rng.IntN(10) == 0:
+			p = geom.Point{X: nodes[i-1].pos.X + card.Range, Y: nodes[i-1].pos.Y} // exactly at max range
+		}
+		nodes[i] = &logNode{id: i, pos: p, log: &log, s: s, deaf: rng.IntN(5)}
+		m.Attach(nodes[i])
+	}
+
+	frames := 30 + rng.IntN(120)
+	for i := 0; i < frames; i++ {
+		src := rng.IntN(n)
+		power := card.MaxTxPower()
+		if rng.IntN(2) == 0 {
+			power = card.TxPower(rng.Float64() * card.Range)
+		}
+		f := &Frame{Src: src, Dst: Broadcast, Bytes: 20 + rng.IntN(500), Power: power, Payload: i}
+		if rng.IntN(4) == 0 {
+			f.Dst = rng.IntN(n)
+		}
+		at := time.Duration(rng.IntN(40_000)) * time.Microsecond
+		s.Schedule(at, func() { m.Transmit(f) })
+	}
+
+	for i := 0; i < 60; i++ {
+		id := rng.IntN(n)
+		radius := rng.Float64() * 2 * card.Range
+		at := time.Duration(rng.IntN(40_000)) * time.Microsecond
+		s.Schedule(at, func() {
+			log = append(log, fmt.Sprintf("t=%d busy node=%d %v until=%d", s.Now(), id, m.Busy(id), m.BusyUntil(id)))
+			log = append(log, fmt.Sprintf("t=%d neighbors node=%d r=%g %v", s.Now(), id, radius, m.Neighbors(id, radius)))
+		})
+	}
+
+	s.Run(time.Second)
+	return log
+}
+
+// TestMediumDifferentialGridVsLinear proves the spatial index is invisible:
+// randomized fields (node counts, positions incl. coincident and exactly-
+// at-range pairs, powers, frame mixes, flaky radios) produce the identical
+// callback and probe sequence under the grid-indexed medium and the O(n)
+// linear-scan reference.
+func TestMediumDifferentialGridVsLinear(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		indexed := runMediumScript(seed, false)
+		linear := runMediumScript(seed, true)
+		if len(indexed) != len(linear) {
+			t.Fatalf("seed %d: %d events indexed vs %d linear", seed, len(indexed), len(linear))
+		}
+		for i := range indexed {
+			if indexed[i] != linear[i] {
+				t.Fatalf("seed %d: event %d diverges:\n  indexed: %s\n  linear:  %s", seed, i, indexed[i], linear[i])
+			}
+		}
+	}
+}
+
+// TestBusyUntilUnknownNodePanics pins the clear panic (BusyUntil used to
+// nil-deref on an unregistered id; now it reports the node like Busy does).
+func TestBusyUntilUnknownNodePanics(t *testing.T) {
+	s := sim.New(1)
+	m := newTestMedium(s)
+	m.Attach(&stubNode{id: 0})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic for unknown node")
+		}
+		if msg, ok := r.(string); !ok || msg != "phy: unknown node 42" {
+			t.Fatalf("panic = %v, want phy: unknown node 42", r)
+		}
+	}()
+	m.BusyUntil(42)
+}
+
+// TestNeighborsIntoReusesBuffer pins the zero-alloc steady state of the
+// buffer variant: the same backing array serves repeated queries.
+func TestNeighborsIntoReusesBuffer(t *testing.T) {
+	s := sim.New(1)
+	m := newTestMedium(s)
+	for i := 0; i < 10; i++ {
+		m.Attach(&stubNode{id: i, pos: geom.Point{X: float64(i) * 50}})
+	}
+	buf := make([]int, 0, 16)
+	first := m.NeighborsInto(3, 120, buf)
+	if want := []int{1, 2, 4, 5}; len(first) != len(want) {
+		t.Fatalf("NeighborsInto = %v, want %v", first, want)
+	}
+	second := m.NeighborsInto(0, 120, first)
+	if len(second) != 2 || second[0] != 1 || second[1] != 2 {
+		t.Fatalf("reused query = %v, want [1 2]", second)
+	}
+	if &first[0] != &second[0] {
+		t.Fatal("NeighborsInto reallocated a buffer with spare capacity")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		second = m.NeighborsInto(5, 120, second)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state NeighborsInto allocates %v per query", allocs)
+	}
+}
+
+// TestAttachAfterTransmitRebuildsIndex pins that attaching mid-run (while
+// a frame is on the air) re-registers ongoing transmissions in the rebuilt
+// overlay: the late node still senses the channel busy.
+func TestAttachAfterTransmitRebuildsIndex(t *testing.T) {
+	s := sim.New(1)
+	m := newTestMedium(s)
+	a := &stubNode{id: 0, pos: geom.Point{X: 0, Y: 0}}
+	m.Attach(a)
+	m.Transmit(&Frame{Src: 0, Dst: Broadcast, Bytes: 1000, Power: radio.Cabletron.MaxTxPower()})
+	late := &stubNode{id: 1, pos: geom.Point{X: 100, Y: 0}}
+	m.Attach(late)
+	if !m.Busy(1) {
+		t.Fatal("late-attached node must sense the ongoing transmission")
+	}
+	if got := m.Neighbors(1, 250); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("late-attached Neighbors = %v, want [0]", got)
+	}
+}

@@ -115,7 +115,7 @@ func NewTITANVariant(env *Env, powerControl bool, opts TITANOptions) *DSR {
 			if d.env.MAC.PowerMode() == mac.AM {
 				return true
 			}
-			neighbors := d.env.MAC.Neighbors()
+			neighbors := d.env.MAC.NeighborsCached()
 			backbone := 0
 			for _, id := range neighbors {
 				if d.env.MAC.PeerPowerMode(id) == mac.AM {

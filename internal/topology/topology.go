@@ -223,6 +223,61 @@ func corridorPlacement(sp Spec, f geom.Field, n int, rng *rand.Rand) []geom.Poin
 	return pts
 }
 
+// The paper's evaluation density: 50 nodes in a 500×500 m² field. The
+// large-field presets hold it constant, so scaling the node count scales
+// the area — neighborhood size (and per-frame medium fan-out) stays fixed
+// while the field grows two orders of magnitude beyond the paper's.
+const (
+	referenceNodes = 50
+	referenceSide  = 500.0
+)
+
+// SideForDensity returns the square field side that holds n nodes at the
+// paper's reference density.
+func SideForDensity(n int) float64 {
+	return referenceSide * math.Sqrt(float64(n)/referenceNodes)
+}
+
+// Preset is a named large-field configuration: a node count and the square
+// field side that keeps the reference density, with a uniform placement
+// spec (the paper's methodology, just bigger).
+type Preset struct {
+	Name  string
+	Nodes int
+	Side  float64
+	Spec  Spec
+}
+
+// Presets lists the built-in constant-density field presets, smallest
+// first. field-1k and field-10k are the spatial-index bench tiers: per-
+// frame medium cost must stay roughly flat across them.
+func Presets() []Preset {
+	mk := func(name string, n int) Preset {
+		return Preset{Name: name, Nodes: n, Side: SideForDensity(n), Spec: Spec{Kind: Uniform}}
+	}
+	return []Preset{mk("field-100", 100), mk("field-1k", 1000), mk("field-10k", 10000)}
+}
+
+// FindPreset resolves a preset by name.
+func FindPreset(name string) (Preset, bool) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Preset{}, false
+}
+
+// PresetNames lists the preset names, smallest field first.
+func PresetNames() []string {
+	ps := Presets()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
 // clamp pulls a point back inside the field (Gaussian scatter and jitter
 // can overshoot the border).
 func clamp(p geom.Point, f geom.Field) geom.Point {

@@ -224,3 +224,25 @@ func TestClusterMoreClustersThanNodes(t *testing.T) {
 		}
 	}
 }
+
+func TestPresetsHoldReferenceDensity(t *testing.T) {
+	for _, p := range Presets() {
+		if _, ok := FindPreset(p.Name); !ok {
+			t.Fatalf("FindPreset(%q) missed", p.Name)
+		}
+		density := float64(p.Nodes) / (p.Side * p.Side)
+		ref := 50.0 / (500.0 * 500.0)
+		if math.Abs(density-ref)/ref > 1e-9 {
+			t.Fatalf("%s: density %g, want reference %g", p.Name, density, ref)
+		}
+		if p.Spec.Kind != Uniform {
+			t.Fatalf("%s: presets place uniformly, got %v", p.Name, p.Spec.Kind)
+		}
+	}
+	if _, ok := FindPreset("bogus"); ok {
+		t.Fatal("FindPreset accepted an unknown name")
+	}
+	if len(PresetNames()) != len(Presets()) {
+		t.Fatal("PresetNames out of sync with Presets")
+	}
+}

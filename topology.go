@@ -69,6 +69,52 @@ func topologyRNG(seed uint64) *rand.Rand {
 	return rand.New(rand.NewPCG(seed, 0x709f01a7))
 }
 
+// FieldPreset is a named constant-density large-field configuration: n
+// nodes placed uniformly in the square field that keeps the paper's
+// reference density (50 nodes per 500×500 m²). Constant density means the
+// average neighborhood — and with the medium's spatial index, the
+// per-frame simulation cost — stays fixed while the field scales from the
+// paper's 50 nodes to 10k.
+type FieldPreset struct {
+	Name  string
+	Nodes int
+	Side  float64 // square field side in meters
+}
+
+// FieldPresets lists the built-in large-field presets, smallest first
+// (field-100, field-1k, field-10k).
+func FieldPresets() []FieldPreset {
+	ps := topology.Presets()
+	out := make([]FieldPreset, len(ps))
+	for i, p := range ps {
+		out[i] = FieldPreset{Name: p.Name, Nodes: p.Nodes, Side: p.Side}
+	}
+	return out
+}
+
+// ParseFieldPreset resolves a large-field preset by name.
+func ParseFieldPreset(name string) (FieldPreset, error) {
+	p, ok := topology.FindPreset(name)
+	if !ok {
+		return FieldPreset{}, fmt.Errorf("eend: unknown field preset %q (want one of %v)", name, topology.PresetNames())
+	}
+	return FieldPreset{Name: p.Name, Nodes: p.Nodes, Side: p.Side}, nil
+}
+
+// FieldPresetNames lists the names ParseFieldPreset accepts.
+func FieldPresetNames() []string { return topology.PresetNames() }
+
+// Options expands the preset into its scenario options: field size, node
+// count and uniform placement. Append scenario-specific options (stack,
+// flows, duration) after it.
+func (p FieldPreset) Options() []Option {
+	return []Option{
+		WithField(p.Side, p.Side),
+		WithNodes(p.Nodes),
+		WithTopology(UniformTopology()),
+	}
+}
+
 // WithTopology places the scenario's nodes with a generator from the
 // topology vocabulary instead of the default uniform draw. The node count
 // comes from WithNodes (or its default); combining WithTopology with
