@@ -41,6 +41,11 @@ type optimizeRequest struct {
 	// OptSeed drives the search's randomness (default 1); a fixed seed
 	// reproduces the exact trajectory.
 	OptSeed uint64 `json:"opt_seed,omitempty"`
+	// Bound selects the lower-bound oracle certifying the search: "comb"
+	// (fast combinatorial relaxation) or "lagrange" (subgradient Lagrangian,
+	// the default); "none" disables. The bound is computed up front, so
+	// every progress snapshot and SSE frame carries bound and live gap.
+	Bound string `json:"bound,omitempty"`
 	// Trace includes the full accept/reject trajectory in the result.
 	Trace bool `json:"trace,omitempty"`
 }
@@ -53,6 +58,15 @@ type optProgress struct {
 	BestEnergy float64 `json:"best_energy,omitempty"` // best-so-far
 	Accepted   int     `json:"accepted"`
 	Rejected   int     `json:"rejected"`
+	// Bound is the certified lower bound on the objective (nil when the
+	// request disabled the oracle), BoundTier the oracle that produced it,
+	// and Gap the live optimality gap of the best-so-far against it. Gap is
+	// nil while no best exists or when the ratio is undefined — never NaN
+	// or Inf. GapCertified reports the bound proves the best-so-far optimal.
+	Bound        *float64 `json:"bound,omitempty"`
+	BoundTier    string   `json:"bound_tier,omitempty"`
+	Gap          *float64 `json:"gap,omitempty"`
+	GapCertified bool     `json:"gap_certified,omitempty"`
 	// Sim carries the simulator objective's counters (nil for analytic).
 	// Its fields never use omitempty: "sim_runs": 0 on a warm-cache job is
 	// the number that proves no simulator was invoked.
@@ -183,6 +197,24 @@ func (m *optimizeManager) start(req optimizeRequest) (*jobs.Job[optState], error
 		return nil, fmt.Errorf("unknown objective %q (want analytic|sim)", req.Objective)
 	}
 
+	// The bound is computed synchronously — a bad tier name or an
+	// unroutable instance is a 400, and the certificate is ready before the
+	// first progress frame. The search itself never recomputes it
+	// (Options.Bound stays zero); Finalize folds it into the result.
+	var br *opt.BoundResult
+	if req.Bound == "" {
+		req.Bound = opt.BoundLagrange.String()
+	}
+	if req.Bound != "none" {
+		tier, err := opt.ParseBoundTier(req.Bound)
+		if err != nil {
+			return nil, err
+		}
+		if br, err = p.Bound(opt.BoundOptions{Tier: tier, Seed: req.OptSeed}); err != nil {
+			return nil, err
+		}
+	}
+
 	total := req.Iterations
 	if total <= 0 {
 		total = 600 // the search's own default budget
@@ -204,6 +236,11 @@ func (m *optimizeManager) start(req optimizeRequest) (*jobs.Job[optState], error
 			v.progress.Total = total
 			v.trace = traceID
 			v.sink = sink
+			if br != nil {
+				b := br.Value
+				v.progress.Bound = &b
+				v.progress.BoundTier = br.Tier
+			}
 		},
 		func(ctx context.Context, j *jobs.Job[optState]) error {
 			onStep := func(s opt.Step) {
@@ -214,6 +251,13 @@ func (m *optimizeManager) start(req optimizeRequest) (*jobs.Job[optState], error
 						v.progress.Accepted++
 					} else {
 						v.progress.Rejected++
+					}
+					if br != nil {
+						if gap, certified, defined := opt.BoundGap(s.Best, br.Value); defined {
+							g := gap
+							v.progress.Gap = &g
+							v.progress.GapCertified = certified
+						}
 					}
 					if sim != nil {
 						st := sim.Stats()
@@ -235,9 +279,12 @@ func (m *optimizeManager) start(req optimizeRequest) (*jobs.Job[optState], error
 			j.Finalize(func(v *optState) {
 				v.result = res
 				if res != nil {
+					res.ApplyBound(br)
 					v.progress.Iterations = res.Iterations
 					v.progress.Initial = res.Initial
 					v.progress.BestEnergy = res.BestEnergy
+					v.progress.Gap = res.Gap
+					v.progress.GapCertified = res.GapCertified
 					if res.Sim != nil {
 						v.progress.Sim = res.Sim
 					}

@@ -206,3 +206,91 @@ func TestScenarioTopologyField(t *testing.T) {
 		t.Fatalf("bad topology: status = %d", w.Code)
 	}
 }
+
+// TestOptimizeBound: the default request computes a Lagrangian lower bound
+// up front — the creation snapshot already carries it — and the finished
+// job reports bound and optimality gap consistently in both the result and
+// the final progress.
+func TestOptimizeBound(t *testing.T) {
+	h := newServer(context.Background(), t.TempDir())
+	w := post(t, h, "/v1/optimize", optBody)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	var created optStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.Progress.Bound == nil || created.Progress.BoundTier != "lagrange" {
+		t.Fatalf("creation snapshot lacks the bound: %+v", created.Progress)
+	}
+
+	st := waitOptDone(t, h, created.ID)
+	if st.Status != "done" {
+		t.Fatalf("final status %q (%s)", st.Status, st.Error)
+	}
+	res := st.Result
+	if res == nil || res.Bound == nil || res.BoundTier != "lagrange" {
+		t.Fatalf("result lacks the bound: %+v", res)
+	}
+	if *res.Bound <= 0 || *res.Bound > res.BestEnergy*(1+1e-9) {
+		t.Fatalf("bound %g not in (0, best=%g]", *res.Bound, res.BestEnergy)
+	}
+	if res.Gap == nil || *res.Gap < 0 {
+		t.Fatalf("result gap %v", res.Gap)
+	}
+	if st.Progress.Gap == nil || *st.Progress.Gap != *res.Gap {
+		t.Fatalf("final progress gap %v disagrees with result gap %v", st.Progress.Gap, res.Gap)
+	}
+	if *st.Progress.Bound != *res.Bound {
+		t.Fatalf("progress bound %g disagrees with result bound %g", *st.Progress.Bound, *res.Bound)
+	}
+	if st.Progress.GapCertified != res.GapCertified {
+		t.Fatalf("progress certification %v disagrees with result %v", st.Progress.GapCertified, res.GapCertified)
+	}
+}
+
+// TestOptimizeBoundDisabled: "bound": "none" omits every quality field.
+func TestOptimizeBoundDisabled(t *testing.T) {
+	h := newServer(context.Background(), t.TempDir())
+	body := `{
+		"scenario": {
+			"seed": 1, "nodes": 12, "topology": "cluster",
+			"field": {"width": 400, "height": 400},
+			"duration": "40s",
+			"random_flows": {"count": 3, "rate_bps": 2048}
+		},
+		"heuristic": "greedy", "iterations": 20, "bound": "none"
+	}`
+	w := post(t, h, "/v1/optimize", body)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	var created optStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &created); err != nil {
+		t.Fatal(err)
+	}
+	st := waitOptDone(t, h, created.ID)
+	if st.Progress.Bound != nil || st.Progress.Gap != nil || st.Progress.BoundTier != "" {
+		t.Fatalf("bound \"none\" still reported quality progress: %+v", st.Progress)
+	}
+	if st.Result == nil || st.Result.Bound != nil || st.Result.Gap != nil {
+		t.Fatalf("bound \"none\" still reported a bounded result: %+v", st.Result)
+	}
+}
+
+// TestOptimizeBoundValidation: an unknown tier is a 400, not a failed job.
+func TestOptimizeBoundValidation(t *testing.T) {
+	h := newServer(context.Background(), "")
+	body := `{
+		"scenario": {
+			"seed": 1, "nodes": 12, "topology": "cluster",
+			"field": {"width": 400, "height": 400},
+			"random_flows": {"count": 3, "rate_bps": 2048}
+		},
+		"bound": "nope"
+	}`
+	if w := post(t, h, "/v1/optimize", body); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad bound tier: status = %d, body %s", w.Code, w.Body)
+	}
+}

@@ -74,6 +74,7 @@ func run(ctx context.Context, out, errw io.Writer, args []string) (err error) {
 		iterations = fs.Int("iterations", 0, "objective evaluations (0: the algorithm default)")
 		restarts   = fs.Int("restarts", 0, "restarts for -heuristic restart (0: default)")
 		optSeed    = fs.Uint64("opt-seed", 1, "search seed (trajectory reproducibility)")
+		boundName  = fs.String("bound", "lagrange", fmt.Sprintf("lower-bound oracle for gap tracking: none|%s", strings.Join(opt.BoundTiers(), "|")))
 		replicates = fs.Int("replicates", 1, "simulations averaged per candidate (-objective sim)")
 		cacheDir   = fs.String("cache", "", "content-addressed result cache directory (-objective sim)")
 		remote     = fs.String("workers-remote", "", "comma-separated eendd worker base URLs to run candidate simulations on (-objective sim)")
@@ -116,6 +117,13 @@ func run(ctx context.Context, out, errw io.Writer, args []string) (err error) {
 		return err
 	}
 
+	var tier opt.BoundTier
+	if *boundName != "none" {
+		if tier, err = opt.ParseBoundTier(*boundName); err != nil {
+			return err
+		}
+	}
+
 	var obj opt.Objective
 	switch *objective {
 	case "analytic":
@@ -149,6 +157,7 @@ func run(ctx context.Context, out, errw io.Writer, args []string) (err error) {
 		Restarts:   *restarts,
 		Trace:      *trajectory || *format == "csv",
 		Tracer:     ob.Tracer(),
+		Bound:      tier,
 	})
 	if err != nil {
 		return err
@@ -225,6 +234,18 @@ func writeText(out io.Writer, res *opt.Result, elapsed time.Duration) error {
 		fmt.Fprintf(out, "simulator: %d evaluations, %d cache hits, %d runs\n",
 			res.Sim.Evals, res.Sim.CacheHits, res.Sim.SimRuns)
 	}
+	if res.Bound != nil {
+		fmt.Fprintf(out, "lower bound (%s): %.3f", res.BoundTier, *res.Bound)
+		switch {
+		case res.GapCertified:
+			fmt.Fprintf(out, ", gap 0%% (certified optimal)")
+		case res.Gap != nil:
+			fmt.Fprintf(out, ", gap %.2f%%", 100**res.Gap)
+		default:
+			fmt.Fprintf(out, ", gap unknown")
+		}
+		fmt.Fprintln(out)
+	}
 	fmt.Fprintf(out, "best design %s\n", res.BestFingerprint)
 	for i, r := range res.BestRoutes {
 		fmt.Fprintf(out, "  route %d: %v\n", i, r)
@@ -232,19 +253,28 @@ func writeText(out io.Writer, res *opt.Result, elapsed time.Duration) error {
 	return nil
 }
 
-// writeCSV emits the trajectory, one row per step.
+// writeCSV emits the trajectory, one row per step. The gap column tracks
+// the best-so-far against the run's lower bound; it stays empty when no
+// oracle ran or the ratio is undefined — never NaN or Inf.
 func writeCSV(out io.Writer, res *opt.Result) error {
 	w := csv.NewWriter(out)
-	if err := w.Write([]string{"iter", "move", "energy", "best", "accepted", "temp"}); err != nil {
+	if err := w.Write([]string{"iter", "move", "energy", "best", "accepted", "temp", "gap"}); err != nil {
 		return err
 	}
 	for _, s := range res.Trajectory {
+		gapCell := ""
+		if res.Bound != nil {
+			if gap, _, defined := opt.BoundGap(s.Best, *res.Bound); defined {
+				gapCell = strconv.FormatFloat(gap, 'g', -1, 64)
+			}
+		}
 		if err := w.Write([]string{
 			strconv.Itoa(s.Iter), s.Move,
 			strconv.FormatFloat(s.Energy, 'g', -1, 64),
 			strconv.FormatFloat(s.Best, 'g', -1, 64),
 			strconv.FormatBool(s.Accepted),
 			strconv.FormatFloat(s.Temp, 'g', -1, 64),
+			gapCell,
 		}); err != nil {
 			return err
 		}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"math"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -55,11 +56,82 @@ func TestCSVTrajectory(t *testing.T) {
 		t.Fatalf("%v\n%s", err, errw.String())
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
-	if lines[0] != "iter,move,energy,best,accepted,temp" {
+	if lines[0] != "iter,move,energy,best,accepted,temp,gap" {
 		t.Fatalf("bad CSV header %q", lines[0])
 	}
 	if len(lines) < 10 {
 		t.Fatalf("trajectory has %d rows, want ~50", len(lines)-1)
+	}
+	// The default Lagrangian oracle ran: every row's gap cell must be a
+	// finite number (never NaN/Inf), and gaps never increase — best-so-far
+	// is monotone against a fixed bound.
+	prev := math.Inf(1)
+	for _, line := range lines[1:] {
+		cells := strings.Split(line, ",")
+		gapCell := cells[len(cells)-1]
+		if gapCell == "" {
+			t.Fatalf("row %q has no gap despite the default bound", line)
+		}
+		gap, err := strconv.ParseFloat(gapCell, 64)
+		if err != nil || math.IsNaN(gap) || math.IsInf(gap, 0) {
+			t.Fatalf("row %q has bad gap %q (%v)", line, gapCell, err)
+		}
+		if gap > prev {
+			t.Fatalf("gap increased to %g on row %q", gap, line)
+		}
+		prev = gap
+	}
+}
+
+// TestBoundDisabled: -bound none omits bound and gap everywhere.
+func TestBoundDisabled(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(context.Background(), &out, &errw,
+		[]string{"-heuristic", "greedy", "-bound", "none", "-format", "json"}); err != nil {
+		t.Fatalf("%v\n%s", err, errw.String())
+	}
+	var res opt.Result
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Bound != nil || res.Gap != nil || res.BoundTier != "" {
+		t.Fatalf("-bound none still reported bound/gap: %+v", res)
+	}
+}
+
+// TestBoundTextOutput: the text summary reports the lower bound and gap.
+// On the default instance the Lagrangian bound certifies the annealed
+// design optimal, so the certified form is the expected rendering.
+func TestBoundTextOutput(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(context.Background(), &out, &errw, []string{"-heuristic", "anneal"}); err != nil {
+		t.Fatalf("%v\n%s", err, errw.String())
+	}
+	if !strings.Contains(out.String(), "lower bound (lagrange):") {
+		t.Fatalf("text output lacks the bound line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "gap") {
+		t.Fatalf("text output lacks a gap report:\n%s", out.String())
+	}
+}
+
+// TestBoundJSON: the default run carries bound, gap and certification in
+// its JSON result, and the annealed design's gap meets the 15% acceptance
+// ceiling on the default instance.
+func TestBoundJSON(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(context.Background(), &out, &errw, []string{"-heuristic", "anneal", "-format", "json"}); err != nil {
+		t.Fatalf("%v\n%s", err, errw.String())
+	}
+	var res opt.Result
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Bound == nil || res.BoundTier != "lagrange" {
+		t.Fatalf("default run lacks the Lagrangian bound: %+v", res)
+	}
+	if res.Gap == nil || *res.Gap > 0.15 {
+		t.Fatalf("gap %v exceeds the 15%% acceptance ceiling", res.Gap)
 	}
 }
 

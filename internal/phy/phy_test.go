@@ -300,3 +300,53 @@ func TestFrameCounter(t *testing.T) {
 		t.Fatalf("Frames = %d, want 3", m.Frames())
 	}
 }
+
+// TestAttachDuringTransmission is the index-invalidated-mid-frame seam:
+// a transmission is on the air (so the spatial grid is built and the frame
+// registered in the carrier-sense overlay), then a new node attaches in
+// range. The attach drops the index; the next query must rebuild it WITH
+// the in-flight transmission re-registered. The late node never receives
+// the frame it missed the start of, but it senses the channel busy until
+// that frame's end, and the very next frame reaches it normally.
+func TestAttachDuringTransmission(t *testing.T) {
+	s := sim.New(1)
+	m := newTestMedium(s)
+	a := &stubNode{id: 0, pos: geom.Point{X: 0, Y: 0}}
+	b := &stubNode{id: 1, pos: geom.Point{X: 100, Y: 0}}
+	m.Attach(a)
+	m.Attach(b)
+
+	pw := radio.Cabletron.MaxTxPower()
+	c := &stubNode{id: 2, pos: geom.Point{X: 50, Y: 50}}
+	var end sim.Time
+	s.Schedule(0, func() {
+		// Transmit builds the grid and registers the frame in the overlay.
+		end = m.Transmit(&Frame{Src: 0, Dst: 1, Bytes: 1000, Power: pw})
+	})
+	s.Schedule(50*time.Microsecond, func() {
+		m.Attach(c) // invalidates the index mid-frame
+		if len(c.began) != 0 {
+			t.Error("late node must not receive the in-flight frame")
+		}
+		// Busy forces the lazy rebuild; the in-flight transmission must
+		// survive into the new overlay or carrier sense goes blind.
+		if !m.Busy(2) {
+			t.Error("late in-range node should sense the in-flight frame")
+		}
+		if got := m.BusyUntil(2); got != end {
+			t.Errorf("BusyUntil(late) = %v, want %v", got, end)
+		}
+	})
+	s.Run(time.Second)
+	if len(c.began) != 0 || len(c.ended) != 0 {
+		t.Fatalf("late node saw the in-flight frame: began=%d ended=%d", len(c.began), len(c.ended))
+	}
+
+	// The next frame, sent after the rebuild, reaches the late node.
+	m.Transmit(&Frame{Src: 0, Dst: 2, Bytes: 100, Power: pw})
+	s.Run(2 * time.Second)
+	if len(c.began) != 1 || len(c.ended) != 1 || !c.endedOK[0] {
+		t.Fatalf("late node missed the post-attach frame: began=%d ended=%d ok=%v",
+			len(c.began), len(c.ended), c.endedOK)
+	}
+}

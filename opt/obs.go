@@ -1,6 +1,11 @@
 package opt
 
-import "eend/internal/obs"
+import (
+	"math"
+	"sync/atomic"
+
+	"eend/internal/obs"
+)
 
 // Search instrumentation on the process-wide registry. Steps are counted
 // where they are recorded (searchState.step), so restart merges never
@@ -14,4 +19,23 @@ var (
 		"One objective evaluation in seconds.", obs.LatencyBuckets)
 	searchesDone = obs.Default().Counter("eend_opt_searches_total",
 		"Searches completed (all methods).")
+	boundSeconds = obs.Default().Histogram("eend_opt_bound_seconds",
+		"One lower-bound computation in seconds.", obs.LatencyBuckets)
+	lastGap = newGapGauge()
 )
+
+// gapGauge holds the float64 optimality gap most recently applied to a
+// search result. The registry's Gauge is integer-valued, so the fractional
+// gap lives in an atomic bit pattern read live by a GaugeFunc at render
+// time.
+type gapGauge struct{ bits atomic.Uint64 }
+
+func newGapGauge() *gapGauge {
+	g := &gapGauge{}
+	obs.Default().GaugeFunc("eend_opt_gap",
+		"Optimality gap (best-bound)/bound of the most recent bounded search.",
+		func() float64 { return math.Float64frombits(g.bits.Load()) })
+	return g
+}
+
+func (g *gapGauge) set(v float64) { g.bits.Store(math.Float64bits(v)) }

@@ -1,0 +1,98 @@
+package opt
+
+import (
+	"time"
+
+	"eend/opt/bound"
+)
+
+// The lower-bound vocabulary, shared (by type identity) with eend/opt/bound.
+type (
+	// BoundTier selects the lower-bound oracle.
+	BoundTier = bound.Tier
+	// BoundOptions tunes a bound computation.
+	BoundOptions = bound.Options
+	// BoundResult is a certified lower bound with its convergence trace.
+	BoundResult = bound.Result
+)
+
+// The oracle tiers.
+const (
+	// BoundComb is the fast combinatorial shortest-path relaxation.
+	BoundComb = bound.Combinatorial
+	// BoundLagrange is the subgradient Lagrangian relaxation (floored at
+	// the combinatorial tier, so it never reports a weaker bound).
+	BoundLagrange = bound.Lagrangian
+)
+
+// ParseBoundTier resolves a tier short name ("comb", "lagrange") — the
+// vocabulary behind eendopt's -bound flag and /v1/optimize's bound field.
+func ParseBoundTier(name string) (BoundTier, error) { return bound.ParseTier(name) }
+
+// BoundTiers lists the tier names ParseBoundTier accepts.
+func BoundTiers() []string { return bound.Tiers() }
+
+// Bound computes a certified lower bound on Enetwork over all feasible
+// designs of the instance — what every "best found" is measured against.
+// The computation is observed on eend_opt_bound_seconds.
+func Bound(g *Graph, demands []Demand, o BoundOptions) (*BoundResult, error) {
+	t0 := time.Now()
+	r, err := bound.Compute(g, demands, o)
+	boundSeconds.ObserveSince(t0)
+	return r, err
+}
+
+// Bound runs the oracle on the problem's own instance, defaulting the
+// evaluation weights to the problem's (so the bound certifies exactly the
+// objective the search minimizes).
+func (p *Problem) Bound(o BoundOptions) (*BoundResult, error) {
+	if o.Eval == (EvalConfig{}) {
+		o.Eval = p.Eval
+	}
+	return Bound(p.Graph, p.Demands, o)
+}
+
+// maybeBound runs the oracle of the given tier (zero: none) and folds the
+// outcome into res — the Options.Bound path of Search and SearchMethod.
+func (p *Problem) maybeBound(res *Result, tier BoundTier, seed uint64) error {
+	if tier == 0 {
+		return nil
+	}
+	br, err := p.Bound(BoundOptions{Tier: tier, Seed: seed})
+	if err != nil {
+		return err
+	}
+	res.ApplyBound(br)
+	return nil
+}
+
+// BoundGap reports the relative optimality gap of a best-found value
+// against a lower bound — bound.Gap re-exported on the opt surface so
+// callers (sweep, eendd) need not import the oracle package directly.
+func BoundGap(best, bnd float64) (gap float64, certified, defined bool) {
+	return bound.Gap(best, bnd)
+}
+
+// ApplyBound folds a computed lower bound into the search result: the
+// bound value, its tier, and the optimality gap of BestEnergy against it.
+// Gap stays nil when the ratio is undefined (non-positive bound below the
+// best), so JSON and CSV renderings never leak NaN or Inf; GapCertified
+// reports that the bound proves BestEnergy optimal. The fleet-wide
+// eend_opt_gap gauge tracks the last applied gap.
+func (r *Result) ApplyBound(br *BoundResult) {
+	if br == nil {
+		return
+	}
+	v := br.Value
+	r.Bound = &v
+	r.BoundTier = br.Tier
+	gap, certified, defined := bound.Gap(r.BestEnergy, br.Value)
+	r.GapCertified = certified
+	if !defined {
+		r.Gap = nil
+		return
+	}
+	g := gap
+	r.Gap = &g
+	lastGap.set(gap)
+}

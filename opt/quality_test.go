@@ -1,0 +1,117 @@
+package opt
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"eend/internal/obs"
+)
+
+// TestSearchWithBound is the acceptance gate of the bounds work: on the
+// canonical 20-node clustered instance, annealing's reported gap against
+// the Lagrangian bound must be at most 15%. (It is in fact 0: the bound
+// certifies the annealed design optimal.)
+func TestSearchWithBound(t *testing.T) {
+	p := clusteredProblem(t)
+	res, err := p.Search(context.Background(), p.Analytic(), Options{
+		Algorithm: Anneal, Seed: 1, Bound: BoundLagrange,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bound == nil {
+		t.Fatal("Options.Bound set but Result.Bound is nil")
+	}
+	if res.BoundTier != "lagrange" {
+		t.Fatalf("bound tier %q, want lagrange", res.BoundTier)
+	}
+	if *res.Bound <= 0 || *res.Bound > res.BestEnergy*(1+1e-9) {
+		t.Fatalf("bound %g not in (0, best=%g]", *res.Bound, res.BestEnergy)
+	}
+	if res.Gap == nil {
+		t.Fatal("gap undefined for a positive bound")
+	}
+	if *res.Gap > 0.15 {
+		t.Fatalf("anneal gap %.4f exceeds the 15%% acceptance ceiling", *res.Gap)
+	}
+}
+
+// TestSectionFourMethodWithBound: the Section 4 branch of SearchMethod
+// bounds too, and a heuristic far from optimal reports a large,
+// uncertified gap.
+func TestSectionFourMethodWithBound(t *testing.T) {
+	p := clusteredProblem(t)
+	res, err := p.SearchMethod(context.Background(), "comm-first", p.Analytic(), Options{
+		Seed: 1, Bound: BoundLagrange,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bound == nil || res.Gap == nil {
+		t.Fatal("bound/gap missing on Section 4 method result")
+	}
+	if *res.Gap <= 0 || res.GapCertified {
+		t.Fatalf("comm-first should report a positive uncertified gap, got gap=%g certified=%v",
+			*res.Gap, res.GapCertified)
+	}
+}
+
+// TestBoundResultJSON pins the wire names of the quality fields and that
+// an unbounded search omits them entirely.
+func TestBoundResultJSON(t *testing.T) {
+	p := clusteredProblem(t)
+	res, err := p.Search(context.Background(), p.Analytic(), Options{
+		Algorithm: Greedy, Seed: 1, Iterations: 50, Bound: BoundComb,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"bound":`, `"bound_tier":"comb"`, `"gap":`} {
+		if !strings.Contains(string(raw), field) {
+			t.Errorf("result JSON missing %s: %s", field, raw)
+		}
+	}
+	bare, err := p.Search(context.Background(), p.Analytic(), Options{
+		Algorithm: Greedy, Seed: 1, Iterations: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err = json.Marshal(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"bound"`, `"gap"`, `"bound_tier"`} {
+		if strings.Contains(string(raw), field) {
+			t.Errorf("unbounded result JSON leaks %s: %s", field, raw)
+		}
+	}
+}
+
+// TestBoundMetricsRegistered: the bound instrumentation renders on the
+// default registry and survives the exposition linter.
+func TestBoundMetricsRegistered(t *testing.T) {
+	p := clusteredProblem(t)
+	if _, err := p.Bound(BoundOptions{Tier: BoundLagrange, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var w strings.Builder
+	if err := obs.Default().WriteText(&w); err != nil {
+		t.Fatal(err)
+	}
+	text := w.String()
+	for _, fam := range []string{"eend_opt_bound_seconds", "eend_opt_gap"} {
+		if !strings.Contains(text, fam) {
+			t.Errorf("exposition missing %s", fam)
+		}
+	}
+	if problems := obs.Lint(text); len(problems) > 0 {
+		t.Fatalf("exposition lint: %v", problems)
+	}
+}

@@ -114,6 +114,9 @@ func (p *Problem) SearchMethod(ctx context.Context, method string, obj Objective
 			stats := sim.Stats()
 			res.Sim = &stats
 		}
+		if err := p.maybeBound(res, o.Bound, o.Seed); err != nil {
+			return nil, err
+		}
 		return res, nil
 	}
 	alg, err := ParseAlgorithm(method)
@@ -167,6 +170,11 @@ type Options struct {
 	Initial *Design
 	// Trace records every step in Result.Trajectory.
 	Trace bool
+	// Bound, when non-zero, runs the lower-bound oracle of that tier on the
+	// instance (seeded with Seed) and folds bound + optimality gap into the
+	// Result. Callers that compute the bound themselves — to share it across
+	// live progress snapshots, say — leave this zero and use ApplyBound.
+	Bound BoundTier
 	// OnStep, when non-nil, observes every step as it happens (live
 	// best-so-far for the HTTP surface). Calls are sequential.
 	OnStep func(Step)
@@ -214,6 +222,16 @@ type Result struct {
 	// (computed when Options.Initial is nil): the designs the search is
 	// trying to beat.
 	Heuristics map[string]float64 `json:"heuristics,omitempty"`
+
+	// Bound is the certified lower bound on the objective (nil when no
+	// oracle ran), BoundTier the oracle that produced it, and Gap the
+	// relative optimality gap (BestEnergy − Bound)/Bound. Gap is nil when
+	// the ratio is undefined (a non-positive bound below the best) — never
+	// NaN or Inf. GapCertified reports the bound proves BestEnergy optimal.
+	Bound        *float64 `json:"bound,omitempty"`
+	BoundTier    string   `json:"bound_tier,omitempty"`
+	Gap          *float64 `json:"gap,omitempty"`
+	GapCertified bool     `json:"gap_certified,omitempty"`
 
 	// Sim reports the Simulated objective's work (nil for Analytic).
 	Sim *SimStats `json:"sim,omitempty"`
@@ -378,6 +396,9 @@ func (p *Problem) Search(ctx context.Context, obj Objective, o Options) (*Result
 		res.Sim = &stats
 	}
 	searchesDone.Inc()
+	if err == nil {
+		err = p.maybeBound(res, o.Bound, o.Seed)
+	}
 	if err != nil {
 		st.span.End(obs.A("error", err.Error()),
 			obs.AInt("iterations", int64(st.iter)))

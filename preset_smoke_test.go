@@ -1,0 +1,50 @@
+package eend_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"eend"
+)
+
+// TestFieldPreset10kSmoke runs the largest constant-density preset — ten
+// thousand nodes — end to end, twice, and requires bit-identical result
+// fingerprints. The point is coverage, not load: the spatial index must
+// survive a field two orders of magnitude beyond the paper's without
+// losing determinism, and the test is sized (a 30 s horizon, just past the
+// flows' 20-25 s start window) to stay in the default -short suite so it
+// actually runs in CI.
+func TestFieldPreset10kSmoke(t *testing.T) {
+	preset, err := eend.ParseFieldPreset("field-10k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preset.Nodes != 10000 {
+		t.Fatalf("field-10k preset has %d nodes", preset.Nodes)
+	}
+	run := func() *eend.Results {
+		opts := append(preset.Options(),
+			eend.WithSeed(1),
+			eend.WithRandomFlows(4, 2048, 128),
+			eend.WithDuration(30*time.Second),
+		)
+		sc, err := eend.NewScenario(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sc.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run()
+	if a.Delivered == 0 {
+		t.Fatal("10k-node run delivered nothing")
+	}
+	b := run()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("10k-node run is not deterministic:\n %s\n %s", a.Fingerprint(), b.Fingerprint())
+	}
+}

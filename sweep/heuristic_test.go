@@ -106,3 +106,93 @@ func TestHeuristicAxisRuns(t *testing.T) {
 		t.Fatalf("designed point ran %q", res.Stack)
 	}
 }
+
+// TestHeuristicAxisQuality: preparing a designed grid certifies every
+// point — design energy, lower bound, gap — and the certificate orders the
+// methods soundly (bound ≤ every design energy; a worse heuristic never
+// certifies while reporting a larger energy than a certified one).
+func TestHeuristicAxisQuality(t *testing.T) {
+	g, err := ParseGrid("nodes=20 seed=1 topology=cluster field=600 flows=8 dur=40s heuristic=comm-first,anneal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := (Runner{}).Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sr := range prep.results {
+		q := sr.Quality
+		if q == nil {
+			t.Fatalf("point %d: designed point has no quality certificate", sr.Point.Index)
+		}
+		if q.Method != sr.Point.Params["heuristic"] {
+			t.Fatalf("point %d: quality method %q, axis %q", sr.Point.Index, q.Method, sr.Point.Params["heuristic"])
+		}
+		if q.Bound <= 0 || q.Bound > q.Energy*(1+1e-9) {
+			t.Fatalf("point %d: bound %g not in (0, energy=%g]", sr.Point.Index, q.Bound, q.Energy)
+		}
+		if q.Tier != "lagrange" {
+			t.Fatalf("point %d: tier %q", sr.Point.Index, q.Tier)
+		}
+		if q.Gap == nil {
+			t.Fatalf("point %d: gap undefined for positive bound", sr.Point.Index)
+		}
+	}
+}
+
+// TestQualityCSVColumns: the quality columns appear exactly when the grid
+// declares a heuristic axis, and an undefined gap renders empty rather
+// than NaN/Inf.
+func TestQualityCSVColumns(t *testing.T) {
+	plain, err := ParseGrid("nodes=10 seed=3 dur=40s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range CSVHeader(plain) {
+		if col == "gap" || col == "design_energy" {
+			t.Fatalf("plain grid header has quality column %q", col)
+		}
+	}
+
+	g, err := ParseGrid("nodes=10 seed=3 topology=cluster field=400 flows=2 dur=40s heuristic=idle-first")
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := CSVHeader(g)
+	want := []string{"design_energy", "bound", "gap", "gap_certified"}
+	if got := header[len(header)-len(want):]; strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("heuristic grid header tail %v, want %v", got, want)
+	}
+	prep, err := (Runner{}).Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := prep.results[0]
+	row := CSVRow(g, sr)
+	if len(row) != len(header) {
+		t.Fatalf("row has %d cells, header %d", len(row), len(header))
+	}
+	cells := map[string]string{}
+	for i, col := range header {
+		cells[col] = row[i]
+	}
+	for _, col := range want {
+		if cells[col] == "" && col != "gap" {
+			t.Fatalf("column %q empty on a designed point: %v", col, row)
+		}
+	}
+	for col, v := range cells {
+		if strings.Contains(v, "NaN") || strings.Contains(v, "Inf") {
+			t.Fatalf("column %q leaked %q", col, v)
+		}
+	}
+	// A certificate-free row (plain grids never have one; simulate an
+	// errored designed point) keeps the column count and stays empty.
+	bare := CSVRow(g, Result{Point: sr.Point})
+	if len(bare) != len(header) {
+		t.Fatalf("bare row has %d cells, header %d", len(bare), len(header))
+	}
+	if tail := bare[len(bare)-4:]; strings.Join(tail, "") != "" {
+		t.Fatalf("bare row quality tail not empty: %v", tail)
+	}
+}

@@ -36,6 +36,10 @@ type Result struct {
 	// Err reports a failed or cancelled run.
 	Err error `json:"-"`
 
+	// Quality is the design-quality certificate of a heuristic-axis point
+	// (design energy, lower bound, optimality gap); nil for plain points.
+	Quality *Quality `json:"quality,omitempty"`
+
 	// Scenario is the materialized scenario (not serialized).
 	Scenario *eend.Scenario `json:"-"`
 }
@@ -147,11 +151,11 @@ func (r Runner) PrepareContext(ctx context.Context, g *Grid) (*Prepared, error) 
 	}
 	results := make([]Result, len(pts))
 	for i, pt := range pts {
-		sc, err := pt.ScenarioContext(ctx)
+		sc, q, err := pt.materialize(ctx)
 		if err != nil {
 			return nil, err
 		}
-		results[i] = Result{Point: pt, Scenario: sc, Fingerprint: sc.Fingerprint()}
+		results[i] = Result{Point: pt, Scenario: sc, Fingerprint: sc.Fingerprint(), Quality: q}
 	}
 	return &Prepared{runner: r, results: results}, nil
 }
@@ -384,14 +388,27 @@ func cacheGet(store cache.Store, key string) ([]byte, bool) {
 	return data, true
 }
 
+// hasHeuristicAxis reports whether the grid designs its points (and so
+// carries quality certificates worth rendering).
+func hasHeuristicAxis(g *Grid) bool {
+	for _, a := range g.Axes() {
+		if a.Name == "heuristic" {
+			return true
+		}
+	}
+	return false
+}
+
 // CSVHeader returns the column names cmd/eendsweep writes for a grid: the
 // axes in declaration order, then the point metadata and headline metrics.
+// Grids with a heuristic axis additionally get the design-quality columns
+// (design energy, lower bound, optimality gap).
 func CSVHeader(g *Grid) []string {
 	cols := []string{"index"}
 	for _, a := range g.Axes() {
 		cols = append(cols, a.Name)
 	}
-	return append(cols,
+	cols = append(cols,
 		"fingerprint", "cached", "error",
 		"stack_label", "sent", "delivered", "delivery_ratio",
 		"energy_j", "energy_goodput_bit_per_j", "tx_energy_j", "tx_amp_energy_j", "relays",
@@ -399,6 +416,10 @@ func CSVHeader(g *Grid) []string {
 		"delivery_ratio_mean", "delivery_ratio_ci95",
 		"energy_goodput_mean", "energy_goodput_ci95",
 		"energy_j_mean", "energy_j_ci95")
+	if hasHeuristicAxis(g) {
+		cols = append(cols, "design_energy", "bound", "gap", "gap_certified")
+	}
+	return cols
 }
 
 // CSVRow renders one result in CSVHeader order.
@@ -409,7 +430,8 @@ func CSVRow(g *Grid, sr Result) []string {
 	}
 	row = append(row, sr.Fingerprint, fmt.Sprint(sr.Cached), sr.Error)
 	if sr.Results == nil {
-		return append(row, "", "", "", "", "", "", "", "", "", "", "", "", "", "", "", "")
+		row = append(row, "", "", "", "", "", "", "", "", "", "", "", "", "", "", "", "")
+		return appendQualityCols(g, row, sr.Quality)
 	}
 	res := sr.Results
 	row = append(row,
@@ -425,7 +447,7 @@ func CSVRow(g *Grid, sr Result) []string {
 	// The replicate-aggregate columns stay empty for unreplicated points,
 	// so a reader can tell "single run" from "mean over one replicate".
 	if rep := res.Replicates; rep != nil {
-		return append(row,
+		row = append(row,
 			fmt.Sprint(rep.N),
 			fmt.Sprintf("%.6f", rep.DeliveryRatio.Mean),
 			fmt.Sprintf("%.6f", rep.DeliveryRatio.CI95),
@@ -433,6 +455,30 @@ func CSVRow(g *Grid, sr Result) []string {
 			fmt.Sprintf("%.3f", rep.EnergyGoodput.CI95),
 			fmt.Sprintf("%.6f", rep.EnergyTotal.Mean),
 			fmt.Sprintf("%.6f", rep.EnergyTotal.CI95))
+	} else {
+		row = append(row, "1", "", "", "", "", "", "")
 	}
-	return append(row, "1", "", "", "", "", "", "")
+	return appendQualityCols(g, row, sr.Quality)
+}
+
+// appendQualityCols renders the design-quality columns for grids with a
+// heuristic axis. An undefined gap renders empty — never NaN or Inf — and
+// a missing certificate (errored materialization path) leaves all four
+// columns empty.
+func appendQualityCols(g *Grid, row []string, q *Quality) []string {
+	if !hasHeuristicAxis(g) {
+		return row
+	}
+	if q == nil {
+		return append(row, "", "", "", "")
+	}
+	gap := ""
+	if q.Gap != nil {
+		gap = fmt.Sprintf("%.6g", *q.Gap)
+	}
+	return append(row,
+		fmt.Sprintf("%.6f", q.Energy),
+		fmt.Sprintf("%.6f", q.Bound),
+		gap,
+		fmt.Sprint(q.GapCertified))
 }

@@ -206,6 +206,25 @@ func ParseStack(v string) ([]eend.StackOption, error) {
 	}
 }
 
+// Quality certifies a heuristic-axis point's design: the method's analytic
+// Enetwork, the lower-bound oracle's certificate for the same instance, and
+// the optimality gap between them. Gap is nil when the ratio is undefined
+// (non-positive bound below the design energy), so CSV and JSON renderings
+// never leak NaN or Inf.
+type Quality struct {
+	// Method is the heuristic axis value that produced the design.
+	Method string `json:"method"`
+	// Energy is the design's closed-form Enetwork (Eq. 5).
+	Energy float64 `json:"energy"`
+	// Bound is the certified lower bound and Tier the oracle that made it.
+	Bound float64 `json:"bound"`
+	Tier  string  `json:"tier"`
+	// Gap is (Energy − Bound)/Bound, nil when undefined. GapCertified
+	// reports that the bound proves the design optimal.
+	Gap          *float64 `json:"gap,omitempty"`
+	GapCertified bool     `json:"gap_certified"`
+}
+
 // Scenario translates a point into a validated eend.Scenario. Traffic
 // defaults mirror cmd/eendsim: 10 CBR flows at 2 Kbit/s with 128 B packets
 // when the grid declares no traffic axes.
@@ -217,6 +236,14 @@ func (p Point) Scenario() (*eend.Scenario, error) {
 // heuristic-axis point runs a design search to materialize, which a
 // cancelled sweep must be able to abort.
 func (p Point) ScenarioContext(ctx context.Context) (*eend.Scenario, error) {
+	sc, _, err := p.materialize(ctx)
+	return sc, err
+}
+
+// materialize is ScenarioContext plus the design-quality certificate: for
+// heuristic-axis points the designed scenario arrives with its Quality
+// (design energy, lower bound, gap); for plain points Quality is nil.
+func (p Point) materialize(ctx context.Context) (*eend.Scenario, *Quality, error) {
 	c := pointConfig{
 		workload:    eend.WorkloadCBR,
 		flows:       10,
@@ -231,7 +258,7 @@ func (p Point) ScenarioContext(ctx context.Context) (*eend.Scenario, error) {
 			continue
 		}
 		if err := axisRegistry[name](&c, v); err != nil {
-			return nil, fmt.Errorf("sweep: point %d: axis %s: %w", p.Index, name, err)
+			return nil, nil, fmt.Errorf("sweep: point %d: axis %s: %w", p.Index, name, err)
 		}
 	}
 	c.opts = append(c.opts, eend.WithWorkload(
@@ -241,9 +268,9 @@ func (p Point) ScenarioContext(ctx context.Context) (*eend.Scenario, error) {
 	}
 	sc, err := eend.NewScenario(c.opts...)
 	if err != nil {
-		return nil, fmt.Errorf("sweep: point %d: %w", p.Index, err)
+		return nil, nil, fmt.Errorf("sweep: point %d: %w", p.Index, err)
 	}
-	return sc, nil
+	return sc, nil, nil
 }
 
 // designedScenario materializes a heuristic-axis point: build the
@@ -251,9 +278,12 @@ func (p Point) ScenarioContext(ctx context.Context) (*eend.Scenario, error) {
 // and pin the resulting routes as a static stack. The scenario's
 // fingerprint then covers placement, traffic AND design, so the result
 // cache answers repeated (deployment, design) pairs without simulating.
-func (p Point) designedScenario(ctx context.Context, c pointConfig) (*eend.Scenario, error) {
+// The design leaves with its quality certificate: the lower-bound oracle
+// runs on the same instance (Lagrangian tier, seeded with the scenario
+// seed), so a sweep's CSV can report gap per heuristic value.
+func (p Point) designedScenario(ctx context.Context, c pointConfig) (*eend.Scenario, *Quality, error) {
 	if _, ok := p.Params["stack"]; ok {
-		return nil, fmt.Errorf("sweep: point %d: heuristic axis conflicts with stack axis (the heuristic pins its own static stack)", p.Index)
+		return nil, nil, fmt.Errorf("sweep: point %d: heuristic axis conflicts with stack axis (the heuristic pins its own static stack)", p.Index)
 	}
 	// The design problem needs materialized positions; an absent topology
 	// axis means the facade's run-time uniform draw, so request the same
@@ -264,19 +294,34 @@ func (p Point) designedScenario(ctx context.Context, c pointConfig) (*eend.Scena
 	}
 	base, err := eend.NewScenario(opts...)
 	if err != nil {
-		return nil, fmt.Errorf("sweep: point %d: %w", p.Index, err)
+		return nil, nil, fmt.Errorf("sweep: point %d: %w", p.Index, err)
 	}
 	prob, err := opt.FromScenario(base)
 	if err != nil {
-		return nil, fmt.Errorf("sweep: point %d: %w", p.Index, err)
+		return nil, nil, fmt.Errorf("sweep: point %d: %w", p.Index, err)
 	}
 	d, err := prob.SolveMethod(ctx, c.heuristic, base.Seed())
 	if err != nil {
-		return nil, fmt.Errorf("sweep: point %d: heuristic %s: %w", p.Index, c.heuristic, err)
+		return nil, nil, fmt.Errorf("sweep: point %d: heuristic %s: %w", p.Index, c.heuristic, err)
+	}
+	br, err := prob.Bound(opt.BoundOptions{Tier: opt.BoundLagrange, Seed: base.Seed()})
+	if err != nil {
+		return nil, nil, fmt.Errorf("sweep: point %d: bound: %w", p.Index, err)
+	}
+	q := &Quality{
+		Method: c.heuristic,
+		Energy: prob.Enetwork(d),
+		Bound:  br.Value,
+		Tier:   br.Tier,
+	}
+	if gap, certified, defined := opt.BoundGap(q.Energy, br.Value); defined {
+		g := gap
+		q.Gap = &g
+		q.GapCertified = certified
 	}
 	sc, err := prob.PinnedScenario(d, base.Replicates())
 	if err != nil {
-		return nil, fmt.Errorf("sweep: point %d: %w", p.Index, err)
+		return nil, nil, fmt.Errorf("sweep: point %d: %w", p.Index, err)
 	}
-	return sc, nil
+	return sc, q, nil
 }
