@@ -8,6 +8,7 @@
 //
 //	eendopt -heuristic anneal                         # 20-node clustered topology, closed-form objective
 //	eendopt -heuristic anneal -format csv             # accept/reject trajectory as CSV
+//	eendopt -preset field-100 -heuristic restart      # constant-density preset instead of -nodes/-field/-topology
 //	eendopt -heuristic anneal -objective sim -cache ~/.cache/eend -iterations 40
 //
 // The objective is -objective analytic (the closed-form Enetwork of Eq. 5)
@@ -62,6 +63,7 @@ func run(ctx context.Context, out, errw io.Writer, args []string) (err error) {
 		nodes     = fs.Int("nodes", 20, "node count")
 		fieldSpec = fs.String("field", "600", "field side in meters, or WxH")
 		topoName  = fs.String("topology", "cluster", fmt.Sprintf("topology generator: %v", eend.TopologyNames()))
+		presetStr = fs.String("preset", "", "constant-density large-field preset: "+strings.Join(eend.FieldPresetNames(), "|")+" (sets -nodes, -field and -topology)")
 		seed      = fs.Uint64("seed", 1, "scenario seed (placement, endpoints)")
 		cardName  = fs.String("card", "cabletron", fmt.Sprintf("radio card: %v", eend.CardNames()))
 		flows     = fs.Int("flows", 8, "CBR flow count (the demands)")
@@ -84,31 +86,50 @@ func run(ctx context.Context, out, errw io.Writer, args []string) (err error) {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *presetStr != "" {
+		var conflict string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "nodes", "field", "topology":
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			return fmt.Errorf("-preset fixes the field and placement; drop -%s", conflict)
+		}
+	}
 	if cf.Version(out) {
 		return nil
-	}
-	topo, err := eend.ParseTopology(*topoName)
-	if err != nil {
-		return err
 	}
 	card, err := eend.ParseCard(*cardName)
 	if err != nil {
 		return err
 	}
-	w, h, err := parseField(*fieldSpec)
-	if err != nil {
-		return err
-	}
-
-	sc, err := eend.NewScenario(
+	scOpts := []eend.Option{
 		eend.WithSeed(*seed),
-		eend.WithNodes(*nodes),
-		eend.WithField(w, h),
-		eend.WithTopology(topo),
 		eend.WithCard(card),
 		eend.WithRandomFlows(*flows, *rateKbps*1024, *packet),
 		eend.WithDuration(*dur),
-	)
+	}
+	if *presetStr != "" {
+		fp, err := eend.ParseFieldPreset(*presetStr)
+		if err != nil {
+			return err
+		}
+		scOpts = append(scOpts, fp.Options()...)
+	} else {
+		topo, err := eend.ParseTopology(*topoName)
+		if err != nil {
+			return err
+		}
+		w, h, err := parseField(*fieldSpec)
+		if err != nil {
+			return err
+		}
+		scOpts = append(scOpts, eend.WithNodes(*nodes), eend.WithField(w, h), eend.WithTopology(topo))
+	}
+
+	sc, err := eend.NewScenario(scOpts...)
 	if err != nil {
 		return err
 	}

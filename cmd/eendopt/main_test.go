@@ -204,3 +204,35 @@ func TestBadFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestPresetFlag drives the constant-density preset path: -preset stands in
+// for -nodes/-field/-topology, and mixing them is an error.
+func TestPresetFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(context.Background(), &out, &errw,
+		[]string{"-preset", "field-100", "-heuristic", "greedy", "-iterations", "30", "-format", "json"}); err != nil {
+		t.Fatalf("%v\n%s", err, errw.String())
+	}
+	var res opt.Result
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFingerprint == "" || len(res.BestRoutes) == 0 {
+		t.Fatalf("preset run produced no design: %+v", res)
+	}
+
+	for conflict, value := range map[string]string{
+		"-nodes": "30", "-field": "500", "-topology": "cluster",
+	} {
+		var out, errw bytes.Buffer
+		err := run(context.Background(), &out, &errw,
+			[]string{"-preset", "field-100", conflict, value})
+		if err == nil || !strings.Contains(err.Error(), "-preset fixes") {
+			t.Errorf("%s alongside -preset: got %v, want conflict error", conflict, err)
+		}
+	}
+
+	if err := run(context.Background(), &out, &errw, []string{"-preset", "nope"}); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}

@@ -77,6 +77,8 @@ func (g *Graph) Solve(demands []Demand, a Approach) (*Design, error) {
 
 	bias := g.degreeBias()
 	d := &Design{Routes: make([][]int, len(demands))}
+	var sp SPScratch // one Dijkstra scratch across all demands
+	var pathBuf []int
 	for i, dm := range demands {
 		g.check(dm.Src)
 		g.check(dm.Dst)
@@ -106,14 +108,15 @@ func (g *Graph) Solve(demands []Demand, a Approach) (*Design, error) {
 			return nil, fmt.Errorf("core: unknown approach %d", int(a))
 		}
 		edgeCost := func(_, _ int, w float64) float64 { return w * rate }
-		path, cost := g.ShortestPath(dm.Src, dm.Dst, edgeCost, nodeCost)
-		if path == nil || math.IsInf(cost, 1) {
+		path, cost := g.ShortestPathInto(&sp, dm.Src, dm.Dst, edgeCost, nodeCost, pathBuf)
+		pathBuf = path
+		if len(path) == 0 || math.IsInf(cost, 1) {
 			return nil, fmt.Errorf("core: demand %d (%d->%d) unroutable", i, dm.Src, dm.Dst)
 		}
 		for _, v := range path {
 			active[v] = true
 		}
-		d.Routes[i] = path
+		d.Routes[i] = append([]int(nil), path...)
 	}
 	return d, nil
 }

@@ -9,10 +9,11 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Graph is an undirected graph with node weights c(v) (idle power of keeping
@@ -21,6 +22,13 @@ type Graph struct {
 	n          int
 	nodeWeight []float64
 	adj        [][]halfEdge
+
+	// idx is the lazily built sorted-adjacency edge index (nil until the
+	// first indexed lookup; AddEdge invalidates it). The double-checked
+	// build under idxMu keeps concurrent readers — parallel restarts share
+	// one Graph — race-free without locking the read path.
+	idx   atomic.Pointer[edgeIndex]
+	idxMu sync.Mutex
 }
 
 type halfEdge struct {
@@ -56,7 +64,8 @@ func (g *Graph) NodeWeight(v int) float64 {
 }
 
 // AddEdge adds the undirected edge {u,v} with weight w. Parallel edges are
-// permitted but pointless; self-loops are rejected.
+// permitted but pointless; self-loops are rejected. Adding an edge
+// invalidates the edge index (and any Ledger built on it).
 func (g *Graph) AddEdge(u, v int, w float64) {
 	g.check(u)
 	g.check(v)
@@ -65,20 +74,145 @@ func (g *Graph) AddEdge(u, v int, w float64) {
 	}
 	g.adj[u] = append(g.adj[u], halfEdge{to: v, w: w})
 	g.adj[v] = append(g.adj[v], halfEdge{to: u, w: w})
+	g.idx.Store(nil)
+}
+
+// edgeIndex is the sorted-adjacency view of the graph: per node, its
+// neighbors ascending by id with parallel edges collapsed to their minimum
+// weight, each entry carrying a packed undirected edge id. It turns
+// EdgeWeight's O(deg) scan into O(log deg) and gives per-edge bookkeeping
+// (the Ledger's traffic counts) an O(1) dense id space.
+type edgeIndex struct {
+	nbr   [][]nbrEdge
+	edgeW []float64 // packed edge id -> weight
+}
+
+type nbrEdge struct {
+	to int32
+	id int32
+	w  float64
+}
+
+// index returns the current edge index, building it on first use.
+func (g *Graph) index() *edgeIndex {
+	if ix := g.idx.Load(); ix != nil {
+		return ix
+	}
+	g.idxMu.Lock()
+	defer g.idxMu.Unlock()
+	if ix := g.idx.Load(); ix != nil {
+		return ix
+	}
+	ix := &edgeIndex{nbr: make([][]nbrEdge, g.n)}
+	for u := range g.adj {
+		list := make([]nbrEdge, 0, len(g.adj[u]))
+		for _, e := range g.adj[u] {
+			list = append(list, nbrEdge{to: int32(e.to), w: e.w})
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].to != list[j].to {
+				return list[i].to < list[j].to
+			}
+			return list[i].w < list[j].w
+		})
+		// Collapse parallel edges to their minimum weight (EdgeWeight's
+		// documented semantics); after the sort the first entry per
+		// neighbor is the minimum.
+		out := list[:0]
+		for _, e := range list {
+			if n := len(out); n > 0 && out[n-1].to == e.to {
+				continue
+			}
+			out = append(out, e)
+		}
+		ix.nbr[u] = out
+	}
+	// Edge ids are assigned in lexicographic (u,v) order over u < v, then
+	// mirrored to the v-side entries — a label-determined packing, so equal
+	// graphs index equally.
+	for u := 0; u < g.n; u++ {
+		for i := range ix.nbr[u] {
+			if v := int(ix.nbr[u][i].to); v > u {
+				ix.nbr[u][i].id = int32(len(ix.edgeW))
+				ix.edgeW = append(ix.edgeW, ix.nbr[u][i].w)
+			}
+		}
+	}
+	for u := 0; u < g.n; u++ {
+		for i := range ix.nbr[u] {
+			if v := int(ix.nbr[u][i].to); v < u {
+				e, ok := ix.find(v, u)
+				if !ok {
+					panic(fmt.Sprintf("core: edge index asymmetry on {%d,%d}", v, u))
+				}
+				ix.nbr[u][i].id = e.id
+			}
+		}
+	}
+	g.idx.Store(ix)
+	return ix
+}
+
+// find binary-searches u's sorted neighbor list for v.
+func (ix *edgeIndex) find(u, v int) (nbrEdge, bool) {
+	list := ix.nbr[u]
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(list[mid].to) < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(list) && int(list[lo].to) == v {
+		return list[lo], true
+	}
+	return nbrEdge{}, false
 }
 
 // EdgeWeight returns the weight of edge {u,v} and whether it exists (the
-// minimum if parallel edges were added).
+// minimum if parallel edges were added). O(log deg) via the edge index.
 func (g *Graph) EdgeWeight(u, v int) (float64, bool) {
 	g.check(u)
 	g.check(v)
-	best, ok := math.Inf(1), false
-	for _, e := range g.adj[u] {
-		if e.to == v && e.w < best {
-			best, ok = e.w, true
-		}
+	if e, ok := g.index().find(u, v); ok {
+		return e.w, true
 	}
-	return best, ok
+	return math.Inf(1), false
+}
+
+// EdgeID returns the packed id of edge {u,v} — a dense [0, NumEdges)
+// label shared by both directions — and whether the edge exists.
+func (g *Graph) EdgeID(u, v int) (int, bool) {
+	g.check(u)
+	g.check(v)
+	if e, ok := g.index().find(u, v); ok {
+		return int(e.id), true
+	}
+	return -1, false
+}
+
+// NumEdges returns the number of distinct undirected edges (parallel edges
+// collapsed) — the size of the EdgeID space.
+func (g *Graph) NumEdges() int { return len(g.index().edgeW) }
+
+// Half is one (neighbor, weight) adjacency entry.
+type Half struct {
+	To int
+	W  float64
+}
+
+// NeighborsInto appends v's adjacency (insertion order, parallel edges
+// kept) to buf[:0] and returns it — zero allocations once buf has the
+// capacity.
+func (g *Graph) NeighborsInto(v int, buf []Half) []Half {
+	g.check(v)
+	buf = buf[:0]
+	for _, e := range g.adj[v] {
+		buf = append(buf, Half{To: e.to, W: e.w})
+	}
+	return buf
 }
 
 // Neighbors returns the adjacency of v as (neighbor, weight) pairs.
@@ -115,71 +249,164 @@ type EdgeCostFunc func(u, v int, w float64) float64
 // NodeCostFunc maps entering node v to an additional routing cost.
 type NodeCostFunc func(v int) float64
 
+func defaultEdgeCost(_, _ int, w float64) float64 { return w }
+func zeroNodeCost(int) float64                    { return 0 }
+
 // pqItem is a priority-queue entry for Dijkstra.
 type pqItem struct {
 	node int
 	dist float64
 }
 
-type pq []pqItem
+// SPScratch owns the dist/parent/done/heap buffers of a shortest-path run,
+// so a search loop can run Dijkstra repeatedly with zero per-call
+// allocation. The zero value is ready to use; a scratch must not be shared
+// between concurrent searches. DijkstraInto's returned slices alias the
+// scratch and are valid until its next use.
+type SPScratch struct {
+	dist   []float64
+	parent []int
+	done   []bool
+	ncost  []float64 // memoized nodeCost per run; NaN = not yet computed
+	heap   []pqItem
+}
 
-func (q pq) Len() int           { return len(q) }
-func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+func (s *SPScratch) reset(n int) {
+	if cap(s.dist) < n {
+		s.dist = make([]float64, n)
+		s.parent = make([]int, n)
+		s.done = make([]bool, n)
+		s.ncost = make([]float64, n)
+	}
+	s.dist, s.parent, s.done, s.ncost = s.dist[:n], s.parent[:n], s.done[:n], s.ncost[:n]
+	nan := math.NaN()
+	for i := range s.dist {
+		s.dist[i] = math.Inf(1)
+		s.parent[i] = -1
+		s.done[i] = false
+		s.ncost[i] = nan
+	}
+	s.heap = s.heap[:0]
+}
 
-// Dijkstra computes least-cost distances and parents from src. edgeCost
-// defaults to the edge weight; nodeCost (charged on entering a node other
-// than src) defaults to zero. Costs must be non-negative.
-func (g *Graph) Dijkstra(src int, edgeCost EdgeCostFunc, nodeCost NodeCostFunc) (dist []float64, parent []int) {
+// heapPush and heapPop replicate container/heap's sift order exactly (break
+// on !Less(j,i); prefer the right child only when strictly less), so the
+// pop order — and with it every equal-cost tie-break in the fixed-seed
+// search trajectories — is bit-identical to the container/heap
+// implementation this replaced.
+func (s *SPScratch) heapPush(it pqItem) {
+	s.heap = append(s.heap, it)
+	for j := len(s.heap) - 1; j > 0; {
+		i := (j - 1) / 2
+		if !(s.heap[j].dist < s.heap[i].dist) {
+			break
+		}
+		s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+		j = i
+	}
+}
+
+func (s *SPScratch) heapPop() pqItem {
+	n := len(s.heap) - 1
+	s.heap[0], s.heap[n] = s.heap[n], s.heap[0]
+	for i := 0; ; {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && s.heap[j2].dist < s.heap[j].dist {
+			j = j2
+		}
+		if !(s.heap[j].dist < s.heap[i].dist) {
+			break
+		}
+		s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+		i = j
+	}
+	it := s.heap[n]
+	s.heap = s.heap[:n]
+	return it
+}
+
+// DijkstraInto computes least-cost distances and parents from src using the
+// scratch's buffers — zero allocations in steady state. edgeCost defaults
+// to the edge weight; nodeCost (charged on entering a node other than src)
+// defaults to zero. Costs must be non-negative. Edges relax in adjacency
+// insertion order, exactly as Dijkstra always has, so equal-cost parent
+// ties resolve identically.
+func (g *Graph) DijkstraInto(s *SPScratch, src int, edgeCost EdgeCostFunc, nodeCost NodeCostFunc) (dist []float64, parent []int) {
+	g.dijkstra(s, src, -1, edgeCost, nodeCost)
+	return s.dist, s.parent
+}
+
+// dijkstra is the engine behind DijkstraInto and ShortestPathInto. nodeCost
+// is memoized per node for the duration of the run (callers' cost closures
+// are pure within one call), and when dst is a valid node the run stops as
+// soon as dst settles: with non-negative costs and strict-< relaxation, a
+// settled node's dist and the parent chain behind it can never change, so
+// the path ShortestPathInto walks is bit-identical to a full run's.
+func (g *Graph) dijkstra(s *SPScratch, src, dst int, edgeCost EdgeCostFunc, nodeCost NodeCostFunc) {
 	g.check(src)
 	if edgeCost == nil {
-		edgeCost = func(_, _ int, w float64) float64 { return w }
+		edgeCost = defaultEdgeCost
 	}
 	if nodeCost == nil {
-		nodeCost = func(int) float64 { return 0 }
+		nodeCost = zeroNodeCost
 	}
-	dist = make([]float64, g.n)
-	parent = make([]int, g.n)
-	done := make([]bool, g.n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		parent[i] = -1
-	}
+	s.reset(g.n)
+	dist, parent, ncost := s.dist, s.parent, s.ncost
 	dist[src] = 0
-	q := &pq{{node: src, dist: 0}}
-	for q.Len() > 0 {
-		it := heap.Pop(q).(pqItem)
+	s.heapPush(pqItem{node: src, dist: 0})
+	for len(s.heap) > 0 {
+		it := s.heapPop()
 		u := it.node
-		if done[u] {
+		if s.done[u] {
 			continue
 		}
-		done[u] = true
+		s.done[u] = true
+		if u == dst {
+			return
+		}
+		du := dist[u]
 		for _, e := range g.adj[u] {
-			c := edgeCost(u, e.to, e.w) + nodeCost(e.to)
+			nc := ncost[e.to]
+			if nc != nc { // NaN: not computed yet
+				nc = nodeCost(e.to)
+				ncost[e.to] = nc
+			}
+			c := edgeCost(u, e.to, e.w) + nc
 			if c < 0 {
 				panic("core: negative cost in Dijkstra")
 			}
-			if nd := dist[u] + c; nd < dist[e.to] {
+			if nd := du + c; nd < dist[e.to] {
 				dist[e.to] = nd
 				parent[e.to] = u
-				heap.Push(q, pqItem{node: e.to, dist: nd})
+				s.heapPush(pqItem{node: e.to, dist: nd})
 			}
 		}
 	}
-	return dist, parent
 }
 
-// ShortestPath returns the least-cost path src..dst and its cost, or nil if
-// unreachable.
-func (g *Graph) ShortestPath(src, dst int, edgeCost EdgeCostFunc, nodeCost NodeCostFunc) ([]int, float64) {
-	dist, parent := g.Dijkstra(src, edgeCost, nodeCost)
+// Dijkstra computes least-cost distances and parents from src. The returned
+// slices are freshly allocated; hot loops should hold an SPScratch and call
+// DijkstraInto instead.
+func (g *Graph) Dijkstra(src int, edgeCost EdgeCostFunc, nodeCost NodeCostFunc) (dist []float64, parent []int) {
+	return g.DijkstraInto(new(SPScratch), src, edgeCost, nodeCost)
+}
+
+// ShortestPathInto returns the least-cost path src..dst appended to
+// path[:0] and its cost. An empty path (with +Inf cost) means dst is
+// unreachable; a reachable dst always yields at least [dst]. The run stops
+// as soon as dst settles — the returned path and cost are bit-identical to
+// a full Dijkstra's (see dijkstra).
+func (g *Graph) ShortestPathInto(s *SPScratch, src, dst int, edgeCost EdgeCostFunc, nodeCost NodeCostFunc, path []int) ([]int, float64) {
+	g.dijkstra(s, src, dst, edgeCost, nodeCost)
+	dist, parent := s.dist, s.parent
 	g.check(dst)
+	path = path[:0]
 	if math.IsInf(dist[dst], 1) {
-		return nil, math.Inf(1)
+		return path, math.Inf(1)
 	}
-	var path []int
 	for v := dst; v != -1; v = parent[v] {
 		path = append(path, v)
 	}
@@ -187,6 +414,16 @@ func (g *Graph) ShortestPath(src, dst int, edgeCost EdgeCostFunc, nodeCost NodeC
 		path[i], path[j] = path[j], path[i]
 	}
 	return path, dist[dst]
+}
+
+// ShortestPath returns the least-cost path src..dst and its cost, or nil if
+// unreachable.
+func (g *Graph) ShortestPath(src, dst int, edgeCost EdgeCostFunc, nodeCost NodeCostFunc) ([]int, float64) {
+	path, cost := g.ShortestPathInto(new(SPScratch), src, dst, edgeCost, nodeCost, nil)
+	if len(path) == 0 {
+		return nil, math.Inf(1)
+	}
+	return path, cost
 }
 
 // Design is a solution to the design problem: one route per demand.
@@ -243,6 +480,7 @@ func (g *Graph) Enetwork(demands []Demand, d *Design, cfg EvalConfig) float64 {
 	// Summation order is fixed (ascending node id) so the float64 result is
 	// bit-identical across runs: the opt subsystem's fixed-seed trajectories
 	// compare these values against each other and against golden digests.
+	// Ledger.Energy reproduces this exact accumulation order.
 	active := d.Active()
 	ids := make([]int, 0, len(active))
 	for v := range active {

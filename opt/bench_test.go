@@ -3,6 +3,7 @@ package opt
 import (
 	"context"
 	"fmt"
+	"math/rand/v2"
 	"testing"
 	"time"
 
@@ -63,6 +64,54 @@ func BenchmarkRestartSearchSim(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkSearchStep measures the steady-state inner step of the
+// incremental kernel: propose (Dijkstra over the marginal-cost graph),
+// score through the term ledger, and undo — the hot path every driver
+// spends its iterations in. After warmup grows the engine's scratch
+// buffers to their high-water marks, the steady state must run at zero
+// allocations per step; CI gates on that via benchjson -assert-zero-allocs.
+func BenchmarkSearchStep(b *testing.B) {
+	p := benchProblem(b)
+	init, _, err := p.bestHeuristic()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := newIncEngine(p, init)
+	ctx := context.Background()
+	obj := p.Analytic()
+	rng := rand.New(rand.NewPCG(1, 0xbe7c))
+	step := func() {
+		var staged bool
+		switch k := rng.IntN(10); {
+		case k < 5:
+			staged = m.tryRewire(rng.IntN(len(p.Demands)))
+		case k < 8:
+			staged = m.trySwap(rng.IntN(len(p.Demands)), rng)
+		default:
+			if rel := m.relays(); len(rel) > 0 {
+				staged = m.tryPowerDown(rel[rng.IntN(len(rel))])
+			}
+		}
+		if !staged {
+			return
+		}
+		if _, err := m.evaluate(ctx, obj); err != nil {
+			b.Fatal(err)
+		}
+		// Always revert: the design never drifts, so every iteration
+		// measures the same steady-state work.
+		m.revert()
+	}
+	for i := 0; i < 512; i++ {
+		step() // warmup: let scratch buffers reach their final capacity
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
 	}
 }
 

@@ -220,6 +220,13 @@ type instance struct {
 	relays  []int     // ascending non-endpoint nodes with TIdle·c(v) > 0
 	relayIx []int     // node -> index in relays, or -1
 	idleW   []float64 // TIdle·c(v) per relay index
+
+	// sp and pathBuf are the ascent's reusable shortest-path scratch: the
+	// subgradient loop runs one Dijkstra per demand per iteration, and the
+	// scratch keeps that inner loop allocation-free. An instance is used
+	// by one ascent at a time.
+	sp      core.SPScratch
+	pathBuf []int
 }
 
 func newInstance(g *core.Graph, demands []core.Demand, eval core.EvalConfig) (*instance, error) {
@@ -275,12 +282,15 @@ func (inst *instance) combinatorial() (comm, idle float64, err error) {
 	}
 	zeroEdge := func(_, _ int, _ float64) float64 { return 0 }
 	for i, dm := range inst.demands {
-		if path, c := inst.g.ShortestPath(dm.Src, dm.Dst, inst.commCost(i), nil); path == nil {
+		path, c := inst.g.ShortestPathInto(&inst.sp, dm.Src, dm.Dst, inst.commCost(i), nil, inst.pathBuf)
+		inst.pathBuf = path
+		if len(path) == 0 {
 			return 0, 0, fmt.Errorf("bound: demand %d (%d->%d) is unroutable", i, dm.Src, dm.Dst)
-		} else {
-			comm += c
 		}
-		if _, c := inst.g.ShortestPath(dm.Src, dm.Dst, zeroEdge, idleCost); c > idle {
+		comm += c
+		path, c = inst.g.ShortestPathInto(&inst.sp, dm.Src, dm.Dst, zeroEdge, idleCost, inst.pathBuf)
+		inst.pathBuf = path
+		if c > idle {
 			idle = c
 		}
 	}
@@ -315,7 +325,8 @@ func (inst *instance) evaluate(lam [][]float64, sumLam []float64, x [][]bool, op
 			}
 			return 0
 		}
-		path, c := inst.g.ShortestPath(dm.Src, dm.Dst, inst.commCost(i), nodeCost)
+		path, c := inst.g.ShortestPathInto(&inst.sp, dm.Src, dm.Dst, inst.commCost(i), nodeCost, inst.pathBuf)
+		inst.pathBuf = path
 		total += c
 		xi := x[i]
 		for j := range xi {

@@ -1,19 +1,26 @@
 package opt
 
 import (
+	"context"
 	"math"
 	"math/rand/v2"
-	"sort"
+
+	"eend/internal/core"
 )
 
-// The local moves of the search. Every move proposes a full candidate
-// design (a deep copy — the current design is never mutated) and reports
-// whether it actually changed anything; degenerate proposals are rejected
-// here so the drivers never waste an objective evaluation on a no-op.
+// The local moves of the search, behind the engine abstraction. The
+// incremental engine (incEngine, the default) mutates one live design in
+// place: a move stages an O(|old path| + |new path|) route replacement
+// (or a batch of them for power-down), evaluation folds the ledger's
+// integer-exact terms, and a rejection undoes the staged routes in
+// O(path) — no clone(d) per proposal, zero allocations in steady state.
+// The retained full-recompute path (reference.go) proposes whole candidate
+// designs exactly as the pre-incremental code did; the determinism
+// contract pins the two engines bit-identical.
 //
 // All randomness flows through the driver's seeded rng and all tie-breaks
 // are deterministic, so a fixed Options.Seed replays the exact move
-// sequence.
+// sequence on either engine.
 
 // moveName labels trajectory steps.
 const (
@@ -22,83 +29,48 @@ const (
 	movePowerDown = "powerdown"
 )
 
-// activeExcept returns which nodes appear on routes other than demand skip
-// (skip < 0 considers every route), plus the endpoints of every demand —
-// the nodes whose idling the design is already paying for (or never pays
-// for, in the endpoints' case) when demand skip is rerouted.
-func (p *Problem) activeExcept(d *Design, skip int) []bool {
-	act := make([]bool, p.Graph.Len())
-	for i, r := range d.Routes {
-		if i == skip {
-			continue
-		}
-		for _, v := range r {
-			act[v] = true
-		}
-	}
-	for _, dm := range p.Demands {
-		act[dm.Src] = true
-		act[dm.Dst] = true
-	}
-	return act
+// engine is the search kernel behind the drivers: it owns the current
+// design and turns move proposals into staged state the driver can
+// evaluate, then commit or revert. A try* call that returns false staged
+// nothing (the proposal was degenerate or infeasible); a call that returns
+// true MUST be followed by exactly one evaluate and then one commit or
+// revert before the next proposal.
+type engine interface {
+	// design returns the engine's current design. The incremental engine
+	// mutates it in place; callers must not retain it across moves.
+	design() *Design
+	// relays lists the current design's active non-endpoint nodes in
+	// ascending id order. The returned slice may be reused by the engine.
+	relays() []int
+	// tryRewire stages demand i's marginal-cost optimal re-route.
+	tryRewire(i int) bool
+	// trySwap stages a re-route of demand i with its current edges
+	// penalized by a random factor drawn from rng.
+	trySwap(i int, rng *rand.Rand) bool
+	// tryPowerDown stages re-routes of every demand crossing relay v, with
+	// v forbidden. False means some demand had no alternative (nothing
+	// stays staged) or no route used v.
+	tryPowerDown(v int) bool
+	// evaluate scores the design with the staged move applied.
+	evaluate(ctx context.Context, obj Objective) (float64, error)
+	// commit keeps the staged move.
+	commit()
+	// revert undoes the staged move exactly — design, ledger and
+	// refcounts return bit-identical to their pre-stage state.
+	revert()
+	// snapshot returns the current design for best-so-far bookkeeping; the
+	// result must remain valid (un-mutated) across later moves.
+	snapshot() *Design
 }
 
-// reroute computes the marginal-cost optimal route for demand i given the
-// rest of the design: edges are priced at their exact Eq. 5 traffic
-// contribution, nodes at their exact idling contribution — zero for nodes
-// the rest of the design already keeps awake, so the route is pulled toward
-// shared relays (the Steiner rewiring philosophy). forbidden (when >= 0) is
-// priced out of reach, and penalty > 1 multiplies the traffic cost of the
-// current route's edges to force the search onto alternatives.
-func (p *Problem) reroute(d *Design, i int, forbidden int, penalty float64) ([]int, bool) {
-	dm := p.Demands[i]
-	pkts := p.Eval.PacketsPerDemand
-	if pkts == 0 {
-		pkts = 1
+// newEngine picks the search kernel: the incremental one by default, the
+// retained full-recompute reference when the internal flag (or the
+// EEND_OPT_REFERENCE environment variable) asks for it.
+func newEngine(p *Problem, initial *Design, reference bool) engine {
+	if reference {
+		return newRefEngine(p, initial)
 	}
-	if dm.Rate > 0 {
-		pkts *= dm.Rate
-	}
-	var onCurrent map[[2]int]bool
-	if penalty > 1 && d.Routes[i] != nil {
-		onCurrent = make(map[[2]int]bool)
-		r := d.Routes[i]
-		for j := 0; j+1 < len(r); j++ {
-			u, v := r[j], r[j+1]
-			if u > v {
-				u, v = v, u
-			}
-			onCurrent[[2]int{u, v}] = true
-		}
-	}
-	act := p.activeExcept(d, i)
-	edgeCost := func(u, v int, w float64) float64 {
-		c := pkts * p.Eval.TData * w
-		if onCurrent != nil {
-			a, b := u, v
-			if a > b {
-				a, b = b, a
-			}
-			if onCurrent[[2]int{a, b}] {
-				c *= penalty
-			}
-		}
-		return c
-	}
-	nodeCost := func(v int) float64 {
-		if v == forbidden {
-			return math.Inf(1)
-		}
-		if act[v] {
-			return 0
-		}
-		return p.Eval.TIdle * p.Graph.NodeWeight(v)
-	}
-	path, cost := p.Graph.ShortestPath(dm.Src, dm.Dst, edgeCost, nodeCost)
-	if path == nil || math.IsInf(cost, 1) {
-		return nil, false
-	}
-	return path, true
+	return newIncEngine(p, initial)
 }
 
 // routesEqual reports whether two routes visit the same nodes in order.
@@ -114,58 +86,200 @@ func routesEqual(a, b []int) bool {
 	return true
 }
 
-// proposeRewire re-routes demand i along its marginal-cost optimal path.
-func (p *Problem) proposeRewire(d *Design, i int) (*Design, bool) {
-	path, ok := p.reroute(d, i, -1, 1)
-	if !ok || routesEqual(path, d.Routes[i]) {
-		return nil, false
-	}
-	cand := clone(d)
-	cand.Routes[i] = path
-	return cand, true
+// incEngine is the incremental search kernel. It keeps one live design in
+// sync with a core.Ledger (node refcounts, per-edge route counts, Eq. 5
+// terms) and re-routes over a reusable Dijkstra scratch. The reroute cost
+// closures are bound once at construction and read their per-proposal
+// parameters (packet factor, penalty, forbidden node, staged-route
+// exclusion counts) from engine fields, so a steady-state proposal
+// allocates nothing.
+type incEngine struct {
+	p   *Problem
+	pp  *problemPrep
+	cur *Design
+	led *core.Ledger
+	sp  core.SPScratch
+
+	// Per-proposal reroute parameters, read by edgeCostFn/nodeCostFn.
+	// costK is pkts*TData — Go associates a*b*c as (a*b)*c, so hoisting
+	// the product out of the closure keeps every edge price bit-identical.
+	costK     float64
+	penalty   float64
+	forbidden int
+	// onCur marks (by epoch stamp, so clearing is free) the edge ids of
+	// the rerouted demand's current route — the edges a swap penalizes.
+	onCurEpoch uint32
+	onCur      []uint32
+	// exCount is the rerouted demand's own node occurrence count: a node
+	// is "already paid for" iff it is an endpoint or other routes cross it
+	// (refcount > exCount), which is exactly activeExcept's semantics.
+	exCount []int32
+
+	edgeCostFn core.EdgeCostFunc
+	nodeCostFn core.NodeCostFunc
+
+	pathBuf  []int
+	relayBuf []int
+	// spare[i] is demand i's standby route buffer: staging swaps it with
+	// the route it replaces, so the engine double-buffers routes per
+	// demand instead of allocating per proposal.
+	spare  [][]int
+	staged []stagedRoute
 }
 
-// proposeSwap re-routes demand i with its current edges penalized by a
-// random factor, forcing a genuinely different path for the annealer to
-// judge.
-func (p *Problem) proposeSwap(d *Design, i int, rng *rand.Rand) (*Design, bool) {
-	path, ok := p.reroute(d, i, -1, 2+6*rng.Float64())
-	if !ok || routesEqual(path, d.Routes[i]) {
-		return nil, false
-	}
-	cand := clone(d)
-	cand.Routes[i] = path
-	return cand, true
+// stagedRoute is one apply/undo record: demand i's route before the staged
+// move (a power-down stages one record per affected demand).
+type stagedRoute struct {
+	i   int
+	old []int
 }
 
-// relays returns the design's active non-endpoint nodes in ascending id
-// order — the nodes a power-down move may target.
-func (p *Problem) relays(d *Design) []int {
-	endpoint := make([]bool, p.Graph.Len())
-	for _, dm := range p.Demands {
-		endpoint[dm.Src] = true
-		endpoint[dm.Dst] = true
+func newIncEngine(p *Problem, initial *Design) *incEngine {
+	m := &incEngine{
+		p:         p,
+		pp:        p.prepared(),
+		cur:       clone(initial),
+		led:       p.Graph.NewLedger(p.Demands, p.Eval),
+		forbidden: -1,
+		onCur:     make([]uint32, p.Graph.NumEdges()),
+		exCount:   make([]int32, p.Graph.Len()),
+		spare:     make([][]int, len(p.Demands)),
 	}
-	var out []int
-	for v := range d.Active() {
-		if !endpoint[v] {
-			out = append(out, v)
+	m.led.Reset(m.cur)
+	m.edgeCostFn = func(u, v int, w float64) float64 {
+		c := m.costK * w
+		if m.penalty > 1 {
+			if id, ok := m.p.Graph.EdgeID(u, v); ok && m.onCur[id] == m.onCurEpoch {
+				c *= m.penalty
+			}
+		}
+		return c
+	}
+	m.nodeCostFn = func(v int) float64 {
+		if v == m.forbidden {
+			return math.Inf(1)
+		}
+		if m.pp.endpoint[v] || m.led.RefCount(v) > int(m.exCount[v]) {
+			return 0
+		}
+		return m.p.Eval.TIdle * m.p.Graph.NodeWeight(v)
+	}
+	return m
+}
+
+func (m *incEngine) design() *Design { return m.cur }
+
+func (m *incEngine) snapshot() *Design { return clone(m.cur) }
+
+func (m *incEngine) relays() []int {
+	m.relayBuf = m.relayBuf[:0]
+	for v := 0; v < m.p.Graph.Len(); v++ {
+		if m.led.Active(v) && !m.pp.endpoint[v] {
+			m.relayBuf = append(m.relayBuf, v)
 		}
 	}
-	sort.Ints(out)
-	return out
+	return m.relayBuf
 }
 
-// proposePowerDown forces relay v out of the design: every demand routed
+// reroute computes the marginal-cost optimal route for demand i given the
+// rest of the design: edges are priced at their exact Eq. 5 traffic
+// contribution, nodes at their exact idling contribution — zero for nodes
+// the rest of the design already keeps awake, so the route is pulled toward
+// shared relays (the Steiner rewiring philosophy). forbidden (when >= 0) is
+// priced out of reach, and penalty > 1 multiplies the traffic cost of the
+// current route's edges to force the search onto alternatives. The
+// returned path aliases the engine's path buffer.
+func (m *incEngine) reroute(i, forbidden int, penalty float64) ([]int, bool) {
+	m.costK = m.pp.pkts[i] * m.p.Eval.TData
+	m.penalty = penalty
+	m.forbidden = forbidden
+	cur := m.cur.Routes[i]
+	if penalty > 1 && cur != nil {
+		m.onCurEpoch++
+		if m.onCurEpoch == 0 { // epoch wrapped: stale stamps could alias
+			clear(m.onCur)
+			m.onCurEpoch = 1
+		}
+		for j := 0; j+1 < len(cur); j++ {
+			if id, ok := m.p.Graph.EdgeID(cur[j], cur[j+1]); ok {
+				m.onCur[id] = m.onCurEpoch
+			}
+		}
+	}
+	for _, v := range cur {
+		m.exCount[v]++
+	}
+	dm := m.p.Demands[i]
+	path, cost := m.p.Graph.ShortestPathInto(&m.sp, dm.Src, dm.Dst, m.edgeCostFn, m.nodeCostFn, m.pathBuf[:0])
+	m.pathBuf = path
+	for _, v := range cur {
+		m.exCount[v]--
+	}
+	if len(path) == 0 || math.IsInf(cost, 1) {
+		return nil, false
+	}
+	return path, true
+}
+
+// stage replaces demand i's route with path (copied into the demand's
+// spare buffer) and records the undo.
+func (m *incEngine) stage(i int, path []int) {
+	old := m.cur.Routes[i]
+	nr := append(m.spare[i][:0], path...)
+	m.spare[i] = nil
+	m.led.Remove(old)
+	m.led.Add(nr)
+	m.cur.Routes[i] = nr
+	m.staged = append(m.staged, stagedRoute{i: i, old: old})
+}
+
+func (m *incEngine) commit() {
+	for _, s := range m.staged {
+		m.spare[s.i] = s.old
+	}
+	m.staged = m.staged[:0]
+}
+
+func (m *incEngine) revert() {
+	for k := len(m.staged) - 1; k >= 0; k-- {
+		s := m.staged[k]
+		nr := m.cur.Routes[s.i]
+		m.led.Remove(nr)
+		m.led.Add(s.old)
+		m.cur.Routes[s.i] = s.old
+		m.spare[s.i] = nr
+	}
+	m.staged = m.staged[:0]
+}
+
+func (m *incEngine) tryRewire(i int) bool {
+	path, ok := m.reroute(i, -1, 1)
+	if !ok || routesEqual(path, m.cur.Routes[i]) {
+		return false
+	}
+	m.stage(i, path)
+	return true
+}
+
+func (m *incEngine) trySwap(i int, rng *rand.Rand) bool {
+	path, ok := m.reroute(i, -1, 2+6*rng.Float64())
+	if !ok || routesEqual(path, m.cur.Routes[i]) {
+		return false
+	}
+	m.stage(i, path)
+	return true
+}
+
+// tryPowerDown forces relay v out of the design: every demand routed
 // through v is re-routed (marginal cost, v forbidden), demands in ascending
 // order so later reroutes see the relays earlier ones recruited. The move
-// fails if any affected demand has no alternative.
-func (p *Problem) proposePowerDown(d *Design, v int) (*Design, bool) {
-	cand := clone(d)
+// fails — and the staged prefix is undone — if any affected demand has no
+// alternative.
+func (m *incEngine) tryPowerDown(v int) bool {
 	changed := false
-	for i, r := range cand.Routes {
+	for i := range m.cur.Routes {
 		uses := false
-		for _, u := range r {
+		for _, u := range m.cur.Routes[i] {
 			if u == v {
 				uses = true
 				break
@@ -174,38 +288,24 @@ func (p *Problem) proposePowerDown(d *Design, v int) (*Design, bool) {
 		if !uses {
 			continue
 		}
-		path, ok := p.reroute(cand, i, v, 1)
+		path, ok := m.reroute(i, v, 1)
 		if !ok {
-			return nil, false
+			m.revert()
+			return false
 		}
-		cand.Routes[i] = path
+		m.stage(i, path)
 		changed = true
 	}
-	if !changed {
-		return nil, false
-	}
-	return cand, true
+	return changed
 }
 
-// propose draws one random move for the annealer: mostly marginal rewires,
-// with swaps for diversification and power-downs for the coordinated
-// changes single-demand moves cannot express.
-func (p *Problem) propose(d *Design, rng *rand.Rand) (*Design, string, bool) {
-	switch k := rng.IntN(10); {
-	case k < 5:
-		i := rng.IntN(len(p.Demands))
-		cand, ok := p.proposeRewire(d, i)
-		return cand, moveRewire, ok
-	case k < 8:
-		i := rng.IntN(len(p.Demands))
-		cand, ok := p.proposeSwap(d, i, rng)
-		return cand, moveSwap, ok
-	default:
-		rel := p.relays(d)
-		if len(rel) == 0 {
-			return nil, movePowerDown, false
-		}
-		cand, ok := p.proposePowerDown(d, rel[rng.IntN(len(rel))])
-		return cand, movePowerDown, ok
+// evaluate scores the staged design. The analytic objective folds the
+// ledger's terms (bit-identical to Graph.Enetwork, zero allocations); any
+// other objective sees the live design, which is safe because objectives
+// consume it synchronously.
+func (m *incEngine) evaluate(ctx context.Context, obj Objective) (float64, error) {
+	if a, ok := obj.(analytic); ok && a.p == m.p {
+		return m.led.Energy(m.cur), nil
 	}
+	return obj.Evaluate(ctx, m.cur)
 }

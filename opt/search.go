@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"os"
 	"slices"
 	"strconv"
+	"sync"
 	"time"
 
 	"eend/internal/core"
@@ -186,7 +188,18 @@ type Options struct {
 	// identical trees; tracing observes timings only and never changes the
 	// trajectory.
 	Tracer *obs.Tracer
+
+	// reference (internal) forces the retained full-recompute engine:
+	// clone-per-proposal moves scored from scratch. The differential suite
+	// sets it to pin the incremental engine bit-identical; the
+	// EEND_OPT_REFERENCE=1 environment variable forces it process-wide.
+	reference bool
 }
+
+// referenceEngineEnv reads the EEND_OPT_REFERENCE escape hatch once.
+var referenceEngineEnv = sync.OnceValue(func() bool {
+	return os.Getenv("EEND_OPT_REFERENCE") == "1"
+})
 
 // Step is one search iteration's outcome.
 type Step struct {
@@ -240,14 +253,15 @@ type Result struct {
 	Trajectory []Step `json:"trajectory,omitempty"`
 }
 
-// searchState carries the shared bookkeeping of the drivers.
+// searchState carries the shared bookkeeping of the drivers. The current
+// design lives inside eng; curE tracks its objective value.
 type searchState struct {
 	p   *Problem
 	obj Objective
 	o   *Options
 	rng *rand.Rand
+	eng engine
 
-	cur      *Design
 	curE     float64
 	best     *Design
 	bestE    float64
@@ -294,31 +308,64 @@ func (st *searchState) markBest(best float64, move string) {
 	}
 }
 
-// consider evaluates a candidate and folds it into cur/best under the
-// acceptance rule: accept strict improvements always, uphill moves with
-// Metropolis probability when temp > 0.
-func (st *searchState) consider(ctx context.Context, cand *Design, move string, temp float64) error {
-	esp := st.tr.Start(st.span, "evaluate", strconv.Itoa(st.iter+1))
+// consider evaluates the engine's staged move and folds it into cur/best
+// under the acceptance rule: accept strict improvements always, uphill
+// moves with Metropolis probability when temp > 0. A rejected (or failed)
+// evaluation reverts the staged move. Span creation is gated on the tracer
+// so the disabled-tracer step stays allocation-free.
+func (st *searchState) consider(ctx context.Context, move string, temp float64) error {
+	traced := st.tr.Enabled()
+	var esp obs.Span
+	if traced {
+		esp = st.tr.Start(st.span, "evaluate", strconv.Itoa(st.iter+1))
+	}
 	t0 := time.Now()
-	e, err := st.obj.Evaluate(ctx, cand)
+	e, err := st.eng.evaluate(ctx, st.obj)
 	evalSeconds.ObserveSince(t0)
 	if err != nil {
-		esp.End(obs.A("error", err.Error()))
+		st.eng.revert()
+		if traced {
+			esp.End(obs.A("error", err.Error()))
+		}
 		return err
 	}
-	esp.End(obs.A("move", move), obs.A("energy", strconv.FormatFloat(e, 'g', -1, 64)))
+	if traced {
+		esp.End(obs.A("move", move), obs.A("energy", strconv.FormatFloat(e, 'g', -1, 64)))
+	}
 	accept := e < st.curE
 	if !accept && temp > 0 {
 		accept = st.rng.Float64() < math.Exp(-(e-st.curE)/temp)
 	}
 	if accept {
-		st.cur, st.curE = cand, e
+		st.eng.commit()
+		st.curE = e
 		if e < st.bestE {
-			st.best, st.bestE = cand, e
+			st.best, st.bestE = st.eng.snapshot(), e
 		}
+	} else {
+		st.eng.revert()
 	}
 	st.step(move, e, accept, temp)
 	return nil
+}
+
+// propose draws one random move for the annealer and stages it on the
+// engine: mostly marginal rewires, with swaps for diversification and
+// power-downs for the coordinated changes single-demand moves cannot
+// express. The rng consumption is identical on both engines.
+func (st *searchState) propose() (string, bool) {
+	switch k := st.rng.IntN(10); {
+	case k < 5:
+		return moveRewire, st.eng.tryRewire(st.rng.IntN(len(st.p.Demands)))
+	case k < 8:
+		return moveSwap, st.eng.trySwap(st.rng.IntN(len(st.p.Demands)), st.rng)
+	default:
+		rel := st.eng.relays()
+		if len(rel) == 0 {
+			return movePowerDown, false
+		}
+		return movePowerDown, st.eng.tryPowerDown(rel[st.rng.IntN(len(rel))])
+	}
 }
 
 // Search improves a design for the problem under the objective. The
@@ -341,6 +388,9 @@ func (p *Problem) Search(ctx context.Context, obj Objective, o Options) (*Result
 	}
 	if o.Restarts <= 0 {
 		o.Restarts = 3
+	}
+	if referenceEngineEnv() {
+		o.reference = true
 	}
 
 	res := &Result{
@@ -365,8 +415,9 @@ func (p *Problem) Search(ctx context.Context, obj Objective, o Options) (*Result
 
 	st := &searchState{
 		p: p, obj: obj, o: &o,
-		rng: rand.New(rand.NewPCG(o.Seed, 0x0e31)),
-		cur: initial, curE: initE,
+		rng:  rand.New(rand.NewPCG(o.Seed, 0x0e31)),
+		eng:  newEngine(p, initial, o.reference),
+		curE: initE,
 		best: initial, bestE: initE, lastBest: math.Inf(1),
 		res: res,
 		tr:  o.Tracer,
@@ -448,26 +499,24 @@ func (st *searchState) runGreedy(ctx context.Context) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			cand, ok := st.p.proposeRewire(st.cur, i)
-			if !ok {
+			if !st.eng.tryRewire(i) {
 				continue
 			}
-			if err := st.consider(ctx, cand, moveRewire, 0); err != nil {
+			if err := st.consider(ctx, moveRewire, 0); err != nil {
 				return err
 			}
 		}
-		for _, v := range st.p.relays(st.cur) {
+		for _, v := range st.eng.relays() {
 			if st.stopped {
 				return nil
 			}
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			cand, ok := st.p.proposePowerDown(st.cur, v)
-			if !ok {
+			if !st.eng.tryPowerDown(v) {
 				continue
 			}
-			if err := st.consider(ctx, cand, movePowerDown, 0); err != nil {
+			if err := st.consider(ctx, movePowerDown, 0); err != nil {
 				return err
 			}
 		}
@@ -500,13 +549,13 @@ func (st *searchState) runAnneal(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		cand, move, ok := st.p.propose(st.cur, st.rng)
+		move, ok := st.propose()
 		if !ok {
 			misses++
 			continue
 		}
 		misses = 0
-		if err := st.consider(ctx, cand, move, t); err != nil {
+		if err := st.consider(ctx, move, t); err != nil {
 			return err
 		}
 		t *= cool
@@ -557,10 +606,11 @@ func (p *Problem) runOneRestart(ctx context.Context, obj Objective, o Options, a
 	// The restart records its own trajectory (Trace on) for the ordered
 	// merge; OnStep stays with the merging parent so observer calls remain
 	// sequential and deterministic.
-	local := Options{Algorithm: Greedy, Seed: o.Seed, Iterations: budget, Trace: true}
+	local := Options{Algorithm: Greedy, Seed: o.Seed, Iterations: budget, Trace: true, reference: o.reference}
 	st := &searchState{
 		p: p, obj: obj, o: &local, rng: rng,
-		cur: init, curE: e, best: init, bestE: e,
+		eng:  newEngine(p, init, local.reference),
+		curE: e, best: init, bestE: e,
 		res: &Result{},
 	}
 	st.step("restart", e, true, 0)
